@@ -1,0 +1,114 @@
+"""Ablations called out in DESIGN.md (beyond the paper's headline tables):
+
+* **Memory latency** — Section VI-B notes the Cain-vs-Mutlu disagreement:
+  with short memory latency (Cain et al., 70 cycles) wrong-path effects are
+  negligible; with long latency (Mutlu et al., >=250) they are large,
+  because the mispredict-resolution time tracks the memory round-trip.
+  We sweep memory latency and check the nowp error grows with it.
+* **ROB size** — the wrong path is followed for one ROB's worth of
+  instructions; larger windows mean more speculative work.
+* **Convergence on/off** — conv's benefit over instrec comes entirely from
+  recovered addresses.
+"""
+
+import pytest
+
+from conftest import add_report, bench_config
+from repro import Simulator, compare_techniques
+from repro.analysis.report import percent, render_table
+from repro.minicc import compile_to_program
+
+KERNEL = """
+int keys[4096];
+int marks[4096];
+void main() {
+    int seed = 54321;
+    for (int i = 0; i < 4096; i += 1) {
+        seed = seed * 1103515245 + 12345;
+        keys[i] = (seed >> 16) & 4095;
+    }
+    int hits = 0;
+    for (int rep = 0; rep < 3; rep += 1) {
+        for (int i = 0; i < 4096; i += 1) {
+            int k = keys[i];
+            if (marks[k] == rep) {
+                marks[k] = rep + 1;
+                hits += 1;
+            }
+        }
+    }
+    print_int(hits);
+}
+"""
+
+MEM_LATENCIES = (70, 150, 300)
+
+
+@pytest.fixture(scope="module")
+def kernel_program():
+    return compile_to_program(KERNEL)
+
+
+def nowp_error(program, config):
+    cmp = compare_techniques(program, config=config,
+                             techniques=("nowp", "wpemul"))
+    return cmp.error("nowp")
+
+
+def test_ablation_memory_latency(benchmark, kernel_program):
+    def run():
+        return {latency: nowp_error(
+            kernel_program, bench_config().copy(mem_latency=latency))
+            for latency in MEM_LATENCIES}
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(f"{latency} cycles", percent(errors[latency]))
+            for latency in MEM_LATENCIES]
+    add_report("ablation_memlat", render_table(
+        "Ablation: nowp error vs memory latency "
+        "[Cain et al. (70cy): negligible; Mutlu et al. (250+cy): large]",
+        ["memory latency", "nowp error"], rows))
+    # Longer memory latency -> larger wrong-path impact.
+    assert abs(errors[300]) > abs(errors[70])
+
+
+def test_ablation_rob_size(benchmark, kernel_program):
+    def run():
+        out = {}
+        for rob in (64, 256):
+            config = bench_config().copy(
+                rob_size=rob, load_queue=min(96, rob),
+                store_queue=min(56, rob))
+            result = Simulator(kernel_program, config=config,
+                               technique="wpemul").run()
+            out[rob] = result.stats.wp_fraction
+        return out
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(str(rob), f"{frac * 100:.1f}%")
+            for rob, frac in sorted(fractions.items())]
+    add_report("ablation_rob", render_table(
+        "Ablation: wrong-path instructions executed vs ROB size "
+        "(the wrong path is followed for one ROB's worth)",
+        ["ROB size", "WP executed / CP"], rows))
+    assert fractions[256] >= fractions[64]
+
+
+def test_ablation_conv_vs_instrec(benchmark, kernel_program):
+    def run():
+        cmp = compare_techniques(kernel_program, config=bench_config())
+        return cmp
+
+    cmp = benchmark.pedantic(run, rounds=1, iterations=1)
+    conv_stats = cmp.results["conv"].stats
+    rows = [
+        ("instrec |error|", percent(abs(cmp.error("instrec")))),
+        ("conv |error|", percent(abs(cmp.error("conv")))),
+        ("addresses recovered",
+         f"{conv_stats.addr_recover_fraction * 100:.0f}%"),
+        ("convergence found", f"{conv_stats.conv_fraction * 100:.0f}%"),
+    ]
+    add_report("ablation_conv", render_table(
+        "Ablation: what address recovery buys over plain reconstruction",
+        ["metric", "value"], rows))
+    assert abs(cmp.error("conv")) <= abs(cmp.error("instrec")) + 0.002

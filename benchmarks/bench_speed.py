@@ -1,0 +1,70 @@
+"""Section V-B: simulation speed of the four techniques, normalized to
+nowp.
+
+Paper result: instrec and conv cost almost the same (GAP: 3.2x / 4.0x
+average; SPEC: 1.12x / 1.13x) while full wrong-path emulation is the
+slowest by far (GAP: 13.1x average, up to 157x; SPEC: 2.1x).  The
+reconstruction techniques burden the timing side; wpemul additionally
+burdens the functional simulator.
+
+These benches measure *fresh* wall-clock runs (pytest-benchmark timings),
+then the report aggregates per-suite slowdowns from the shared run cache.
+"""
+
+import pytest
+
+from conftest import GAP_BENCHES, TECHNIQUES, add_report
+from repro.analysis.report import render_table
+from repro.workloads import spec_fp_names, spec_int_names
+
+#: Representative branch-miss-heavy GAP bench and a mild SPEC bench.
+SPEED_CASES = [("gap.bfs", t) for t in TECHNIQUES] + \
+              [("spec.int.sort_like", t) for t in TECHNIQUES]
+
+
+@pytest.mark.parametrize("name,technique", SPEED_CASES)
+def test_speed(benchmark, sim_cache, name, technique):
+    result = benchmark.pedantic(
+        lambda: sim_cache.run(name, technique, fresh=True),
+        rounds=1, iterations=1)
+    assert result.instructions > 0
+
+
+def _suite_slowdowns(sim_cache, benches):
+    slowdowns = {t: [] for t in TECHNIQUES}
+    for name in benches:
+        base = sim_cache.run(name, "nowp").wall_seconds
+        if base <= 0:
+            continue
+        for technique in TECHNIQUES:
+            wall = sim_cache.run(name, technique).wall_seconds
+            slowdowns[technique].append(wall / base)
+    return slowdowns
+
+
+def test_speed_report(benchmark, sim_cache):
+    spec_benches = spec_int_names() + spec_fp_names()
+    rows = []
+    aggregates = {}
+    for suite, benches in (("GAP", GAP_BENCHES), ("SPEC", spec_benches)):
+        slowdowns = _suite_slowdowns(sim_cache, benches)
+        aggregates[suite] = slowdowns
+        for technique in TECHNIQUES:
+            values = slowdowns[technique]
+            avg = sum(values) / len(values)
+            rows.append((suite, technique, f"{avg:.2f}x",
+                         f"{max(values):.2f}x"))
+    add_report("speed", render_table(
+        "Section V-B: simulation slowdown vs nowp "
+        "[paper GAP: instrec 3.2x, conv 4.0x, wpemul 13.1x; "
+        "SPEC: 1.12x / 1.13x / 2.1x]",
+        ["suite", "technique", "avg slowdown", "max slowdown"], rows))
+
+    for suite in ("GAP", "SPEC"):
+        slow = aggregates[suite]
+        avg = {t: sum(v) / len(v) for t, v in slow.items()}
+        # wpemul must be the slowest technique on average...
+        assert avg["wpemul"] >= max(avg["instrec"], avg["conv"]) * 0.95
+        # ...and the reconstruction techniques must cost similar time.
+        assert abs(avg["instrec"] - avg["conv"]) < \
+            0.75 * max(avg["instrec"], avg["conv"])

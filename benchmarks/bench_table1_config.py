@@ -1,0 +1,47 @@
+"""Table I: the simulated core configuration.
+
+The paper simulates a single P-core of an Intel Alder Lake system (Golden
+Cove).  We report both the full-scale configuration (`CoreConfig()`) and
+the downscaled configuration actually used by the Python-speed benches
+(`CoreConfig.scaled()`), whose cache capacities shrink with the scaled
+workload footprints while memory latency stays full scale.
+"""
+
+from conftest import add_report, bench_config
+from repro import CoreConfig, Simulator, assemble
+from repro.analysis.report import render_table
+
+SMOKE = """
+main:
+    li t0, 0
+loop:
+    addi t0, t0, 1
+    li t1, 2000
+    blt t0, t1, loop
+    li a7, 93
+    ecall
+"""
+
+
+def test_table1_report(benchmark):
+    full = CoreConfig()
+    scaled = bench_config()
+    scaled_map = dict(scaled.table1_rows())
+    rows = [(label, value, scaled_map.get(label, value))
+            for label, value in full.table1_rows()]
+    add_report("table1", render_table(
+        "Table I: simulated core configuration (Golden Cove-like)",
+        ["parameter", "full scale", "bench (downscaled)"], rows))
+    assert full.rob_size == 512
+
+
+def test_table1_config_simulates(benchmark):
+    """The Table I configuration drives a real simulation."""
+    program = assemble(SMOKE)
+
+    def run():
+        return Simulator(program, config=bench_config(),
+                         technique="conv").run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.instructions > 4000

@@ -1,0 +1,64 @@
+"""Table III: low-level metrics of the convergence-exploitation technique
+for the GAP benchmarks.
+
+Columns (as in the paper):
+* Conv frac — fraction of branch misses where one-sided convergence is
+  found (paper: 62%-98%, high for GAP's vertex-loop structure),
+* Conv dist — average instructions to the convergence point (paper:
+  7-30),
+* Addr recover — fraction of wrong-path memory ops whose address is
+  recovered (paper: 31%-54%, much lower than conv frac because divergence
+  after the convergence point stops recovery),
+* WP L2 miss — wrong-path L2 misses of conv relative to wpemul (paper:
+  0%-73%; pr/tc lowest).
+"""
+
+import pytest
+
+from conftest import GAP_BENCHES, add_report
+from repro.analysis.report import render_table
+
+
+def conv_metrics(sim_cache, name):
+    conv = sim_cache.run(name, "conv")
+    emul = sim_cache.run(name, "wpemul")
+    stats = conv.stats
+    conv_l2 = conv.cache_stats["l2"]["wp_misses"]
+    emul_l2 = emul.cache_stats["l2"]["wp_misses"]
+    coverage = conv_l2 / emul_l2 if emul_l2 else 0.0
+    return {
+        "conv_frac": stats.conv_fraction,
+        "conv_dist": stats.conv_distance,
+        "addr_recover": stats.addr_recover_fraction,
+        "wp_l2_cov": coverage,
+    }
+
+
+@pytest.mark.parametrize("name", GAP_BENCHES)
+def test_table3_metrics(benchmark, sim_cache, name):
+    metrics = benchmark.pedantic(lambda: conv_metrics(sim_cache, name),
+                                 rounds=1, iterations=1)
+    assert 0.0 <= metrics["conv_frac"] <= 1.0
+    assert 0.0 <= metrics["addr_recover"] <= 1.0
+    # Address recovery is necessarily rarer than convergence detection.
+    if metrics["conv_frac"] > 0.3:
+        assert metrics["addr_recover"] < metrics["conv_frac"]
+
+
+def test_table3_report(benchmark, sim_cache):
+    rows = []
+    for name in GAP_BENCHES:
+        m = conv_metrics(sim_cache, name)
+        rows.append((name.split(".")[1],
+                     f"{m['conv_frac'] * 100:.0f}%",
+                     f"{m['conv_dist']:.1f}",
+                     f"{m['addr_recover'] * 100:.0f}%",
+                     f"{m['wp_l2_cov'] * 100:.0f}%"))
+    add_report("table3", render_table(
+        "Table III: convergence-exploitation internals "
+        "[paper: conv 62-98%, dist 7-30, addr 31-54%, L2 0-73%]",
+        ["bench", "conv frac", "conv dist", "addr recover", "WP L2 miss"],
+        rows))
+    # GAP's structure guarantees pervasive convergence.
+    fracs = [conv_metrics(sim_cache, n)["conv_frac"] for n in GAP_BENCHES]
+    assert sum(f > 0.5 for f in fracs) >= 5

@@ -1,0 +1,105 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Design:
+
+* Every (workload, technique) pair is simulated at most once per session
+  and memoized in ``SimCache``; the figure/table benches share those runs
+  (Fig. 1, Fig. 4, Tables II/III and the speed section all derive from the
+  same simulations, as in the paper).
+* Each bench renders its table/figure in the paper's shape; the rendered
+  reports are printed in the terminal summary and written to
+  ``benchmarks/results/<name>.txt`` so the harness output survives capture.
+* Workload scales and instruction caps are chosen for Python simulation
+  speed (documented in EXPERIMENTS.md): GAP runs use "medium" graphs with
+  a 250k-instruction cap; SPEC-like runs use "small" inputs with a 120k
+  cap.  The downscaled CoreConfig keeps full-scale memory latency so
+  branch-resolution windows stay realistic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import CoreConfig, Simulator
+from repro.simulator.simulation import SimulationResult
+from repro.workloads import build_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+GAP_SCALE = "medium"
+GAP_MAX_INSTRUCTIONS = 250_000
+SPEC_SCALE = "small"
+SPEC_MAX_INSTRUCTIONS = 120_000
+
+#: Ordered as in the paper's figures.
+GAP_BENCHES = ["gap.bc", "gap.bfs", "gap.cc", "gap.pr", "gap.sssp",
+               "gap.tc"]
+TECHNIQUES = ["nowp", "instrec", "conv", "wpemul"]
+
+_reports: List[str] = []
+
+
+def bench_config() -> CoreConfig:
+    """The downscaled Table I configuration used by all benches."""
+    return CoreConfig.scaled()
+
+
+class SimCache:
+    """Session-wide (workload, technique) -> SimulationResult memo."""
+
+    def __init__(self):
+        self._programs = {}
+        self._results: Dict[Tuple[str, str], SimulationResult] = {}
+
+    def program(self, name: str):
+        if name not in self._programs:
+            scale = GAP_SCALE if name.startswith("gap.") else SPEC_SCALE
+            self._programs[name] = build_workload(
+                name, scale=scale, check=False).program
+        return self._programs[name]
+
+    def run(self, name: str, technique: str,
+            fresh: bool = False) -> SimulationResult:
+        key = (name, technique)
+        if fresh or key not in self._results:
+            cap = GAP_MAX_INSTRUCTIONS if name.startswith("gap.") \
+                else SPEC_MAX_INSTRUCTIONS
+            result = Simulator(self.program(name), config=bench_config(),
+                               technique=technique, max_instructions=cap,
+                               name=name).run()
+            if fresh:
+                return result
+            self._results[key] = result
+        return self._results[key]
+
+    def error(self, name: str, technique: str) -> float:
+        return self.run(name, technique).error_vs(self.run(name, "wpemul"))
+
+
+_CACHE = SimCache()
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> SimCache:
+    return _CACHE
+
+
+def add_report(name: str, text: str) -> None:
+    """Register a rendered table for the terminal summary + results dir."""
+    _reports.append(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _reports:
+        return
+    terminalreporter.write_sep("=", "reproduction reports")
+    for report in _reports:
+        terminalreporter.write_line("")
+        for line in report.splitlines():
+            terminalreporter.write_line(line)

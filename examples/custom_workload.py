@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Authoring a custom workload with minicc and injected data.
+
+Shows the full pipeline a downstream user follows to study their own
+kernel: write C-subset source, inject numpy-generated input arrays at
+global symbols, compile to the simulated ISA, validate functional output
+against a Python reference, then compare wrong-path techniques.
+
+The kernel here is a tiny sparse matrix-vector multiply (CSR), a building
+block of the irregular workloads the paper's introduction motivates.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import CoreConfig, compare_techniques
+from repro.functional.emulator import Emulator
+from repro.workloads.base import build_program
+
+N = 512
+NNZ_PER_ROW = 12
+
+SOURCE = f"""
+int row_ptr[{N + 1}];
+int col_idx[{N * NNZ_PER_ROW}];
+int values[{N * NNZ_PER_ROW}];
+int x[{N}];
+int y[{N}];
+
+void main() {{
+    for (int i = 0; i < {N}; i += 1) {{
+        int sum = 0;
+        int rb = row_ptr[i];
+        int re = row_ptr[i + 1];
+        for (int j = rb; j < re; j += 1) {{
+            int v = x[col_idx[j]];          // irregular gather
+            if (v != 0) {{                  // data-dependent branch
+                sum += values[j] * v;
+            }}
+        }}
+        y[i] = sum;
+    }}
+    int checksum = 0;
+    for (int i = 0; i < {N}; i += 1) {{
+        checksum += y[i];
+    }}
+    print_int(checksum & 1048575);
+}}
+"""
+
+
+def make_inputs(seed: int = 42):
+    rng = np.random.default_rng(seed)
+    row_ptr = np.arange(N + 1) * NNZ_PER_ROW
+    col_idx = rng.integers(0, N, size=N * NNZ_PER_ROW)
+    values = rng.integers(-4, 5, size=N * NNZ_PER_ROW)
+    # ~40% zero entries so the inner branch is data dependent.
+    x = rng.integers(0, 5, size=N) * (rng.random(N) > 0.4)
+    return row_ptr, col_idx, values, x.astype(np.int64)
+
+
+def reference_checksum(row_ptr, col_idx, values, x) -> int:
+    y = np.zeros(N, dtype=np.int64)
+    for i in range(N):
+        for j in range(row_ptr[i], row_ptr[i + 1]):
+            v = x[col_idx[j]]
+            if v != 0:
+                y[i] += values[j] * v
+    return int(y.sum()) & 1048575
+
+
+def main() -> None:
+    row_ptr, col_idx, values, x = make_inputs()
+    program = build_program(SOURCE, {
+        "row_ptr": row_ptr, "col_idx": col_idx,
+        "values": values, "x": x,
+    })
+
+    # 1. Validate functionally on the emulator alone (fast).
+    emulator = Emulator(program)
+    emulator.run()
+    expected = reference_checksum(row_ptr, col_idx, values, x)
+    assert emulator.output == [expected], (emulator.output, expected)
+    print(f"functional check passed: checksum {expected} "
+          f"({emulator.instret} instructions)")
+
+    # 2. Study wrong-path sensitivity.
+    cmp = compare_techniques(program, config=CoreConfig.scaled(),
+                             name="spmv")
+    print(f"\n{'technique':>9}  {'IPC':>6}  {'error vs wpemul':>15}")
+    for technique, result in cmp.results.items():
+        print(f"{technique:>9}  {result.ipc:6.3f}  "
+              f"{cmp.error(technique) * 100:14.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Graph analytics (GAP) under wrong-path modeling.
+
+Reproduces the paper's core scenario in miniature: run a GAP kernel on a
+synthetic power-law graph and show how much performance the default
+(no-wrong-path) simulator underestimates, and how much of that the
+convergence-exploitation technique recovers — together with the Table III
+internals for this run.
+
+Run:  python examples/graph_analytics.py [kernel]
+      kernel in {bc, bfs, cc, pr, sssp, tc}; default bfs
+"""
+
+import sys
+
+from repro import CoreConfig, compare_techniques
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "bfs"
+    workload = build_workload(f"gap.{kernel}", scale="medium", check=False)
+    meta = workload.meta
+    print(f"workload: gap.{kernel} — {workload.description}")
+    print(f"graph: {meta['nodes']} vertices, {meta['edges']} edges "
+          f"(power-law, seed {meta['seed']})")
+
+    config = CoreConfig.scaled()
+    cmp = compare_techniques(workload.program, config=config,
+                             max_instructions=200_000, name=kernel)
+
+    reference = cmp.results["wpemul"]
+    print(f"\nsimulated {reference.instructions} instructions per "
+          f"technique; branch MPKI {reference.branch_mpki:.1f}")
+    print(f"\n{'technique':>9}  {'IPC':>6}  {'error':>8}  "
+          f"{'slowdown':>8}")
+    for technique in ("nowp", "instrec", "conv", "wpemul"):
+        result = cmp.results[technique]
+        print(f"{technique:>9}  {result.ipc:6.3f}  "
+              f"{cmp.error(technique) * 100:7.2f}%  "
+              f"{cmp.slowdown(technique):7.2f}x")
+
+    conv = cmp.results["conv"]
+    stats = conv.stats
+    conv_l2 = conv.cache_stats["l2"]["wp_misses"]
+    emul_l2 = reference.cache_stats["l2"]["wp_misses"]
+    coverage = conv_l2 / emul_l2 if emul_l2 else 0.0
+    print(f"\nTable III view for {kernel}:")
+    print(f"  convergence found : {stats.conv_fraction * 100:5.1f}% "
+          f"of branch misses")
+    print(f"  convergence dist  : {stats.conv_distance:5.1f} instructions")
+    print(f"  addresses recovered: {stats.addr_recover_fraction * 100:5.1f}%"
+          f" of wrong-path memory ops")
+    print(f"  WP L2 miss coverage: {coverage * 100:5.1f}% of wpemul's")
+
+
+if __name__ == "__main__":
+    main()

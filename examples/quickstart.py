@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one program under all four wrong-path techniques.
+
+Builds a small branch-missy kernel with minicc, runs the decoupled
+functional-first simulator once per technique, and prints the paper's
+headline comparison: IPC per technique and the error vs. full wrong-path
+emulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CoreConfig, compare_techniques
+from repro.minicc import compile_to_program
+
+KERNEL = """
+int table[4096];
+int hits = 0;
+
+void main() {
+    // Fill the table with a pseudo-random permutation-ish pattern.
+    int seed = 2024;
+    for (int i = 0; i < 4096; i += 1) {
+        seed = seed * 1103515245 + 12345;
+        table[i] = (seed >> 16) & 4095;
+    }
+    // Chase entries with a data-dependent branch gated on a random load:
+    // the archetypal converging-wrong-path pattern.
+    for (int rep = 0; rep < 2; rep += 1) {
+        for (int i = 0; i < 4096; i += 1) {
+            int v = table[i];
+            if (table[v] > v) {
+                hits += 1;
+            }
+        }
+    }
+    print_int(hits);
+}
+"""
+
+
+def main() -> None:
+    program = compile_to_program(KERNEL)
+    config = CoreConfig.scaled()  # downscaled Table I configuration
+
+    print("simulating under all four techniques "
+          "(nowp / instrec / conv / wpemul)...")
+    cmp = compare_techniques(program, config=config, name="quickstart")
+
+    print(f"\n{'technique':>9}  {'IPC':>6}  {'cycles':>9}  "
+          f"{'error vs wpemul':>15}  {'WP instrs executed':>18}")
+    for technique, result in cmp.results.items():
+        print(f"{technique:>9}  {result.ipc:6.3f}  {result.cycles:9d}  "
+              f"{cmp.error(technique) * 100:14.2f}%  "
+              f"{result.stats.wp_executed:18d}")
+
+    conv = cmp.results["conv"].stats
+    print(f"\nconvergence detection: found on "
+          f"{conv.conv_fraction * 100:.0f}% of mispredicts, "
+          f"avg distance {conv.conv_distance:.1f} instructions, "
+          f"{conv.addr_recover_fraction * 100:.0f}% of wrong-path memory "
+          f"ops recovered an address")
+    print(f"program output (identical across techniques): "
+          f"{cmp.results['conv'].output}")
+
+
+if __name__ == "__main__":
+    main()

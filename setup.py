@@ -1,0 +1,6 @@
+"""Setup shim for environments without the `wheel` package (legacy
+editable installs); configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

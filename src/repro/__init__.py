@@ -1,0 +1,36 @@
+"""repro — wrong-path instruction modeling in decoupled functional-first
+CPU simulation.
+
+A from-scratch reproduction of Eyerman et al., "Simulating Wrong-Path
+Instructions in Decoupled Functional-First Simulation" (ISPASS 2023):
+a small RISC ISA with assembler and functional emulator, an out-of-order
+timing model with branch predictors and a multi-level cache hierarchy, the
+four wrong-path modeling techniques (nowp / instrec / conv / wpemul), a
+C-subset compiler (minicc) for authoring workloads, and GAP-style +
+SPEC-like workload suites.
+
+Quickstart::
+
+    from repro import Simulator, CoreConfig
+    from repro.workloads import build_workload
+
+    wl = build_workload("gap.bfs", scale="tiny")
+    result = Simulator(wl.program, config=CoreConfig.scaled(),
+                       technique="conv", name=wl.name).run()
+    print(result.summary())
+"""
+
+from repro.core.config import CoreConfig
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.simulator.runner import TechniqueComparison, compare_techniques
+from repro.simulator.simulation import (ALL_TECHNIQUES, SimulationResult,
+                                        Simulator, TECHNIQUES, simulate)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig", "assemble", "Program", "TechniqueComparison",
+    "compare_techniques", "ALL_TECHNIQUES", "SimulationResult", "Simulator",
+    "TECHNIQUES", "simulate", "__version__",
+]

@@ -1,0 +1,11 @@
+"""Analysis helpers: error metrics, report rendering, and the
+wrong-path-aware power model."""
+
+from repro.analysis.power import (EnergyParams, PowerEstimate, PowerModel,
+                                  wrong_path_power_report)
+from repro.analysis.report import (distribution_summary, render_table,
+                                   percent)
+
+__all__ = ["EnergyParams", "PowerEstimate", "PowerModel",
+           "wrong_path_power_report", "distribution_summary",
+           "render_table", "percent"]

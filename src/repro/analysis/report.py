@@ -1,0 +1,52 @@
+"""Text rendering of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Render a ratio as a signed percentage string."""
+    return f"{value * 100:+.{digits}f}%"
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with a title rule, like the paper's tables."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(row)).rstrip()
+
+    rule = "-" * len(fmt(headers))
+    lines = [title, "=" * len(title), fmt(headers), rule]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def distribution_summary(errors: Dict[str, float]) -> Dict[str, float]:
+    """Summary statistics of an error population (Figure 4 right encodes a
+    distribution; we report its key summary numbers)."""
+    values = list(errors.values())
+    if not values:
+        return {"count": 0}
+    mean_abs = sum(abs(v) for v in values) / len(values)
+    near_zero = sum(1 for v in values if abs(v) <= 0.005) / len(values)
+    negative = sum(1 for v in values if v < -0.005) / len(values)
+    positive = sum(1 for v in values if v > 0.005) / len(values)
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "mean_abs": mean_abs,
+        "min": min(values),
+        "max": max(values),
+        "frac_near_zero": near_zero,
+        "frac_negative": negative,
+        "frac_positive": positive,
+    }

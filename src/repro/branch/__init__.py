@@ -1,0 +1,10 @@
+"""Branch predictors."""
+
+from repro.branch.predictors import (BimodalPredictor, BranchPredictorUnit,
+                                     GSharePredictor, IndirectPredictor,
+                                     ReturnAddressStack, SpeculativeState,
+                                     TournamentPredictor)
+
+__all__ = ["BimodalPredictor", "BranchPredictorUnit", "GSharePredictor",
+           "IndirectPredictor", "ReturnAddressStack", "SpeculativeState",
+           "TournamentPredictor"]

@@ -1,0 +1,173 @@
+"""A TAGE-style direction predictor (TAgged GEometric history lengths).
+
+Golden Cove-class cores use TAGE-family predictors; this lightweight
+implementation (a bimodal base table plus N tagged components indexed with
+geometrically increasing history lengths) slots into
+:class:`~repro.branch.predictors.BranchPredictorUnit` via
+``kind="tage"`` and is exercised by the predictor-strength ablation.
+
+The implementation follows the classic Seznec structure, simplified:
+
+* provider = the hitting tagged component with the longest history,
+* alternate = the next hitting component (or the base table),
+* 3-bit signed counters per tagged entry, 2-bit useful counters,
+* on a provider misprediction, allocate one entry in a longer-history
+  component (if any has a non-useful victim), with a light useful-counter
+  decay to avoid table lock-up.
+
+The external contract matches the other direction predictors:
+``predict(pc, history=None)`` must not mutate state, ``update(pc, taken)``
+trains and shifts the global history.  For speculative wrong-path steering
+the unit passes an explicit history; TAGE uses it for its component
+indices, so wrong-path peeks see speculative-history predictions just like
+gshare does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class _TaggedTable:
+    __slots__ = ("bits", "history_length", "tag_bits", "ctr", "tag",
+                 "useful", "mask")
+
+    def __init__(self, bits: int, history_length: int, tag_bits: int):
+        self.bits = bits
+        self.history_length = history_length
+        self.tag_bits = tag_bits
+        size = 1 << bits
+        self.mask = size - 1
+        self.ctr: List[int] = [0] * size      # signed -4..3, >=0 = taken
+        self.tag: List[int] = [0] * size
+        self.useful: List[int] = [0] * size
+
+
+def _fold(value: int, from_bits: int, to_bits: int) -> int:
+    """Fold ``from_bits`` of ``value`` down to ``to_bits`` by XOR."""
+    if to_bits <= 0:
+        return 0
+    folded = 0
+    mask = (1 << to_bits) - 1
+    value &= (1 << from_bits) - 1
+    while value:
+        folded ^= value & mask
+        value >>= to_bits
+    return folded
+
+
+class TagePredictor:
+    """TAGE-lite: bimodal base + tagged geometric-history components."""
+
+    def __init__(self, table_bits: int = 12, num_tables: int = 4,
+                 min_history: int = 4, max_history: int = 64,
+                 tag_bits: int = 9):
+        if num_tables < 1:
+            raise ValueError("num_tables must be >= 1")
+        if min_history < 1 or max_history < min_history:
+            raise ValueError("need 1 <= min_history <= max_history")
+        self.base_mask = (1 << table_bits) - 1
+        self.base: List[int] = [2] * (1 << table_bits)  # 2-bit, weakly T
+        ratio = (max_history / min_history) ** (1 / max(num_tables - 1, 1))
+        lengths = []
+        for i in range(num_tables):
+            length = int(round(min_history * ratio ** i))
+            if lengths and length <= lengths[-1]:
+                length = lengths[-1] + 1
+            lengths.append(length)
+        self.tables = [_TaggedTable(max(table_bits - 2, 4), length,
+                                    tag_bits)
+                       for length in lengths]
+        self.history_mask = (1 << max_history) - 1
+        self.history = 0
+        self._decay_tick = 0
+
+    # -- indexing -------------------------------------------------------------
+
+    def _index(self, table: _TaggedTable, pc: int, history: int) -> int:
+        folded = _fold(history, table.history_length, table.bits)
+        return ((pc >> 2) ^ folded ^ (pc >> (2 + table.bits))) & table.mask
+
+    def _tag_of(self, table: _TaggedTable, pc: int, history: int) -> int:
+        folded = _fold(history, table.history_length, table.tag_bits - 1)
+        return ((pc >> 2) ^ (folded << 1)) & ((1 << table.tag_bits) - 1)
+
+    def _lookup(self, pc: int, history: int
+                ) -> Tuple[Optional[int], Optional[int]]:
+        """(provider table idx, alternate table idx) of hitting tables."""
+        provider = None
+        alternate = None
+        for i in range(len(self.tables) - 1, -1, -1):
+            table = self.tables[i]
+            idx = self._index(table, pc, history)
+            if table.tag[idx] == self._tag_of(table, pc, history):
+                if provider is None:
+                    provider = i
+                else:
+                    alternate = i
+                    break
+        return provider, alternate
+
+    # -- prediction interface (matches the other direction predictors) ---------
+
+    def predict(self, pc: int, history: Optional[int] = None) -> bool:
+        h = self.history if history is None else history
+        provider, _ = self._lookup(pc, h)
+        if provider is not None:
+            table = self.tables[provider]
+            return table.ctr[self._index(table, pc, h)] >= 0
+        return self.base[(pc >> 2) & self.base_mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        history = self.history
+        provider, _ = self._lookup(pc, history)
+        prediction = self.predict(pc)
+
+        if provider is not None:
+            table = self.tables[provider]
+            idx = self._index(table, pc, history)
+            ctr = table.ctr[idx]
+            if taken:
+                table.ctr[idx] = min(ctr + 1, 3)
+            else:
+                table.ctr[idx] = max(ctr - 1, -4)
+            if prediction == taken and table.useful[idx] < 3:
+                table.useful[idx] += 1
+        else:
+            idx = (pc >> 2) & self.base_mask
+            ctr = self.base[idx]
+            if taken:
+                if ctr < 3:
+                    self.base[idx] = ctr + 1
+            elif ctr > 0:
+                self.base[idx] = ctr - 1
+
+        if prediction != taken:
+            self._allocate(pc, history, taken, provider)
+
+        self.history = ((history << 1) | int(taken)) & self.history_mask
+        self._decay_tick += 1
+        if self._decay_tick >= 4096:
+            self._decay_tick = 0
+            for table in self.tables:
+                useful = table.useful
+                for i, value in enumerate(useful):
+                    if value:
+                        useful[i] = value - 1
+
+    def _allocate(self, pc: int, history: int, taken: bool,
+                  provider: Optional[int]) -> None:
+        start = 0 if provider is None else provider + 1
+        for i in range(start, len(self.tables)):
+            table = self.tables[i]
+            idx = self._index(table, pc, history)
+            if table.useful[idx] == 0:
+                table.tag[idx] = self._tag_of(table, pc, history)
+                table.ctr[idx] = 0 if taken else -1
+                return
+        # No victim found: age the candidates so a later allocation works.
+        for i in range(start, len(self.tables)):
+            table = self.tables[i]
+            idx = self._index(table, pc, history)
+            if table.useful[idx] > 0:
+                table.useful[idx] -= 1

@@ -1,0 +1,9 @@
+"""Caches, TLB, prefetchers and the memory hierarchy."""
+
+from repro.cache.cache import AccessStats, Cache, MainMemory
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import NextLinePrefetcher, StridePrefetcher
+from repro.cache.tlb import TLB
+
+__all__ = ["AccessStats", "Cache", "MainMemory", "CacheHierarchy",
+           "NextLinePrefetcher", "StridePrefetcher", "TLB"]

@@ -1,0 +1,165 @@
+"""Set-associative write-back caches with LRU replacement.
+
+The cache model is *stateful and order-sensitive*: every access (correct- or
+wrong-path) moves lines and triggers fills, which is precisely how wrong-path
+execution perturbs performance in the paper — wrong-path fills either
+prefetch data the converged correct path will reuse (positive interference)
+or evict useful lines (negative interference).
+
+Each level tracks demand and wrong-path accesses separately so the harness
+can regenerate the paper's Table III ("fraction of wrong-path L2 misses
+covered").  Latencies are simple: a hit costs the level's latency, a miss
+additionally costs the full latency of the fill from below.  Bandwidth is
+not modeled; MSHR (fill-buffer) occupancy is modeled only where it matters
+for the paper's effect — as the wrong-path prefetch-depth bound in
+:mod:`repro.wrongpath.base` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+
+class AccessStats:
+    """Per-level access counters, split by correct/wrong path."""
+
+    __slots__ = ("accesses", "misses", "wp_accesses", "wp_misses",
+                 "writebacks", "prefetches", "prefetch_hits")
+
+    def __init__(self):
+        self.accesses = 0
+        self.misses = 0
+        self.wp_accesses = 0
+        self.wp_misses = 0
+        self.writebacks = 0
+        self.prefetches = 0
+        self.prefetch_hits = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses, "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "wp_accesses": self.wp_accesses, "wp_misses": self.wp_misses,
+            "writebacks": self.writebacks, "prefetches": self.prefetches,
+        }
+
+
+class MainMemory:
+    """Terminal level: fixed latency, counts accesses."""
+
+    def __init__(self, latency: int = 220):
+        if latency < 1:
+            raise ValueError("memory latency must be >= 1")
+        self.name = "MEM"
+        self.latency = latency
+        self.stats = AccessStats()
+
+    def access(self, addr: int, write: bool = False,
+               wrong_path: bool = False) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        if wrong_path:
+            stats.wp_accesses += 1
+        return self.latency
+
+    def contains(self, addr: int) -> bool:  # memory holds everything
+        return True
+
+
+class Cache:
+    """One set-associative write-back, write-allocate cache level."""
+
+    def __init__(self, name: str, size: int, assoc: int, line_size: int,
+                 latency: int, parent):
+        if size <= 0 or assoc <= 0 or line_size <= 0:
+            raise ValueError("size, assoc and line_size must be positive")
+        if line_size & (line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        num_lines = size // line_size
+        if num_lines % assoc:
+            raise ValueError(
+                f"{name}: {num_lines} lines not divisible by assoc {assoc}")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.latency = latency
+        self.parent = parent
+        self.num_sets = num_lines // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: number of sets must be a power of two")
+        self._line_shift = line_size.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # Per set: OrderedDict tag -> dirty flag; first item is LRU.
+        self._sets: List[OrderedDict] = [OrderedDict()
+                                         for _ in range(self.num_sets)]
+        self.stats = AccessStats()
+
+    # -- main access path --------------------------------------------------------
+
+    def access(self, addr: int, write: bool = False,
+               wrong_path: bool = False) -> int:
+        """Access the line containing ``addr``; returns latency from this
+        level down (hit: level latency; miss: level latency + fill)."""
+        line = addr >> self._line_shift
+        set_ = self._sets[line & self._set_mask]
+        tag = line >> 0  # tag = full line id; set indexing already applied
+        stats = self.stats
+        stats.accesses += 1
+        if wrong_path:
+            stats.wp_accesses += 1
+        if tag in set_:
+            set_.move_to_end(tag)
+            if write:
+                set_[tag] = True
+            return self.latency
+        # Miss: fill from parent.
+        stats.misses += 1
+        if wrong_path:
+            stats.wp_misses += 1
+        fill_latency = self.parent.access(addr, False, wrong_path)
+        self._insert(set_, tag, dirty=write, wrong_path=wrong_path)
+        return self.latency + fill_latency
+
+    def _insert(self, set_: OrderedDict, tag: int, dirty: bool,
+                wrong_path: bool) -> None:
+        if len(set_) >= self.assoc:
+            victim_tag, victim_dirty = set_.popitem(last=False)
+            if victim_dirty:
+                self.stats.writebacks += 1
+                # Write back asynchronously: parent state is updated but no
+                # latency lands on the critical path.
+                self.parent.access(victim_tag << self._line_shift, True,
+                                   wrong_path)
+        set_[tag] = dirty
+
+    # -- side-effect-free helpers -------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """True if the line holding ``addr`` is resident (no LRU update)."""
+        line = addr >> self._line_shift
+        return line in self._sets[line & self._set_mask]
+
+    def prefetch(self, addr: int, wrong_path: bool = False) -> None:
+        """Insert the line holding ``addr`` without demand-access latency."""
+        line = addr >> self._line_shift
+        set_ = self._sets[line & self._set_mask]
+        if line in set_:
+            return
+        self.stats.prefetches += 1
+        self.parent.access(addr, False, wrong_path)
+        self._insert(set_, line, dirty=False, wrong_path=wrong_path)
+
+    def flush(self) -> None:
+        """Drop all content (drops dirty data too — testing helper)."""
+        for set_ in self._sets:
+            set_.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

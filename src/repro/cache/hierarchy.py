@@ -1,0 +1,115 @@
+"""The memory hierarchy: L1I + L1D -> unified L2 -> LLC -> memory, plus DTLB.
+
+Sized like the paper's per-core slice of an Alder Lake P-core system
+("we downscale the LLC and memory bandwidth to reflect the available LLC
+capacity and memory bandwidth per core in common SKUs").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.cache import Cache, MainMemory
+from repro.cache.prefetcher import NextLinePrefetcher, StridePrefetcher
+from repro.cache.tlb import TLB
+
+
+class CacheHierarchy:
+    """Single-core cache/memory hierarchy with wrong-path-aware stats."""
+
+    def __init__(self,
+                 line_size: int = 64,
+                 l1i_size: int = 32 * 1024, l1i_assoc: int = 8,
+                 l1i_latency: int = 1,
+                 l1d_size: int = 48 * 1024, l1d_assoc: int = 12,
+                 l1d_latency: int = 5,
+                 l2_size: int = 1280 * 1024, l2_assoc: int = 10,
+                 l2_latency: int = 15,
+                 llc_size: int = 3 * 1024 * 1024, llc_assoc: int = 12,
+                 llc_latency: int = 45,
+                 mem_latency: int = 220,
+                 dtlb_entries: int = 96, dtlb_penalty: int = 20,
+                 l2_prefetcher: Optional[str] = None,
+                 prefetch_degree: int = 2,
+                 shared_llc: Optional[Cache] = None,
+                 shared_memory: Optional[MainMemory] = None):
+        # Multicore configurations pass a shared LLC/memory so several
+        # per-core hierarchies converge on one last-level cache.
+        self.memory = shared_memory if shared_memory is not None \
+            else MainMemory(mem_latency)
+        self.llc = shared_llc if shared_llc is not None else Cache(
+            "LLC", llc_size, llc_assoc, line_size, llc_latency, self.memory)
+        self.l2 = Cache("L2", l2_size, l2_assoc, line_size, l2_latency,
+                        self.llc)
+        self.l1i = Cache("L1I", l1i_size, l1i_assoc, line_size, l1i_latency,
+                         self.l2)
+        self.l1d = Cache("L1D", l1d_size, l1d_assoc, line_size, l1d_latency,
+                         self.l2)
+        self.dtlb = TLB(dtlb_entries, miss_penalty=dtlb_penalty)
+        self.line_size = line_size
+        if l2_prefetcher is None:
+            self._l2_prefetcher = None
+        elif l2_prefetcher == "next_line":
+            self._l2_prefetcher = NextLinePrefetcher(self.l2,
+                                                     prefetch_degree)
+        elif l2_prefetcher == "stride":
+            self._l2_prefetcher = StridePrefetcher(self.l2,
+                                                   degree=prefetch_degree)
+        else:
+            raise ValueError(f"unknown l2 prefetcher {l2_prefetcher!r}")
+        self._l2_prefetcher_kind = l2_prefetcher
+
+    @classmethod
+    def from_config(cls, cfg) -> "CacheHierarchy":
+        """Build from a :class:`repro.core.config.CoreConfig` (duck-typed to
+        avoid a package cycle)."""
+        return cls(
+            line_size=cfg.line_size,
+            l1i_size=cfg.l1i_size, l1i_assoc=cfg.l1i_assoc,
+            l1i_latency=cfg.l1i_latency,
+            l1d_size=cfg.l1d_size, l1d_assoc=cfg.l1d_assoc,
+            l1d_latency=cfg.l1d_latency,
+            l2_size=cfg.l2_size, l2_assoc=cfg.l2_assoc,
+            l2_latency=cfg.l2_latency,
+            llc_size=cfg.llc_size, llc_assoc=cfg.llc_assoc,
+            llc_latency=cfg.llc_latency,
+            mem_latency=cfg.mem_latency,
+            dtlb_entries=cfg.dtlb_entries, dtlb_penalty=cfg.dtlb_penalty,
+            l2_prefetcher=cfg.l2_prefetcher,
+            prefetch_degree=cfg.prefetch_degree,
+        )
+
+    # -- access paths -------------------------------------------------------------
+
+    def access_instr(self, pc: int, wrong_path: bool = False) -> int:
+        """Fetch the instruction line holding ``pc``; returns latency."""
+        return self.l1i.access(pc, False, wrong_path)
+
+    def access_data(self, addr: int, write: bool = False, pc: int = 0,
+                    wrong_path: bool = False) -> int:
+        """Access data at ``addr``; returns latency including TLB penalty."""
+        latency = self.dtlb.access(addr, wrong_path)
+        was_resident = self.l1d.contains(addr)
+        latency += self.l1d.access(addr, write, wrong_path)
+        prefetcher = self._l2_prefetcher
+        if prefetcher is not None:
+            if self._l2_prefetcher_kind == "next_line":
+                prefetcher.on_access(addr, not was_resident, wrong_path)
+            else:
+                prefetcher.on_access(pc, addr, wrong_path)
+        return latency
+
+    # -- reporting ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "l1i": self.l1i.stats.as_dict(),
+            "l1d": self.l1d.stats.as_dict(),
+            "l2": self.l2.stats.as_dict(),
+            "llc": self.llc.stats.as_dict(),
+            "mem": {"accesses": self.memory.stats.accesses,
+                    "wp_accesses": self.memory.stats.wp_accesses},
+            "dtlb": {"accesses": self.dtlb.accesses,
+                     "misses": self.dtlb.misses,
+                     "miss_rate": self.dtlb.miss_rate},
+        }

@@ -1,0 +1,69 @@
+"""Hardware prefetchers (optional, off in the Table I baseline).
+
+Provided for ablation studies: the paper's positive wrong-path interference
+is itself a form of prefetching, so it is interesting to measure how much of
+the nowp error a conventional prefetcher would hide.  ``bench_ablations``
+exercises these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.cache import Cache
+
+
+class NextLinePrefetcher:
+    """On every demand miss, prefetch the next ``degree`` lines."""
+
+    def __init__(self, cache: Cache, degree: int = 1):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.cache = cache
+        self.degree = degree
+        self.issued = 0
+
+    def on_access(self, addr: int, miss: bool,
+                  wrong_path: bool = False) -> None:
+        if not miss:
+            return
+        line_size = self.cache.line_size
+        base = (addr >> self.cache._line_shift) << self.cache._line_shift
+        for i in range(1, self.degree + 1):
+            self.cache.prefetch(base + i * line_size, wrong_path)
+            self.issued += 1
+
+
+class StridePrefetcher:
+    """Classic per-pc stride prefetcher (pc -> last addr, stride, conf)."""
+
+    def __init__(self, cache: Cache, table_size: int = 256,
+                 degree: int = 2, threshold: int = 2):
+        self.cache = cache
+        self.table_size = table_size
+        self.degree = degree
+        self.threshold = threshold
+        self._table: Dict[int, list] = {}
+        self.issued = 0
+
+    def on_access(self, pc: int, addr: int,
+                  wrong_path: bool = False) -> None:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = [addr, 0, 0]
+            return
+        last, stride, conf = entry
+        new_stride = addr - last
+        if new_stride == stride and stride != 0:
+            conf = min(conf + 1, self.threshold + 1)
+        else:
+            conf = 0
+        entry[0] = addr
+        entry[1] = new_stride
+        entry[2] = conf
+        if conf >= self.threshold and new_stride != 0:
+            for i in range(1, self.degree + 1):
+                self.cache.prefetch(addr + i * new_stride, wrong_path)
+                self.issued += 1

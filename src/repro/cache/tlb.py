@@ -1,0 +1,53 @@
+"""A small data TLB.
+
+The paper lists "data cache and TLB accesses" among the effects that cannot
+be modeled without wrong-path addresses.  We model a single-level LRU DTLB
+whose miss adds a fixed page-walk penalty to the access latency.  Wrong-path
+accesses with known addresses touch the TLB too (and can warm or pollute
+it), wrong-path accesses without addresses cannot — matching the techniques'
+capabilities.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class TLB:
+    """LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 64, page_size: int = 4096,
+                 miss_penalty: int = 20):
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        if page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        self.entries = entries
+        self.page_shift = page_size.bit_length() - 1
+        self.miss_penalty = miss_penalty
+        self._pages: OrderedDict = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+        self.wp_accesses = 0
+        self.wp_misses = 0
+
+    def access(self, addr: int, wrong_path: bool = False) -> int:
+        """Translate; returns 0 on a hit, the walk penalty on a miss."""
+        page = addr >> self.page_shift
+        self.accesses += 1
+        if wrong_path:
+            self.wp_accesses += 1
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return 0
+        self.misses += 1
+        if wrong_path:
+            self.wp_misses += 1
+        self._pages[page] = True
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return self.miss_penalty
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                         # available workloads
+    python -m repro run gap.bfs --technique conv --scale small
+    python -m repro compare gap.sssp --max-instructions 100000
+    python -m repro compile kernel.c -o kernel.s # minicc to assembly
+
+Exit status is non-zero on simulation/compilation errors so the CLI can
+be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import CoreConfig, Simulator, compare_techniques
+from repro.analysis.report import percent, render_table
+from repro.simulator.simulation import ALL_TECHNIQUES, TECHNIQUES
+from repro.workloads import build_workload, workload_names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"),
+                        help="workload input scale (default: small)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload data seed")
+    parser.add_argument("--max-instructions", type=int, default=None,
+                        help="truncate simulation after N instructions")
+    parser.add_argument("--full-config", action="store_true",
+                        help="use the full-scale Table I configuration "
+                             "instead of the downscaled one")
+
+
+def _build(args) -> tuple:
+    kwargs = {"scale": args.scale, "check": False}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    workload = build_workload(args.workload, **kwargs)
+    config = CoreConfig() if args.full_config else CoreConfig.scaled()
+    return workload, config
+
+
+def cmd_list(args) -> int:
+    rows = []
+    for name in workload_names():
+        workload = build_workload(name, scale="tiny", check=False)
+        rows.append((name, workload.suite, workload.description))
+    print(render_table("available workloads",
+                       ["name", "suite", "description"], rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload, config = _build(args)
+    result = Simulator(workload.program, config=config,
+                       technique=args.technique,
+                       max_instructions=args.max_instructions,
+                       name=workload.name).run()
+    stats = result.stats
+    rows = [
+        ("instructions", stats.instructions),
+        ("cycles", stats.cycles),
+        ("IPC", f"{result.ipc:.4f}"),
+        ("branch MPKI", f"{result.branch_mpki:.2f}"),
+        ("mispredict windows", stats.mispredict_windows),
+        ("WP instructions fetched", stats.wp_fetched),
+        ("WP instructions executed", stats.wp_executed),
+        ("WP addresses recovered", stats.wp_addr_recovered),
+        ("L1D miss rate",
+         f"{result.cache_stats['l1d']['miss_rate'] * 100:.2f}%"),
+        ("L2 miss rate",
+         f"{result.cache_stats['l2']['miss_rate'] * 100:.2f}%"),
+        ("wall seconds", f"{result.wall_seconds:.2f}"),
+    ]
+    if args.technique == "conv":
+        rows.extend([
+            ("convergence found", percent(stats.conv_fraction)),
+            ("convergence distance", f"{stats.conv_distance:.1f}"),
+            ("addr recover fraction",
+             percent(stats.addr_recover_fraction)),
+        ])
+    print(render_table(f"{workload.name} / {args.technique}",
+                       ["metric", "value"], rows))
+    if result.output:
+        print(f"\nprogram output: {result.output}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workload, config = _build(args)
+    cmp = compare_techniques(workload.program, config=config,
+                             max_instructions=args.max_instructions,
+                             name=workload.name)
+    rows = []
+    for technique in ALL_TECHNIQUES:
+        result = cmp.results[technique]
+        rows.append((technique, f"{result.ipc:.4f}",
+                     percent(cmp.error(technique), 2),
+                     f"{cmp.slowdown(technique):.2f}x",
+                     result.stats.wp_executed))
+    print(render_table(
+        f"{workload.name}: technique comparison (error vs wpemul)",
+        ["technique", "IPC", "error", "slowdown", "WP executed"], rows))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from repro.minicc import CompileError, compile_source
+    from repro.minicc.lexer import LexerError
+    from repro.minicc.parser import ParseError
+    try:
+        with open(args.source) as fh:
+            assembly = compile_source(fh.read())
+    except (CompileError, LexerError, ParseError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(assembly)
+    else:
+        print(assembly, end="")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wrong-path modeling in decoupled functional-first "
+                    "simulation (ISPASS 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload", help="registry name, e.g. gap.bfs")
+    run.add_argument("--technique", default="conv",
+                     choices=sorted(TECHNIQUES))
+    _add_common(run)
+
+    cmp = sub.add_parser("compare",
+                         help="simulate under all four techniques")
+    cmp.add_argument("workload")
+    _add_common(cmp)
+
+    compile_ = sub.add_parser("compile",
+                              help="compile minicc source to assembly")
+    compile_.add_argument("source", help="minicc source file")
+    compile_.add_argument("-o", "--output", default=None,
+                          help="write assembly here (default: stdout)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
+                "compile": cmd_compile}
+    handler = handlers[args.command]
+    try:
+        return handler(args)
+    except KeyError as exc:  # unknown workload name
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

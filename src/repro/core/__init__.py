@@ -1,0 +1,10 @@
+"""Out-of-order core timing model."""
+
+from repro.core.config import CoreConfig
+from repro.core.ooo import OoOCore, WrongPathWindow
+from repro.core.ports import PortFile, PortGroup
+from repro.core.resources import SlotAllocator, WindowBuffer
+from repro.core.stats import CoreStats
+
+__all__ = ["CoreConfig", "OoOCore", "WrongPathWindow", "PortFile",
+           "PortGroup", "SlotAllocator", "WindowBuffer", "CoreStats"]

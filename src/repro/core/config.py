@@ -1,0 +1,161 @@
+"""Core configuration — the paper's Table I.
+
+Defaults approximate a single Intel Alder Lake P-core (Golden Cove
+microarchitecture, the paper's simulated configuration) with the LLC and
+memory downscaled to a per-core slice: 6-wide fetch/decode, 512-entry ROB,
+deep load/store queues, a hybrid direction predictor, and a three-level
+cache hierarchy in front of ~220-cycle memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass
+class CoreConfig:
+    """All timing-model parameters.  Instances are plain data and can be
+    freely copied/modified for sweeps (see ``examples/ablation_rob_sweep``).
+    """
+
+    # Pipeline widths and depths.
+    fetch_width: int = 6
+    dispatch_width: int = 6
+    issue_width: int = 12          # total issue slots per cycle (port-bound)
+    commit_width: int = 8
+    frontend_depth: int = 10       # fetch -> dispatch latency, cycles
+    mispredict_penalty: int = 6    # squash + rename-restore after resolution
+    taken_redirect_bubble: int = 1  # lost fetch slot cycles on taken control
+
+    # Window sizes.
+    rob_size: int = 512
+    load_queue: int = 192
+    store_queue: int = 114
+    # Extra wrong-path depth beyond free ROB entries ("plus the frontend
+    # pipeline buffers", Section III-B).
+    wp_frontend_buffer: int = 32
+
+    # Issue ports per functional-unit group.
+    alu_ports: int = 5
+    mul_ports: int = 1
+    div_ports: int = 1
+    fp_ports: int = 3
+    fp_div_ports: int = 1
+    load_ports: int = 3
+    store_ports: int = 2
+    branch_ports: int = 2
+
+    # Execution latencies (cycles).
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 18          # unpipelined
+    fp_latency: int = 4
+    fp_div_latency: int = 15       # unpipelined
+    branch_latency: int = 1
+    store_latency: int = 1
+    syscall_latency: int = 5
+
+    # Branch prediction.
+    predictor_kind: str = "tournament"
+    predictor_table_bits: int = 14
+    predictor_history_bits: int = 12
+    ras_depth: int = 32
+    indirect_bits: int = 10
+
+    # Memory hierarchy.
+    line_size: int = 64
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 8
+    l1i_latency: int = 1           # pipelined; only the miss penalty stalls
+    l1d_size: int = 48 * 1024
+    l1d_assoc: int = 12
+    l1d_latency: int = 5
+    l2_size: int = 1280 * 1024
+    l2_assoc: int = 10
+    l2_latency: int = 15
+    llc_size: int = 3 * 1024 * 1024
+    llc_assoc: int = 12
+    llc_latency: int = 45
+    mem_latency: int = 220
+    dtlb_entries: int = 96
+    dtlb_penalty: int = 20
+    l2_prefetcher: Optional[str] = None   # None | "next_line" | "stride"
+    prefetch_degree: int = 2
+
+    # Store-to-load forwarding latency (from the store buffer).
+    forward_latency: int = 5
+
+    # L1D fill buffers (MSHRs): bounds how many overlapping misses the
+    # wrong path can have in flight — without this bound, wrong-path
+    # execution becomes an implausibly perfect runahead prefetcher.
+    mshr_entries: int = 12
+
+    def copy(self, **overrides) -> "CoreConfig":
+        """A copy with selected fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def scaled(cls, **overrides) -> "CoreConfig":
+        """Downscaled configuration for Python-speed experiments.
+
+        The paper simulates 1B-instruction samples against multi-MiB caches;
+        our runs are 10k-500k instructions, so caches (and window/predictor
+        sizes, proportionally) are scaled down to keep the ratio of workload
+        footprint to cache capacity — and hence miss behaviour — comparable.
+        Memory latency is kept at full scale because branch-resolution time,
+        the driver of wrong-path depth, must stay realistic.  Used by the
+        benchmark harness; documented in EXPERIMENTS.md.
+        """
+        base = cls(
+            rob_size=256,
+            load_queue=96,
+            store_queue=56,
+            predictor_table_bits=12,
+            predictor_history_bits=10,
+            l1i_size=4 * 1024, l1i_assoc=4,
+            l1d_size=2 * 1024, l1d_assoc=4,
+            l2_size=8 * 1024, l2_assoc=8,
+            llc_size=16 * 1024, llc_assoc=8,
+            mem_latency=300,
+            dtlb_entries=16,
+            mshr_entries=12,
+            l2_prefetcher="next_line",
+        )
+        return base.copy(**overrides) if overrides else base
+
+    def validate(self) -> None:
+        positive = ("fetch_width", "dispatch_width", "commit_width",
+                    "rob_size", "load_queue", "store_queue", "line_size",
+                    "mem_latency", "frontend_depth")
+        for field in positive:
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+        if self.wp_frontend_buffer < 0:
+            raise ValueError("wp_frontend_buffer must be >= 0")
+
+    def table1_rows(self) -> list:
+        """Rows of the paper's Table I, for the reporting harness."""
+        kib = 1024
+        return [
+            ("Fetch/decode width", f"{self.fetch_width}"),
+            ("Dispatch width", f"{self.dispatch_width}"),
+            ("Commit width", f"{self.commit_width}"),
+            ("ROB size", f"{self.rob_size}"),
+            ("Load/store queue", f"{self.load_queue}/{self.store_queue}"),
+            ("Frontend depth", f"{self.frontend_depth} cycles"),
+            ("Branch predictor",
+             f"{self.predictor_kind} ({self.predictor_table_bits}-bit "
+             f"tables, {self.predictor_history_bits}-bit history)"),
+            ("L1I", f"{self.l1i_size // kib} KiB, {self.l1i_assoc}-way"),
+            ("L1D", f"{self.l1d_size // kib} KiB, {self.l1d_assoc}-way, "
+                    f"{self.l1d_latency} cycles"),
+            ("L2", f"{self.l2_size // kib} KiB, {self.l2_assoc}-way, "
+                   f"{self.l2_latency} cycles"),
+            ("LLC (per-core slice)",
+             f"{self.llc_size // kib} KiB, {self.llc_assoc}-way, "
+             f"{self.llc_latency} cycles"),
+            ("Memory latency", f"{self.mem_latency} cycles"),
+            ("DTLB", f"{self.dtlb_entries} entries, "
+                     f"{self.dtlb_penalty}-cycle walk"),
+        ]

@@ -1,0 +1,208 @@
+"""Instruction-driven out-of-order timing model.
+
+The engine assigns each correct-path instruction a fetch, dispatch, issue,
+complete and retire cycle under the configured resource constraints (widths,
+front-end depth, ROB/LQ/SQ capacity, issue ports, FU and cache latencies).
+It is the performance half of the decoupled simulator: it consumes
+:class:`DynInstr` records from the runahead queue, predicts branches at
+fetch, and — on a detected misprediction — opens a *wrong-path window*
+between the branch's fetch and its resolution (completion) and hands it to
+the configured wrong-path model.
+
+Modeling notes (also in DESIGN.md):
+
+* Branch resolution time equals the branch's completion cycle, so a
+  mispredict whose condition depends on a memory-missing load resolves
+  hundreds of cycles late — the mechanism that makes wrong-path effects
+  large for the GAP benchmarks.
+* Across techniques the mispredict penalty itself is identical
+  (``resolution + mispredict_penalty``); techniques differ **only** in the
+  cache/TLB state mutations and accounting their wrong-path instructions
+  perform, which cleanly isolates the paper's effect.
+* Stores drain to the cache after retirement; loads check a store-buffer
+  map for forwarding before accessing the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.predictors import BranchPredictorUnit
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.config import CoreConfig
+from repro.core.ports import PortFile
+from repro.core.resources import SlotAllocator, WindowBuffer
+from repro.core.stats import CoreStats
+from repro.frontend.code_cache import CodeCache
+from repro.frontend.dyninstr import DynInstr
+
+
+class OoOCore:
+    """Single out-of-order core."""
+
+    def __init__(self, cfg: CoreConfig, hierarchy: CacheHierarchy,
+                 bpu: BranchPredictorUnit, wp_model,
+                 code_cache: Optional[CodeCache] = None,
+                 queue=None):
+        cfg.validate()
+        self.cfg = cfg
+        self.hierarchy = hierarchy
+        self.bpu = bpu
+        self.code_cache = code_cache if code_cache is not None \
+            else CodeCache()
+        self.queue = queue  # runahead queue; peeked by the conv model
+        self.wp_model = wp_model
+        if wp_model is not None:
+            wp_model.attach(self)
+
+        self.fetch = SlotAllocator(cfg.fetch_width)
+        self.dispatch = SlotAllocator(cfg.dispatch_width)
+        self.commit = SlotAllocator(cfg.commit_width)
+        self.rob = WindowBuffer(cfg.rob_size)
+        self.lq = WindowBuffer(cfg.load_queue)
+        self.sq = WindowBuffer(cfg.store_queue)
+        self.ports = PortFile(cfg)
+        self.regready = [0] * 64
+        self.last_retire = 0
+        self.stats = CoreStats()
+
+        self._line_shift = cfg.line_size.bit_length() - 1
+        self._cur_fetch_line = -1
+        # word address -> cycle at which the store drains from the buffer
+        self._store_buffer = {}
+
+    # -- main per-instruction path -------------------------------------------------
+
+    def process(self, di: DynInstr) -> None:
+        """Simulate one correct-path instruction."""
+        cfg = self.cfg
+        stats = self.stats
+        instr = di.instr
+        self.code_cache.insert(instr)
+
+        # ---- fetch: I-cache + fetch bandwidth
+        line = di.pc >> self._line_shift
+        if line != self._cur_fetch_line:
+            self._cur_fetch_line = line
+            latency = self.hierarchy.access_instr(di.pc)
+            penalty = latency - cfg.l1i_latency
+            if penalty > 0:
+                self.fetch.restart_at(self.fetch.cycle + penalty)
+        fetch_c = self.fetch.allocate(0)
+
+        # ---- dispatch: frontend depth, ROB/LQ/SQ, dispatch bandwidth
+        dispatch_req = fetch_c + cfg.frontend_depth
+        dispatch_req = self.rob.allocate(dispatch_req)
+        is_load = instr.is_load
+        is_store = instr.is_store
+        if is_load:
+            dispatch_req = self.lq.allocate(dispatch_req)
+        elif is_store:
+            dispatch_req = self.sq.allocate(dispatch_req)
+        dispatch_c = self.dispatch.allocate(dispatch_req)
+
+        # ---- ready + issue
+        ready = dispatch_c + 1
+        regready = self.regready
+        for reg in instr.reads:
+            t = regready[reg]
+            if t > ready:
+                ready = t
+        issue_c = self.ports.issue(instr.fu, ready)
+
+        # ---- execute / complete
+        if is_load:
+            stats.loads += 1
+            addr = di.mem_addr
+            word = addr & ~3
+            drain = self._store_buffer.get(word)
+            if drain is not None and drain > issue_c:
+                stats.store_forwards += 1
+                latency = cfg.forward_latency
+            else:
+                latency = self.hierarchy.access_data(addr, False, pc=di.pc)
+            complete = issue_c + latency
+        elif is_store:
+            stats.stores += 1
+            complete = issue_c + cfg.store_latency
+        elif instr.is_syscall:
+            stats.syscalls += 1
+            complete = issue_c + cfg.syscall_latency
+        else:
+            complete = issue_c + self.ports.latency[instr.fu]
+
+        for reg in instr.writes:
+            regready[reg] = complete
+
+        # ---- retire (in order, commit bandwidth)
+        retire_req = complete + 1
+        if retire_req < self.last_retire:
+            retire_req = self.last_retire
+        retire_c = self.commit.allocate(retire_req)
+        self.last_retire = retire_c
+        self.rob.commit(retire_c)
+        if is_load:
+            self.lq.commit(complete)
+        elif is_store:
+            self.sq.commit(retire_c)
+            # Drain to the memory hierarchy post-retirement.
+            addr = di.mem_addr
+            self.hierarchy.access_data(addr, True, pc=di.pc)
+            self._store_buffer[addr & ~3] = retire_c + 1
+
+        stats.instructions += 1
+
+        # ---- control flow: prediction, redirects, wrong-path window
+        if instr.is_control:
+            prediction = self.bpu.predict_and_update(instr, di.taken,
+                                                     di.next_pc)
+            if prediction != di.next_pc:
+                self._handle_mispredict(di, prediction, fetch_c, complete)
+            elif di.next_pc != instr.fall_through:
+                stats.taken_redirects += 1
+                self.fetch.restart_at(fetch_c + cfg.taken_redirect_bubble)
+                self._cur_fetch_line = -1
+
+    def _handle_mispredict(self, di: DynInstr, predicted_pc: int,
+                           fetch_c: int, resolution: int) -> None:
+        cfg = self.cfg
+        self.stats.mispredict_windows += 1
+        window_start = fetch_c + 1
+        if resolution < window_start:
+            resolution = window_start
+        if self.wp_model is not None:
+            free = cfg.rob_size - self.rob.occupancy_at(fetch_c) \
+                + cfg.wp_frontend_buffer
+            if free > 0:
+                self.wp_model.on_mispredict(
+                    WrongPathWindow(self, di, predicted_pc, window_start,
+                                    resolution, free))
+        # Squash, restore rename state, refetch the correct path.
+        self.fetch.restart_at(resolution + cfg.mispredict_penalty)
+        self._cur_fetch_line = -1
+
+    def finalize(self) -> CoreStats:
+        """Close the run: total cycles = last retirement."""
+        self.stats.cycles = self.last_retire
+        return self.stats
+
+
+class WrongPathWindow:
+    """Everything a wrong-path model needs about one mispredict."""
+
+    __slots__ = ("core", "branch", "wrong_pc", "start", "resolution",
+                 "max_instructions")
+
+    def __init__(self, core: OoOCore, branch: DynInstr, wrong_pc: int,
+                 start: int, resolution: int, max_instructions: int):
+        self.core = core
+        self.branch = branch
+        self.wrong_pc = wrong_pc
+        self.start = start
+        self.resolution = resolution
+        self.max_instructions = max_instructions
+
+    def __repr__(self) -> str:
+        return (f"WrongPathWindow(pc={self.branch.pc:#x} "
+                f"wrong={self.wrong_pc:#x} cycles=[{self.start},"
+                f"{self.resolution}] max={self.max_instructions})")

@@ -1,0 +1,85 @@
+"""Issue-port / functional-unit modeling.
+
+Each FU group owns a small number of ports.  A port is represented by the
+next cycle at which it is free; issuing an instruction picks the earliest
+free port at or after the instruction's ready cycle.  Pipelined units free
+their port the next cycle; unpipelined units (integer and FP divide) hold it
+for the full latency.
+
+Wrong-path simulation snapshots and restores port state around each
+mispredict window (see :meth:`PortFile.snapshot`): wrong-path instructions
+compete for ports inside the window, but their reservations are squashed at
+resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class PortGroup:
+    """Ports of one FU group."""
+
+    __slots__ = ("name", "latency", "pipelined", "free_at")
+
+    def __init__(self, name: str, count: int, latency: int,
+                 pipelined: bool = True):
+        if count < 1:
+            raise ValueError(f"{name}: port count must be >= 1")
+        if latency < 1:
+            raise ValueError(f"{name}: latency must be >= 1")
+        self.name = name
+        self.latency = latency
+        self.pipelined = pipelined
+        self.free_at: List[int] = [0] * count
+
+    def issue(self, ready: int) -> int:
+        """Issue at the earliest cycle >= ``ready`` with a free port;
+        returns the issue cycle."""
+        free = self.free_at
+        best = 0
+        best_cycle = free[0]
+        for i in range(1, len(free)):
+            if free[i] < best_cycle:
+                best_cycle = free[i]
+                best = i
+        start = ready if ready >= best_cycle else best_cycle
+        free[best] = start + (self.latency if not self.pipelined else 1)
+        return start
+
+
+class PortFile:
+    """All FU groups of the core."""
+
+    def __init__(self, cfg):
+        self.groups: Dict[str, PortGroup] = {
+            "alu": PortGroup("alu", cfg.alu_ports, cfg.alu_latency),
+            "mul": PortGroup("mul", cfg.mul_ports, cfg.mul_latency),
+            "div": PortGroup("div", cfg.div_ports, cfg.div_latency,
+                             pipelined=False),
+            "fp": PortGroup("fp", cfg.fp_ports, cfg.fp_latency),
+            "fp_div": PortGroup("fp_div", cfg.fp_div_ports,
+                                cfg.fp_div_latency, pipelined=False),
+            "load": PortGroup("load", cfg.load_ports, 1),
+            "store": PortGroup("store", cfg.store_ports, cfg.store_latency),
+            "branch": PortGroup("branch", cfg.branch_ports,
+                                cfg.branch_latency),
+        }
+        self.latency: Dict[str, int] = {
+            "alu": cfg.alu_latency, "mul": cfg.mul_latency,
+            "div": cfg.div_latency, "fp": cfg.fp_latency,
+            "fp_div": cfg.fp_div_latency, "load": 0,
+            "store": cfg.store_latency, "branch": cfg.branch_latency,
+        }
+
+    def issue(self, group: str, ready: int) -> int:
+        return self.groups[group].issue(ready)
+
+    # -- wrong-path snapshotting --------------------------------------------------
+
+    def snapshot(self) -> Tuple[List[int], ...]:
+        return tuple(g.free_at.copy() for g in self.groups.values())
+
+    def restore(self, snap: Tuple[List[int], ...]) -> None:
+        for group, saved in zip(self.groups.values(), snap):
+            group.free_at[:] = saved

@@ -1,0 +1,80 @@
+"""Width and window resources: per-cycle slot allocators and circular
+buffers for the ROB and load/store queues.
+
+``SlotAllocator`` hands out at most ``width`` slots per cycle with a
+monotonically non-decreasing cycle, which models fetch, dispatch and commit
+bandwidth in an instruction-driven (rather than cycle-driven) engine.
+
+``WindowBuffer`` models a finite in-order-allocated window (ROB, LQ, SQ):
+an entry can only be allocated once the oldest entry has released, so the
+allocation cycle is pushed to ``max(request, oldest_release)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class SlotAllocator:
+    """At most ``width`` events per cycle, non-decreasing cycles."""
+
+    __slots__ = ("width", "cycle", "used")
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self.cycle = 0
+        self.used = 0
+
+    def allocate(self, at: int) -> int:
+        """Allocate one slot at cycle >= ``at``; returns the slot cycle."""
+        if at > self.cycle:
+            self.cycle = at
+            self.used = 0
+        cycle = self.cycle
+        self.used += 1
+        if self.used >= self.width:
+            self.cycle = cycle + 1
+            self.used = 0
+        return cycle
+
+    def restart_at(self, at: int) -> None:
+        """Redirect: the next slot is at cycle ``at`` with full bandwidth."""
+        if at > self.cycle or (at == self.cycle and self.used):
+            self.cycle = at
+            self.used = 0
+
+
+class WindowBuffer:
+    """Finite window; entries release at known cycles in FIFO order."""
+
+    __slots__ = ("capacity", "_releases")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._releases: deque = deque()
+
+    def allocate(self, at: int) -> int:
+        """Allocate an entry at cycle >= ``at``; stalls until the oldest
+        entry releases when full.  Returns the allocation cycle."""
+        releases = self._releases
+        if len(releases) >= self.capacity:
+            oldest = releases.popleft()
+            if oldest > at:
+                at = oldest
+        return at
+
+    def commit(self, release_cycle: int) -> None:
+        """Record when the just-allocated entry will release."""
+        self._releases.append(release_cycle)
+
+    def occupancy_at(self, cycle: int) -> int:
+        """Entries still live at ``cycle`` (linear; used per-mispredict to
+        size the wrong-path window, not per instruction)."""
+        return sum(1 for r in self._releases if r > cycle)
+
+    def __len__(self) -> int:
+        return len(self._releases)

@@ -1,0 +1,79 @@
+"""Counters gathered by the timing model.
+
+Wrong-path counters implement the accounting the paper reports in
+Tables II/III: a wrong-path instruction is *fetched* when it enters the
+pipeline inside the mispredict window and *executed* when it completes
+before the mispredicted branch resolves (Section V-C's definition — this is
+what makes instrec execute more wrong-path instructions than conv, and conv
+more than wpemul).
+"""
+
+from __future__ import annotations
+
+
+class CoreStats:
+    """Flat counter bag; derived metrics are properties."""
+
+    __slots__ = (
+        "instructions", "cycles", "loads", "stores", "syscalls",
+        "store_forwards", "taken_redirects",
+        "mispredict_windows",
+        "wp_fetched", "wp_executed", "wp_loads", "wp_loads_with_addr",
+        "wp_stores", "wp_mem_ops", "wp_addr_recovered",
+        "wp_stop_code_cache", "wp_stop_prediction", "wp_trace_missing",
+        "conv_attempts", "conv_found", "conv_distance_total",
+    )
+
+    def __init__(self):
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def wp_fraction(self) -> float:
+        """Wrong-path instructions executed relative to the correct-path
+        instruction count (Table II)."""
+        if not self.instructions:
+            return 0.0
+        return self.wp_executed / self.instructions
+
+    @property
+    def conv_fraction(self) -> float:
+        """Fraction of branch misses where convergence was found
+        (Table III, "Conv frac")."""
+        if not self.conv_attempts:
+            return 0.0
+        return self.conv_found / self.conv_attempts
+
+    @property
+    def conv_distance(self) -> float:
+        """Average instructions to the convergence point (Table III,
+        "Conv dist")."""
+        if not self.conv_found:
+            return 0.0
+        return self.conv_distance_total / self.conv_found
+
+    @property
+    def addr_recover_fraction(self) -> float:
+        """Fraction of wrong-path memory ops whose address was recovered
+        (Table III, "Addr recover")."""
+        if not self.wp_mem_ops:
+            return 0.0
+        return self.wp_addr_recovered / self.wp_mem_ops
+
+    def as_dict(self) -> dict:
+        data = {field: getattr(self, field) for field in self.__slots__}
+        data.update(ipc=self.ipc, wp_fraction=self.wp_fraction,
+                    conv_fraction=self.conv_fraction,
+                    conv_distance=self.conv_distance,
+                    addr_recover_fraction=self.addr_recover_fraction)
+        return data

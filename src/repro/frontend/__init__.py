@@ -1,0 +1,7 @@
+"""Decoupling machinery: DynInstr, runahead queue, code cache."""
+
+from repro.frontend.code_cache import CodeCache
+from repro.frontend.dyninstr import DynInstr
+from repro.frontend.queue import RunaheadQueue
+
+__all__ = ["CodeCache", "DynInstr", "RunaheadQueue"]

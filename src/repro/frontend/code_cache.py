@@ -1,0 +1,58 @@
+"""The code cache of Section III-A.
+
+"We implement a code cache between the functional and performance simulator,
+keeping the information of past emulated instructions.  This cache is indexed
+by the instruction address, and keeps the instruction decode information."
+
+The timing simulator inserts every correct-path instruction it processes; the
+wrong-path reconstruction models look up wrong-path addresses here.  If a
+lookup misses, reconstruction stops and the model falls back to halting fetch
+(the default mispredict behaviour).
+
+The cache is unbounded by default — the paper's code cache is as large as the
+set of static instructions seen so far, which is tiny compared to data.  A
+bounded mode (``capacity``) with FIFO eviction is provided for studying
+cold-start sensitivity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+
+
+class CodeCache:
+    """Instruction-address -> decode-info store."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Instruction]" = OrderedDict()
+        self.lookups = 0
+        self.misses = 0
+
+    def insert(self, instr: Instruction) -> None:
+        """Record the decode info of a correct-path instruction."""
+        entries = self._entries
+        if instr.pc in entries:
+            return
+        entries[instr.pc] = instr
+        if self.capacity is not None and len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def lookup(self, pc: int) -> Optional[Instruction]:
+        """Decode info for ``pc``, or None (reconstruction must stop)."""
+        self.lookups += 1
+        entry = self._entries.get(pc)
+        if entry is None:
+            self.misses += 1
+        return entry
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

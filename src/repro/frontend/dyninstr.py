@@ -1,0 +1,45 @@
+"""The dynamic-instruction record passed over the decoupling queue.
+
+This is the "instruction data" of Section II: everything the performance
+simulator may consume from the functional simulator — instruction address,
+decoded type and registers (via the embedded static :class:`Instruction`),
+the resolved memory address, and the architectural branch outcome.  For the
+``wpemul`` technique, the functional frontend additionally attaches the
+recorded wrong-path trace to the mispredicted branch's record.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.isa.instructions import Instruction
+
+if TYPE_CHECKING:  # avoid a package cycle; only needed for annotations
+    from repro.functional.emulator import WrongPathRecord
+
+
+class DynInstr:
+    """One dynamic (correct-path) instruction."""
+
+    __slots__ = ("seq", "instr", "pc", "next_pc", "taken", "mem_addr",
+                 "wp_trace")
+
+    def __init__(self, seq: int, instr: Instruction, pc: int, next_pc: int,
+                 taken: bool, mem_addr: Optional[int],
+                 wp_trace: Optional[List["WrongPathRecord"]] = None):
+        self.seq = seq
+        self.instr = instr
+        self.pc = pc
+        self.next_pc = next_pc
+        self.taken = taken
+        self.mem_addr = mem_addr
+        self.wp_trace = wp_trace
+
+    @property
+    def is_taken_control(self) -> bool:
+        """Did this instruction redirect fetch away from fall-through?"""
+        return self.next_pc != self.instr.fall_through
+
+    def __repr__(self) -> str:
+        return (f"DynInstr(#{self.seq} {self.instr.op} pc={self.pc:#x} "
+                f"next={self.next_pc:#x} mem={self.mem_addr})")

@@ -1,0 +1,82 @@
+"""The bounded runahead queue between the functional and timing simulators.
+
+Functional-first simulation keeps the functional simulator "tens up to
+thousands" of instructions ahead of the performance simulator (Section II).
+The queue provides:
+
+* ``pop()`` — consume the next correct-path instruction,
+* ``window(n)`` — peek at the next ``n`` future correct-path instructions
+  without consuming them, which is exactly the capability the convergence
+  exploitation technique uses ("the functional model runs ahead of the
+  performance model, so we can take a peek in the future correct-path
+  instructions"),
+* automatic refill from a producer callable; if the producer cannot supply
+  enough instructions (program about to exit), the window is simply shorter,
+  matching the paper's note that convergence checking is skipped when not
+  enough instructions are queued.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.frontend.dyninstr import DynInstr
+
+Producer = Callable[[], Optional[DynInstr]]
+
+
+class RunaheadQueue:
+    """Decoupling queue with peek-ahead."""
+
+    def __init__(self, producer: Producer, depth: int = 2048):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self._producer = producer
+        self.depth = depth
+        self._queue: deque = deque()
+        self._exhausted = False
+        self.max_occupancy = 0
+
+    def _fill(self, target: int) -> None:
+        while not self._exhausted and len(self._queue) < target:
+            item = self._producer()
+            if item is None:
+                self._exhausted = True
+                break
+            self._queue.append(item)
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+
+    def pop(self) -> Optional[DynInstr]:
+        """Next correct-path instruction, or None when the program ended."""
+        if not self._queue:
+            self._fill(self.depth)
+            if not self._queue:
+                return None
+        return self._queue.popleft()
+
+    def window(self, n: int) -> List[DynInstr]:
+        """Peek at up to ``n`` future instructions (index 0 = next pop).
+
+        May return fewer than ``n`` near program exit.
+        """
+        if len(self._queue) < n:
+            self._fill(max(n, self.depth))
+        if n >= len(self._queue):
+            return list(self._queue)
+        # islice-free slicing: deque indexing is O(k) from the nearest end,
+        # and windows are read from the front, so direct iteration is fine.
+        result = []
+        for i, item in enumerate(self._queue):
+            if i >= n:
+                break
+            result.append(item)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted and not self._queue

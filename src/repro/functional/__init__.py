@@ -1,0 +1,11 @@
+"""Functional simulator: memory, architectural state, emulator, frontend."""
+
+from repro.functional.emulator import (EmulationFault, Emulator,
+                                       WrongPathRecord)
+from repro.functional.frontend import FunctionalFrontend
+from repro.functional.memory import Memory, MemoryFault, MisalignedAccess
+from repro.functional.state import ArchState
+
+__all__ = ["EmulationFault", "Emulator", "WrongPathRecord",
+           "FunctionalFrontend", "Memory", "MemoryFault",
+           "MisalignedAccess", "ArchState"]

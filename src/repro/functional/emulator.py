@@ -1,0 +1,452 @@
+"""Functional emulator: executes programs and exposes the "Pin features"
+needed by the paper's wrong-path emulation technique.
+
+The emulator is the functional half of the decoupled simulator.  It executes
+architecturally correct instructions one at a time (:meth:`Emulator.step`)
+and additionally supports *redirected wrong-path execution*
+(:meth:`Emulator.emulate_wrong_path`): checkpoint the register state, jump to
+the mispredicted target, execute up to a bounded number of instructions with
+stores and exceptions suppressed, stop on syscalls, then restore the
+checkpoint — the direct analogue of the paper's use of ``PIN_ExecuteAt``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.functional.memory import Memory, MemoryFault
+from repro.functional.state import ArchState
+from repro.isa.instructions import Instruction, INSTRUCTION_SIZE
+from repro.isa.program import Program
+
+MASK = 0xFFFFFFFF
+INT_MIN = 0x80000000
+
+# Syscall numbers (in a7).
+SYS_PRINT_INT = 1
+SYS_PRINT_FLOAT = 2
+SYS_PRINT_CHAR = 3
+SYS_EXIT = 93
+
+
+class EmulationFault(Exception):
+    """A fault during functional execution (bad pc, misalignment, unknown
+    syscall).  Fatal on the correct path; a stop condition on the wrong
+    path."""
+
+    def __init__(self, pc: int, reason: str):
+        self.pc = pc
+        self.reason = reason
+        super().__init__(f"fault at pc={pc:#x}: {reason}")
+
+
+def _s32(value: int) -> int:
+    """Interpret a 32-bit unsigned value as signed."""
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _f32(value: float) -> float:
+    """Round a float to single precision (applied at memory boundaries)."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+class WrongPathRecord:
+    """One instruction emulated down the wrong path."""
+
+    __slots__ = ("instr", "pc", "mem_addr", "next_pc")
+
+    def __init__(self, instr: Instruction, pc: int,
+                 mem_addr: Optional[int], next_pc: int):
+        self.instr = instr
+        self.pc = pc
+        self.mem_addr = mem_addr
+        self.next_pc = next_pc
+
+    def __repr__(self):
+        return (f"WrongPathRecord({self.instr.op}, pc={self.pc:#x}, "
+                f"mem_addr={self.mem_addr})")
+
+
+StepResult = Tuple[Instruction, int, int, bool, Optional[int]]
+
+
+class Emulator:
+    """Architectural execution of one program over one memory."""
+
+    def __init__(self, program: Program, memory: Optional[Memory] = None):
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.state = ArchState(entry=program.entry)
+        self.halted = False
+        self.exit_code: Optional[int] = None
+        self.instret = 0
+        self.output: List = []
+        self._suppress_side_effects = False
+        # Initialised data segments.
+        for address, words in program.data:
+            self.memory.write_words(address, words)
+
+    # -- correct-path execution ----------------------------------------------
+
+    def step(self) -> Optional[StepResult]:
+        """Execute one instruction at the current pc.
+
+        Returns ``(instr, pc, next_pc, taken, mem_addr)`` or ``None`` once
+        the program has exited.  ``taken`` is only meaningful for
+        conditional branches; ``mem_addr`` is the effective address for
+        loads/stores and ``None`` otherwise.
+        """
+        if self.halted:
+            return None
+        pc = self.state.pc
+        instr = self.program.instruction_at(pc)
+        if instr is None:
+            raise EmulationFault(pc, "pc outside text segment")
+        self._mem_addr = None
+        self._taken = False
+        handler = _HANDLERS.get(instr.op)
+        if handler is None:
+            raise EmulationFault(pc, f"unimplemented opcode {instr.op}")
+        next_pc = handler(self, instr)
+        self.state.pc = next_pc
+        self.instret += 1
+        return instr, pc, next_pc, self._taken, self._mem_addr
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until exit (or the safety limit).  Returns retired count."""
+        executed = 0
+        while not self.halted and executed < max_instructions:
+            self.step()
+            executed += 1
+        return executed
+
+    # -- wrong-path emulation (the "Pin ExecuteAt" analogue) -----------------
+
+    def emulate_wrong_path(self, start_pc: int,
+                           max_instructions: int) -> List[WrongPathRecord]:
+        """Emulate the wrong path starting at ``start_pc``.
+
+        Register state is checkpointed and restored; stores are suppressed
+        (their addresses are still recorded, as the timing model only needs
+        addresses); syscalls and any fault terminate the walk, mirroring the
+        paper's "we need to end the wrong path on system calls" and
+        exception suppression.
+        """
+        snapshot = self.state.checkpoint()
+        self._suppress_side_effects = True
+        records: List[WrongPathRecord] = []
+        try:
+            pc = start_pc
+            for _ in range(max_instructions):
+                instr = self.program.instruction_at(pc)
+                if instr is None:
+                    break  # fetched into a hole: wild wrong path, stop
+                if instr.is_syscall:
+                    break  # kernel code cannot be instrumented
+                handler = _HANDLERS.get(instr.op)
+                if handler is None:
+                    break
+                self._mem_addr = None
+                self._taken = False
+                try:
+                    next_pc = handler(self, instr)
+                except (MemoryFault, EmulationFault, OverflowError,
+                        ValueError, ZeroDivisionError):
+                    break  # exceptions are suppressed: stop the wrong path
+                records.append(WrongPathRecord(instr, pc, self._mem_addr,
+                                               next_pc))
+                pc = next_pc
+        finally:
+            self._suppress_side_effects = False
+            self.state.restore(snapshot)
+        return records
+
+    # -- instruction semantics -------------------------------------------------
+    # Handlers return the next pc.  They are plain functions stored in a
+    # module-level table so dispatch is a single dict lookup.
+
+    def _syscall(self, instr: Instruction) -> int:
+        num = self.state.x[17]  # a7
+        if num == SYS_EXIT:
+            self.halted = True
+            self.exit_code = _s32(self.state.x[10])
+        elif num == SYS_PRINT_INT:
+            if not self._suppress_side_effects:
+                self.output.append(_s32(self.state.x[10]))
+        elif num == SYS_PRINT_FLOAT:
+            if not self._suppress_side_effects:
+                self.output.append(_f32(self.state.f[10]))
+        elif num == SYS_PRINT_CHAR:
+            if not self._suppress_side_effects:
+                self.output.append(chr(self.state.x[10] & 0xFF))
+        else:
+            raise EmulationFault(instr.pc, f"unknown syscall {num}")
+        return instr.pc + INSTRUCTION_SIZE
+
+
+def _build_handlers() -> Dict[str, Callable]:
+    """Construct the opcode -> handler table."""
+    h: Dict[str, Callable] = {}
+
+    def alu(op):
+        def deco(fn):
+            def run(emu, ins):
+                x = emu.state.x
+                value = fn(x[ins.rs1], x[ins.rs2]) & MASK
+                if ins.rd:
+                    x[ins.rd] = value
+                return ins.pc + INSTRUCTION_SIZE
+            h[op] = run
+            return fn
+        return deco
+
+    def alui(op):
+        def deco(fn):
+            def run(emu, ins):
+                x = emu.state.x
+                value = fn(x[ins.rs1], ins.imm) & MASK
+                if ins.rd:
+                    x[ins.rd] = value
+                return ins.pc + INSTRUCTION_SIZE
+            h[op] = run
+            return fn
+        return deco
+
+    # Register-register ALU.
+    alu("add")(lambda a, b: a + b)
+    alu("sub")(lambda a, b: a - b)
+    alu("and")(lambda a, b: a & b)
+    alu("or")(lambda a, b: a | b)
+    alu("xor")(lambda a, b: a ^ b)
+    alu("sll")(lambda a, b: a << (b & 31))
+    alu("srl")(lambda a, b: a >> (b & 31))
+    alu("sra")(lambda a, b: _s32(a) >> (b & 31))
+    alu("slt")(lambda a, b: int(_s32(a) < _s32(b)))
+    alu("sltu")(lambda a, b: int(a < b))
+    alu("min")(lambda a, b: a if _s32(a) < _s32(b) else b)
+    alu("max")(lambda a, b: a if _s32(a) > _s32(b) else b)
+    alu("mul")(lambda a, b: a * b)
+    alu("mulh")(lambda a, b: (_s32(a) * _s32(b)) >> 32)
+
+    def _div(a, b):
+        if b == 0:
+            return MASK
+        sa, sb = _s32(a), _s32(b)
+        if sa == -INT_MIN and sb == -1:
+            return INT_MIN
+        q = abs(sa) // abs(sb)
+        return q if (sa < 0) == (sb < 0) else -q
+
+    def _rem(a, b):
+        if b == 0:
+            return a
+        sa, sb = _s32(a), _s32(b)
+        if sa == -INT_MIN and sb == -1:
+            return 0
+        r = abs(sa) % abs(sb)
+        return r if sa >= 0 else -r
+
+    alu("div")(_div)
+    alu("rem")(_rem)
+    alu("divu")(lambda a, b: MASK if b == 0 else a // b)
+    alu("remu")(lambda a, b: a if b == 0 else a % b)
+
+    # Immediate ALU.
+    alui("addi")(lambda a, i: a + i)
+    alui("andi")(lambda a, i: a & (i & MASK))
+    alui("ori")(lambda a, i: a | (i & MASK))
+    alui("xori")(lambda a, i: a ^ (i & MASK))
+    alui("slli")(lambda a, i: a << (i & 31))
+    alui("srli")(lambda a, i: a >> (i & 31))
+    alui("srai")(lambda a, i: _s32(a) >> (i & 31))
+    alui("slti")(lambda a, i: int(_s32(a) < i))
+    alui("sltiu")(lambda a, i: int(a < (i & MASK)))
+
+    def _li(emu, ins):
+        if ins.rd:
+            emu.state.x[ins.rd] = ins.imm & MASK
+        return ins.pc + INSTRUCTION_SIZE
+    h["li"] = _li
+
+    # Floating point (internal FP indices are rs-32 within state.f).
+    def fp(op, fn):
+        def run(emu, ins):
+            f = emu.state.f
+            f[ins.rd - 32] = fn(f[ins.rs1 - 32], f[ins.rs2 - 32])
+            return ins.pc + INSTRUCTION_SIZE
+        h[op] = run
+
+    fp("fadd", lambda a, b: a + b)
+    fp("fsub", lambda a, b: a - b)
+    fp("fmul", lambda a, b: a * b)
+    fp("fmin", min)
+    fp("fmax", max)
+
+    def _fdiv(emu, ins):
+        f = emu.state.f
+        b = f[ins.rs2 - 32]
+        f[ins.rd - 32] = f[ins.rs1 - 32] / b if b != 0.0 else float("inf")
+        return ins.pc + INSTRUCTION_SIZE
+    h["fdiv"] = _fdiv
+
+    def _fsqrt(emu, ins):
+        f = emu.state.f
+        value = f[ins.rs1 - 32]
+        f[ins.rd - 32] = value ** 0.5 if value >= 0.0 else float("nan")
+        return ins.pc + INSTRUCTION_SIZE
+    h["fsqrt"] = _fsqrt
+
+    def fp2(op, fn):
+        def run(emu, ins):
+            f = emu.state.f
+            f[ins.rd - 32] = fn(f[ins.rs1 - 32])
+            return ins.pc + INSTRUCTION_SIZE
+        h[op] = run
+
+    def _fli(emu, ins):
+        emu.state.f[ins.rd - 32] = _f32(ins.imm)
+        return ins.pc + INSTRUCTION_SIZE
+    h["fli"] = _fli
+
+    fp2("fmv", lambda a: a)
+    fp2("fneg", lambda a: -a)
+    fp2("fabs", abs)
+
+    def _fcvt_s_w(emu, ins):
+        emu.state.f[ins.rd - 32] = float(_s32(emu.state.x[ins.rs1]))
+        return ins.pc + INSTRUCTION_SIZE
+    h["fcvt.s.w"] = _fcvt_s_w
+
+    def _fcvt_w_s(emu, ins):
+        value = emu.state.f[ins.rs1 - 32]
+        if value != value or value in (float("inf"), float("-inf")):
+            result = 0
+        else:
+            result = int(value)
+        if ins.rd:
+            emu.state.x[ins.rd] = result & MASK
+        return ins.pc + INSTRUCTION_SIZE
+    h["fcvt.w.s"] = _fcvt_w_s
+
+    def fcmp(op, fn):
+        def run(emu, ins):
+            f = emu.state.f
+            if ins.rd:
+                emu.state.x[ins.rd] = int(fn(f[ins.rs1 - 32],
+                                             f[ins.rs2 - 32]))
+            return ins.pc + INSTRUCTION_SIZE
+        h[op] = run
+
+    fcmp("feq", lambda a, b: a == b)
+    fcmp("flt", lambda a, b: a < b)
+    fcmp("fle", lambda a, b: a <= b)
+
+    # Memory.
+    def _lw(emu, ins):
+        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        emu._mem_addr = addr
+        if ins.rd:
+            emu.state.x[ins.rd] = emu.memory.load_word(addr)
+        else:
+            emu.memory.load_word(addr)
+        return ins.pc + INSTRUCTION_SIZE
+    h["lw"] = _lw
+
+    def _lb(emu, ins):
+        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        emu._mem_addr = addr
+        value = emu.memory.load_byte(addr)
+        if value & 0x80:
+            value |= 0xFFFFFF00
+        if ins.rd:
+            emu.state.x[ins.rd] = value
+        return ins.pc + INSTRUCTION_SIZE
+    h["lb"] = _lb
+
+    def _lbu(emu, ins):
+        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        emu._mem_addr = addr
+        if ins.rd:
+            emu.state.x[ins.rd] = emu.memory.load_byte(addr)
+        return ins.pc + INSTRUCTION_SIZE
+    h["lbu"] = _lbu
+
+    def _flw(emu, ins):
+        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        emu._mem_addr = addr
+        bits = emu.memory.load_word(addr)
+        emu.state.f[ins.rd - 32] = struct.unpack(
+            "<f", struct.pack("<I", bits))[0]
+        return ins.pc + INSTRUCTION_SIZE
+    h["flw"] = _flw
+
+    def _sw(emu, ins):
+        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        emu._mem_addr = addr
+        if emu._suppress_side_effects:
+            if addr & 3:
+                raise MemoryFault(addr)
+        else:
+            emu.memory.store_word(addr, emu.state.x[ins.rs2])
+        return ins.pc + INSTRUCTION_SIZE
+    h["sw"] = _sw
+
+    def _sb(emu, ins):
+        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        emu._mem_addr = addr
+        if not emu._suppress_side_effects:
+            emu.memory.store_byte(addr, emu.state.x[ins.rs2])
+        return ins.pc + INSTRUCTION_SIZE
+    h["sb"] = _sb
+
+    def _fsw(emu, ins):
+        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        emu._mem_addr = addr
+        if emu._suppress_side_effects:
+            if addr & 3:
+                raise MemoryFault(addr)
+        else:
+            bits = struct.unpack(
+                "<I", struct.pack("<f", _f32(emu.state.f[ins.rs2 - 32])))[0]
+            emu.memory.store_word(addr, bits)
+        return ins.pc + INSTRUCTION_SIZE
+    h["fsw"] = _fsw
+
+    # Control flow.
+    def branch(op, fn):
+        def run(emu, ins):
+            x = emu.state.x
+            if fn(x[ins.rs1], x[ins.rs2]):
+                emu._taken = True
+                return ins.target
+            return ins.pc + INSTRUCTION_SIZE
+        h[op] = run
+
+    branch("beq", lambda a, b: a == b)
+    branch("bne", lambda a, b: a != b)
+    branch("blt", lambda a, b: _s32(a) < _s32(b))
+    branch("bge", lambda a, b: _s32(a) >= _s32(b))
+    branch("bltu", lambda a, b: a < b)
+    branch("bgeu", lambda a, b: a >= b)
+
+    def _jal(emu, ins):
+        if ins.rd:
+            emu.state.x[ins.rd] = (ins.pc + INSTRUCTION_SIZE) & MASK
+        emu._taken = True
+        return ins.target
+    h["jal"] = _jal
+
+    def _jalr(emu, ins):
+        target = (emu.state.x[ins.rs1] + ins.imm) & MASK & ~1
+        if ins.rd:
+            emu.state.x[ins.rd] = (ins.pc + INSTRUCTION_SIZE) & MASK
+        emu._taken = True
+        return target
+    h["jalr"] = _jalr
+
+    h["ecall"] = Emulator._syscall
+    return h
+
+
+_HANDLERS = _build_handlers()

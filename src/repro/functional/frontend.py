@@ -1,0 +1,72 @@
+"""The functional-first frontend: runs the functional simulator ahead of the
+timing model and produces :class:`DynInstr` records for the runahead queue.
+
+In ``wpemul`` mode the frontend owns a *copy of the branch predictor*
+(Section III-B: "the functional simulator contains a copy of the branch
+predictor model and initiates a list of wrong-path instructions when a
+misprediction is modeled").  For every dynamic control instruction it makes
+the same ``predict_and_update`` call the timing model makes, in the same
+program order, so both copies remain in lockstep; on a predicted-wrong
+branch it emulates the wrong path (checkpoint -> redirect -> suppress ->
+restore) for one ROB's worth of instructions plus the frontend buffers, and
+attaches the recorded trace to the branch's DynInstr.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.branch.predictors import BranchPredictorUnit
+from repro.frontend.dyninstr import DynInstr
+from repro.functional.emulator import Emulator
+from repro.functional.memory import Memory
+from repro.isa.program import Program
+
+
+class FunctionalFrontend:
+    """Produces the dynamic correct-path instruction stream."""
+
+    def __init__(self, program: Program, memory: Optional[Memory] = None,
+                 emulate_wrong_path: bool = False,
+                 predictor: Optional[BranchPredictorUnit] = None,
+                 wp_limit: int = 544):
+        if emulate_wrong_path and predictor is None:
+            raise ValueError(
+                "wrong-path emulation requires a predictor copy")
+        if wp_limit < 1:
+            raise ValueError("wp_limit must be >= 1")
+        self.emulator = Emulator(program, memory)
+        self.emulate_wrong_path = emulate_wrong_path
+        self.predictor = predictor
+        self.wp_limit = wp_limit
+        self._seq = 0
+        self.wp_emulations = 0
+        self.wp_instructions_emulated = 0
+
+    def produce(self) -> Optional[DynInstr]:
+        """One correct-path instruction, or None after program exit."""
+        result = self.emulator.step()
+        if result is None:
+            return None
+        instr, pc, next_pc, taken, mem_addr = result
+        wp_trace = None
+        if self.emulate_wrong_path and instr.is_control:
+            prediction = self.predictor.predict_and_update(instr, taken,
+                                                           next_pc)
+            if prediction != next_pc:
+                wp_trace = self.emulator.emulate_wrong_path(prediction,
+                                                            self.wp_limit)
+                self.wp_emulations += 1
+                self.wp_instructions_emulated += len(wp_trace)
+        di = DynInstr(self._seq, instr, pc, next_pc, taken, mem_addr,
+                      wp_trace)
+        self._seq += 1
+        return di
+
+    @property
+    def instructions_produced(self) -> int:
+        return self._seq
+
+    @property
+    def output(self) -> list:
+        return self.emulator.output

@@ -1,0 +1,99 @@
+"""Sparse word-granular memory for the functional simulator.
+
+Memory is a flat 32-bit byte-addressed space stored sparsely as a dict of
+32-bit words keyed by word index.  Unwritten locations read as zero, which is
+exactly the permissiveness wrong-path emulation needs: a wrong-path load from
+a wild address must not crash the functional simulator (the paper suppresses
+wrong-path exceptions), it simply returns junk (zero) and, in the timing
+model, pollutes the cache with a line the correct path never touches.
+
+Only alignment is enforced: word accesses must be 4-byte aligned.  Misaligned
+accesses raise :class:`MisalignedAccess`, which correct-path code treats as a
+fatal program bug and wrong-path emulation treats as a stop condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+ADDRESS_MASK = 0xFFFFFFFF
+WORD_MASK = 0xFFFFFFFF
+
+
+class MemoryFault(Exception):
+    """Base class for data-memory faults."""
+
+
+class MisalignedAccess(MemoryFault):
+    """Word access whose address is not 4-byte aligned."""
+
+    def __init__(self, addr: int):
+        self.addr = addr
+        super().__init__(f"misaligned word access at {addr:#x}")
+
+
+class Memory:
+    """Sparse 32-bit memory."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self):
+        self._words: Dict[int, int] = {}
+
+    # -- word access ---------------------------------------------------------
+
+    def load_word(self, addr: int) -> int:
+        addr &= ADDRESS_MASK
+        if addr & 3:
+            raise MisalignedAccess(addr)
+        return self._words.get(addr >> 2, 0)
+
+    def store_word(self, addr: int, value: int) -> None:
+        addr &= ADDRESS_MASK
+        if addr & 3:
+            raise MisalignedAccess(addr)
+        self._words[addr >> 2] = value & WORD_MASK
+
+    # -- byte access -----------------------------------------------------------
+
+    def load_byte(self, addr: int) -> int:
+        addr &= ADDRESS_MASK
+        word = self._words.get(addr >> 2, 0)
+        return (word >> ((addr & 3) * 8)) & 0xFF
+
+    def store_byte(self, addr: int, value: int) -> None:
+        addr &= ADDRESS_MASK
+        shift = (addr & 3) * 8
+        idx = addr >> 2
+        word = self._words.get(idx, 0)
+        self._words[idx] = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+
+    # -- bulk helpers ----------------------------------------------------------
+
+    def write_words(self, addr: int, words: Iterable[int]) -> None:
+        """Write consecutive words starting at ``addr`` (4-byte aligned)."""
+        addr &= ADDRESS_MASK
+        if addr & 3:
+            raise MisalignedAccess(addr)
+        idx = addr >> 2
+        store = self._words
+        for offset, value in enumerate(words):
+            store[idx + offset] = value & WORD_MASK
+
+    def read_words(self, addr: int, count: int) -> list:
+        """Read ``count`` consecutive words starting at ``addr``."""
+        addr &= ADDRESS_MASK
+        if addr & 3:
+            raise MisalignedAccess(addr)
+        idx = addr >> 2
+        get = self._words.get
+        return [get(idx + i, 0) for i in range(count)]
+
+    def footprint_words(self) -> int:
+        """Number of distinct words ever written (for tests/diagnostics)."""
+        return len(self._words)
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone._words = dict(self._words)
+        return clone

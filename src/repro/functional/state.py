@@ -1,0 +1,59 @@
+"""Architectural state (registers + pc) and checkpointing.
+
+The checkpoint/restore pair is the feature the paper's *functional wrong-path
+emulation* technique relies on ("we start by taking a checkpoint of the
+current register state, to be able to resume execution after the branch miss
+is detected ... Once we are done executing down the wrong path, we restore
+the register checkpoint").  Memory is never checkpointed because wrong-path
+stores are suppressed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, SP
+
+Checkpoint = Tuple[int, List[int], List[float]]
+
+
+class ArchState:
+    """Integer registers, FP registers and the program counter.
+
+    Integer registers hold 32-bit unsigned values (``x0`` pinned to zero);
+    FP registers hold Python floats (single-precision semantics are applied
+    at memory boundaries by the emulator).
+    """
+
+    __slots__ = ("pc", "x", "f")
+
+    def __init__(self, entry: int = 0):
+        self.pc = entry
+        self.x: List[int] = [0] * NUM_INT_REGS
+        self.f: List[float] = [0.0] * NUM_FP_REGS
+        self.x[SP] = STACK_TOP
+
+    # -- unified register access by internal index (0-63) ------------------
+
+    def read(self, reg: int):
+        if reg < NUM_INT_REGS:
+            return self.x[reg]
+        return self.f[reg - NUM_INT_REGS]
+
+    def write(self, reg: int, value) -> None:
+        if reg < NUM_INT_REGS:
+            if reg != 0:
+                self.x[reg] = value & 0xFFFFFFFF
+        else:
+            self.f[reg - NUM_INT_REGS] = float(value)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        return (self.pc, self.x.copy(), self.f.copy())
+
+    def restore(self, snapshot: Checkpoint) -> None:
+        self.pc, x, f = snapshot
+        self.x[:] = x
+        self.f[:] = f

@@ -1,0 +1,19 @@
+"""ISA definition: instructions, registers, programs and the assembler."""
+
+from repro.isa.assembler import (Assembler, AssemblerError, assemble,
+                                 bits_to_float, float_to_bits)
+from repro.isa.instructions import (Instruction, InstrClass,
+                                    INSTRUCTION_SIZE, OPCODES, classify_fu)
+from repro.isa.program import (DATA_BASE, Program, ProgramError, STACK_TOP,
+                               TEXT_BASE)
+from repro.isa.registers import (NUM_INT_REGS, NUM_REGS, RegisterError,
+                                 is_fp_register, parse_register,
+                                 register_name)
+
+__all__ = [
+    "Assembler", "AssemblerError", "assemble", "bits_to_float",
+    "float_to_bits", "Instruction", "InstrClass", "INSTRUCTION_SIZE",
+    "OPCODES", "classify_fu", "DATA_BASE", "Program", "ProgramError",
+    "STACK_TOP", "TEXT_BASE", "NUM_INT_REGS", "NUM_REGS", "RegisterError",
+    "is_fp_register", "parse_register", "register_name",
+]

@@ -1,0 +1,350 @@
+"""Two-pass assembler: textual assembly -> :class:`~repro.isa.program.Program`.
+
+Syntax (RISC-V flavoured)::
+
+    # comment
+    .data
+    weights:  .word 1, 2, 3, 0x10
+    scale:    .float 0.5
+    buffer:   .space 256          # bytes, zero-initialised
+
+    .text
+    main:
+        li   t0, 42
+        la   t1, weights
+        lw   t2, 4(t1)
+        beqz t2, done
+        addi t0, t0, -1
+        j    main
+    done:
+        ecall
+
+Supported pseudo-instructions (each expands to exactly one real
+instruction, so label arithmetic stays trivial): ``nop``, ``mv``, ``not``,
+``neg``, ``seqz``, ``snez``, ``j``, ``call``, ``ret``, ``la``, ``li`` with
+arbitrary 32-bit immediates, and the branch shorthands ``beqz bnez blez bgez
+bltz bgtz bgt ble``.
+
+The entry point is the ``_start`` symbol if present, else ``main``, else the
+first text instruction.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import (Format, Instruction, INSTRUCTION_SIZE,
+                                    OPCODES)
+from repro.isa.program import DATA_BASE, Program, TEXT_BASE
+from repro.isa.registers import RA, RegisterError, ZERO, parse_register
+
+
+class AssemblerError(Exception):
+    """Assembly failure, annotated with the 1-based source line number."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*([\w$]+)\s*\)$")
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of ``value`` (as unsigned)."""
+    return struct.unpack("<I", struct.pack("<f", float(value)))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def _parse_int(text: str, line: int) -> int:
+    text = text.strip()
+    try:
+        if text.startswith("'") and text.endswith("'") and len(text) >= 3:
+            body = text[1:-1]
+            unescaped = body.encode().decode("unicode_escape")
+            if len(unescaped) != 1:
+                raise ValueError
+            return ord(unescaped)
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"invalid integer literal {text!r}", line)
+
+
+class _Line:
+    __slots__ = ("op", "operands", "lineno")
+
+    def __init__(self, op: str, operands: List[str], lineno: int):
+        self.op = op
+        self.operands = operands
+        self.lineno = lineno
+
+
+class Assembler:
+    """Two-pass assembler.
+
+    Pass 1 strips comments, expands labels, records data directives and lays
+    out instruction addresses.  Pass 2 decodes operands, resolving label
+    references against the symbol table.
+    """
+
+    def __init__(self, text_base: int = TEXT_BASE,
+                 data_base: int = DATA_BASE):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    def assemble(self, source: str) -> Program:
+        lines = self._pass1(source)
+        return self._pass2(lines)
+
+    # -- pass 1 -------------------------------------------------------------
+
+    def _pass1(self, source: str) -> List[_Line]:
+        self._symbols: Dict[str, int] = {}
+        self._data: List[Tuple[int, List[int]]] = []
+        self._data_cursor = self.data_base
+        self._text_cursor = self.text_base
+        section = "text"
+        out: List[_Line] = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            while line:
+                m = _LABEL_RE.match(line)
+                if m and not line.startswith("."):
+                    self._define_label(m.group(1), section, lineno)
+                    line = m.group(2).strip()
+                    continue
+                break
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            op = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            if op.startswith("."):
+                section = self._directive(op, rest, section, lineno)
+                continue
+            if section != "text":
+                raise AssemblerError("instruction outside .text section",
+                                     lineno)
+            operands = [p.strip() for p in rest.split(",")] if rest else []
+            out.append(_Line(op, operands, lineno))
+            self._text_cursor += INSTRUCTION_SIZE
+        return out
+
+    def _define_label(self, name: str, section: str, lineno: int) -> None:
+        if name in self._symbols:
+            raise AssemblerError(f"duplicate label {name!r}", lineno)
+        addr = self._text_cursor if section == "text" else self._data_cursor
+        self._symbols[name] = addr
+
+    def _directive(self, op: str, rest: str, section: str,
+                   lineno: int) -> str:
+        if op == ".text":
+            return "text"
+        if op == ".data":
+            return "data"
+        if op == ".word":
+            if section != "data":
+                raise AssemblerError(".word outside .data", lineno)
+            words = [_parse_int(v, lineno) & 0xFFFFFFFF
+                     for v in rest.split(",") if v.strip()]
+            self._data.append((self._data_cursor, words))
+            self._data_cursor += 4 * len(words)
+            return section
+        if op == ".float":
+            if section != "data":
+                raise AssemblerError(".float outside .data", lineno)
+            words = [float_to_bits(float(v))
+                     for v in rest.split(",") if v.strip()]
+            self._data.append((self._data_cursor, words))
+            self._data_cursor += 4 * len(words)
+            return section
+        if op == ".space":
+            if section != "data":
+                raise AssemblerError(".space outside .data", lineno)
+            nbytes = _parse_int(rest, lineno)
+            if nbytes < 0:
+                raise AssemblerError(".space size must be >= 0", lineno)
+            self._data_cursor += (nbytes + 3) & ~3
+            return section
+        if op == ".align":
+            amount = 1 << _parse_int(rest, lineno)
+            cursor = self._data_cursor if section == "data" \
+                else self._text_cursor
+            aligned = (cursor + amount - 1) & ~(amount - 1)
+            if section == "data":
+                self._data_cursor = aligned
+            elif aligned != cursor:
+                raise AssemblerError(".align in .text is unsupported",
+                                     lineno)
+            return section
+        raise AssemblerError(f"unknown directive {op!r}", lineno)
+
+    # -- pass 2 -------------------------------------------------------------
+
+    def _pass2(self, lines: List[_Line]) -> Program:
+        instructions = [self._decode(line) for line in lines]
+        entry = self._symbols.get("_start", self._symbols.get(
+            "main", self.text_base))
+        return Program(instructions, symbols=self._symbols, data=self._data,
+                       entry=entry, text_base=self.text_base)
+
+    def _decode(self, line: _Line) -> Instruction:
+        op, ops, lineno = line.op, line.operands, line.lineno
+        try:
+            expanded = self._expand_pseudo(op, ops, lineno)
+            if expanded is not None:
+                return expanded
+            spec = OPCODES.get(op)
+            if spec is None:
+                raise AssemblerError(f"unknown instruction {op!r}", lineno)
+            return self._decode_real(op, spec.fmt, ops, lineno)
+        except RegisterError as exc:
+            raise AssemblerError(str(exc), lineno) from None
+
+    def _expand_pseudo(self, op: str, ops: List[str],
+                       lineno: int) -> Optional[Instruction]:
+        reg = parse_register
+        if op == "nop":
+            self._arity(ops, 0, op, lineno)
+            return Instruction("addi", rd=ZERO, rs1=ZERO, imm=0)
+        if op == "mv":
+            self._arity(ops, 2, op, lineno)
+            return Instruction("addi", rd=reg(ops[0]), rs1=reg(ops[1]))
+        if op == "not":
+            self._arity(ops, 2, op, lineno)
+            return Instruction("xori", rd=reg(ops[0]), rs1=reg(ops[1]),
+                               imm=-1)
+        if op == "neg":
+            self._arity(ops, 2, op, lineno)
+            return Instruction("sub", rd=reg(ops[0]), rs1=ZERO,
+                               rs2=reg(ops[1]))
+        if op == "seqz":
+            self._arity(ops, 2, op, lineno)
+            return Instruction("sltiu", rd=reg(ops[0]), rs1=reg(ops[1]),
+                               imm=1)
+        if op == "snez":
+            self._arity(ops, 2, op, lineno)
+            return Instruction("sltu", rd=reg(ops[0]), rs1=ZERO,
+                               rs2=reg(ops[1]))
+        if op == "j":
+            self._arity(ops, 1, op, lineno)
+            return Instruction("jal", rd=ZERO,
+                               target=self._target(ops[0], lineno))
+        if op == "call":
+            self._arity(ops, 1, op, lineno)
+            return Instruction("jal", rd=RA,
+                               target=self._target(ops[0], lineno))
+        if op == "ret":
+            self._arity(ops, 0, op, lineno)
+            return Instruction("jalr", rd=ZERO, rs1=RA, imm=0)
+        if op == "la":
+            self._arity(ops, 2, op, lineno)
+            return Instruction("li", rd=reg(ops[0]),
+                               imm=self._target(ops[1], lineno))
+        if op in ("beqz", "bnez", "blez", "bgez", "bltz", "bgtz"):
+            self._arity(ops, 2, op, lineno)
+            rs = reg(ops[0])
+            target = self._target(ops[1], lineno)
+            table = {
+                "beqz": ("beq", rs, ZERO), "bnez": ("bne", rs, ZERO),
+                "blez": ("bge", ZERO, rs), "bgez": ("bge", rs, ZERO),
+                "bltz": ("blt", rs, ZERO), "bgtz": ("blt", ZERO, rs),
+            }
+            real, rs1, rs2 = table[op]
+            return Instruction(real, rs1=rs1, rs2=rs2, target=target)
+        if op in ("bgt", "ble"):
+            self._arity(ops, 3, op, lineno)
+            real = "blt" if op == "bgt" else "bge"
+            return Instruction(real, rs1=reg(ops[1]), rs2=reg(ops[0]),
+                               target=self._target(ops[2], lineno))
+        return None
+
+    def _decode_real(self, op: str, fmt: Format, ops: List[str],
+                     lineno: int) -> Instruction:
+        reg = parse_register
+        if fmt is Format.R:
+            self._arity(ops, 3, op, lineno)
+            return Instruction(op, rd=reg(ops[0]), rs1=reg(ops[1]),
+                               rs2=reg(ops[2]))
+        if fmt is Format.I:
+            self._arity(ops, 3, op, lineno)
+            return Instruction(op, rd=reg(ops[0]), rs1=reg(ops[1]),
+                               imm=_parse_int(ops[2], lineno))
+        if fmt is Format.LI:
+            self._arity(ops, 2, op, lineno)
+            return Instruction(op, rd=reg(ops[0]),
+                               imm=self._imm_or_symbol(ops[1], lineno))
+        if fmt is Format.FLI:
+            self._arity(ops, 2, op, lineno)
+            try:
+                imm = float(ops[1])
+            except ValueError:
+                raise AssemblerError(
+                    f"invalid float literal {ops[1]!r}", lineno)
+            return Instruction(op, rd=reg(ops[0]), imm=imm)
+        if fmt in (Format.LOAD, Format.STORE):
+            self._arity(ops, 2, op, lineno)
+            m = _MEM_RE.match(ops[1])
+            if not m:
+                raise AssemblerError(
+                    f"expected offset(base) operand, got {ops[1]!r}", lineno)
+            offset = _parse_int(m.group(1), lineno)
+            base = reg(m.group(2))
+            if fmt is Format.LOAD:
+                return Instruction(op, rd=reg(ops[0]), rs1=base, imm=offset)
+            return Instruction(op, rs2=reg(ops[0]), rs1=base, imm=offset)
+        if fmt is Format.BRANCH:
+            self._arity(ops, 3, op, lineno)
+            return Instruction(op, rs1=reg(ops[0]), rs2=reg(ops[1]),
+                               target=self._target(ops[2], lineno))
+        if fmt is Format.JAL:
+            self._arity(ops, 2, op, lineno)
+            return Instruction(op, rd=reg(ops[0]),
+                               target=self._target(ops[1], lineno))
+        if fmt is Format.JALR:
+            self._arity(ops, 3, op, lineno)
+            return Instruction(op, rd=reg(ops[0]), rs1=reg(ops[1]),
+                               imm=_parse_int(ops[2], lineno))
+        if fmt is Format.R2:
+            self._arity(ops, 2, op, lineno)
+            return Instruction(op, rd=reg(ops[0]), rs1=reg(ops[1]))
+        if fmt is Format.NONE:
+            self._arity(ops, 0, op, lineno)
+            return Instruction(op)
+        raise AssemblerError(f"unhandled format for {op!r}", lineno)
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _arity(ops: List[str], expected: int, op: str, lineno: int) -> None:
+        if len(ops) != expected:
+            raise AssemblerError(
+                f"{op} expects {expected} operand(s), got {len(ops)}", lineno)
+
+    def _target(self, text: str, lineno: int) -> int:
+        text = text.strip()
+        if text in self._symbols:
+            return self._symbols[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblerError(f"undefined label {text!r}", lineno)
+
+    def _imm_or_symbol(self, text: str, lineno: int) -> int:
+        text = text.strip()
+        if text in self._symbols:
+            return self._symbols[text]
+        return _parse_int(text, lineno)
+
+
+def assemble(source: str, **kwargs) -> Program:
+    """Convenience wrapper: assemble ``source`` into a Program."""
+    return Assembler(**kwargs).assemble(source)

@@ -1,0 +1,284 @@
+"""Instruction set definition for the repro ISA.
+
+A small 32-bit RISC ISA (RISC-V flavoured) that is rich enough to compile the
+paper's workloads: integer ALU ops, multiply/divide, single-precision float
+ops, word/byte loads and stores, conditional branches, direct and indirect
+jumps, and an ``ecall`` escape for syscalls.
+
+Instructions are kept in decoded object form (no binary encoding): the
+functional-first techniques in the paper only consume decode-level
+information (address, type, registers), so a binary encoding layer would add
+nothing but slowdown.  Every instruction occupies 4 bytes of address space so
+instruction-cache behaviour is realistic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.isa.registers import NUM_INT_REGS, ZERO
+
+INSTRUCTION_SIZE = 4
+
+
+class InstrClass(enum.Enum):
+    """Coarse instruction class used by the timing model for port/latency
+    selection and by the wrong-path models for reconstruction decisions."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FP = "fp"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"       # conditional, direction-predicted
+    JUMP = "jump"           # direct unconditional (jal)
+    JUMP_IND = "jump_ind"   # indirect unconditional (jalr): target-predicted
+    SYSCALL = "syscall"
+
+
+class Format(enum.Enum):
+    """Assembly operand formats."""
+
+    R = "r"              # op rd, rs1, rs2
+    I = "i"              # op rd, rs1, imm
+    LI = "li"            # op rd, imm
+    LOAD = "load"        # op rd, imm(rs1)
+    STORE = "store"      # op rs2, imm(rs1)
+    BRANCH = "branch"    # op rs1, rs2, label
+    JAL = "jal"          # op rd, label
+    JALR = "jalr"        # op rd, rs1, imm
+    R2 = "r2"            # op rd, rs1
+    FLI = "fli"          # op rd, float-imm
+    NONE = "none"        # op
+
+
+class OpSpec:
+    """Static description of one opcode."""
+
+    __slots__ = ("name", "cls", "fmt", "rd_fp", "rs1_fp", "rs2_fp")
+
+    def __init__(self, name: str, cls: InstrClass, fmt: Format,
+                 rd_fp: bool = False, rs1_fp: bool = False,
+                 rs2_fp: bool = False):
+        self.name = name
+        self.cls = cls
+        self.fmt = fmt
+        self.rd_fp = rd_fp
+        self.rs1_fp = rs1_fp
+        self.rs2_fp = rs2_fp
+
+
+def _specs() -> dict:
+    s = {}
+
+    def add(name, cls, fmt, **kw):
+        s[name] = OpSpec(name, cls, fmt, **kw)
+
+    # Integer ALU, register-register.
+    for name in ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+                 "slt", "sltu", "min", "max"):
+        add(name, InstrClass.ALU, Format.R)
+    add("mul", InstrClass.MUL, Format.R)
+    add("mulh", InstrClass.MUL, Format.R)
+    add("div", InstrClass.DIV, Format.R)
+    add("divu", InstrClass.DIV, Format.R)
+    add("rem", InstrClass.DIV, Format.R)
+    add("remu", InstrClass.DIV, Format.R)
+
+    # Integer ALU, immediate.
+    for name in ("addi", "andi", "ori", "xori", "slli", "srli", "srai",
+                 "slti", "sltiu"):
+        add(name, InstrClass.ALU, Format.I)
+    add("li", InstrClass.ALU, Format.LI)
+
+    # Floating point.
+    for name in ("fadd", "fsub", "fmul", "fmin", "fmax"):
+        add(name, InstrClass.FP, Format.R, rd_fp=True, rs1_fp=True,
+            rs2_fp=True)
+    add("fdiv", InstrClass.FP_DIV, Format.R, rd_fp=True, rs1_fp=True,
+        rs2_fp=True)
+    add("fsqrt", InstrClass.FP_DIV, Format.R2, rd_fp=True, rs1_fp=True)
+    add("fli", InstrClass.FP, Format.FLI, rd_fp=True)
+    add("fmv", InstrClass.FP, Format.R2, rd_fp=True, rs1_fp=True)
+    add("fneg", InstrClass.FP, Format.R2, rd_fp=True, rs1_fp=True)
+    add("fabs", InstrClass.FP, Format.R2, rd_fp=True, rs1_fp=True)
+    # Conversions: fcvt.s.w rd(f), rs1(x); fcvt.w.s rd(x), rs1(f).
+    add("fcvt.s.w", InstrClass.FP, Format.R2, rd_fp=True)
+    add("fcvt.w.s", InstrClass.FP, Format.R2, rs1_fp=True)
+    # FP compares write an integer register.
+    for name in ("feq", "flt", "fle"):
+        add(name, InstrClass.FP, Format.R, rs1_fp=True, rs2_fp=True)
+
+    # Memory.
+    add("lw", InstrClass.LOAD, Format.LOAD)
+    add("lb", InstrClass.LOAD, Format.LOAD)
+    add("lbu", InstrClass.LOAD, Format.LOAD)
+    add("flw", InstrClass.LOAD, Format.LOAD, rd_fp=True)
+    add("sw", InstrClass.STORE, Format.STORE)
+    add("sb", InstrClass.STORE, Format.STORE)
+    add("fsw", InstrClass.STORE, Format.STORE, rs2_fp=True)
+
+    # Control flow.
+    for name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        add(name, InstrClass.BRANCH, Format.BRANCH)
+    add("jal", InstrClass.JUMP, Format.JAL)
+    add("jalr", InstrClass.JUMP_IND, Format.JALR)
+
+    # System.
+    add("ecall", InstrClass.SYSCALL, Format.NONE)
+    return s
+
+
+OPCODES = _specs()
+
+#: Branch opcodes whose comparison is signed.
+SIGNED_BRANCHES = frozenset({"beq", "bne", "blt", "bge"})
+
+#: Pseudo-instructions the assembler expands (documented in assembler.py).
+PSEUDO_OPS = frozenset({
+    "nop", "mv", "j", "call", "ret", "not", "neg", "seqz", "snez",
+    "beqz", "bnez", "blez", "bgez", "bltz", "bgtz", "bgt", "ble",
+})
+
+
+class Instruction:
+    """One decoded static instruction.
+
+    ``reads``/``writes`` are tuples of internal register indices (0-63); the
+    hardwired zero register never appears in either, so dependence tracking
+    can treat every listed register as a true dependence.
+    ``target`` is the resolved static target address for direct control flow
+    (branches and ``jal``); ``None`` for everything else.
+    """
+
+    __slots__ = ("op", "cls", "rd", "rs1", "rs2", "imm", "target", "pc",
+                 "reads", "writes", "fu")
+
+    def __init__(self, op: str, rd: int = ZERO, rs1: int = ZERO,
+                 rs2: int = ZERO, imm: int = 0,
+                 target: Optional[int] = None):
+        spec = OPCODES.get(op)
+        if spec is None:
+            raise ValueError(f"unknown opcode: {op!r}")
+        self.op = op
+        self.cls = spec.cls
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+        self.pc = 0  # assigned at program layout
+        self.reads, self.writes = _reg_sets(spec, rd, rs1, rs2)
+        self.fu = _FU_BY_CLASS[spec.cls]
+
+    # -- classification helpers used throughout the simulator --------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.cls is InstrClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.cls is InstrClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.cls is InstrClass.LOAD or self.cls is InstrClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        """Conditional branch (direction-predicted)."""
+        return self.cls is InstrClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        """Any instruction that can redirect fetch."""
+        return self.cls in (InstrClass.BRANCH, InstrClass.JUMP,
+                            InstrClass.JUMP_IND)
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.cls is InstrClass.JUMP_IND
+
+    @property
+    def is_syscall(self) -> bool:
+        return self.cls is InstrClass.SYSCALL
+
+    @property
+    def is_return(self) -> bool:
+        """``jalr x0, ra, 0`` — the return idiom, steered by the RAS."""
+        return (self.cls is InstrClass.JUMP_IND and self.rd == ZERO
+                and self.rs1 == 1 and self.imm == 0)
+
+    @property
+    def is_call(self) -> bool:
+        """``jal ra, ...`` or ``jalr ra, ...`` — pushes the RAS."""
+        return self.cls in (InstrClass.JUMP, InstrClass.JUMP_IND) \
+            and self.rd == 1
+
+    @property
+    def fall_through(self) -> int:
+        return self.pc + INSTRUCTION_SIZE
+
+    def __repr__(self) -> str:
+        return (f"Instruction({self.op!r}, pc={self.pc:#x}, rd={self.rd}, "
+                f"rs1={self.rs1}, rs2={self.rs2}, imm={self.imm}, "
+                f"target={self.target})")
+
+
+def _reg_sets(spec: OpSpec, rd: int, rs1: int,
+              rs2: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Compute (reads, writes) register tuples for a decoded instruction."""
+    reads = []
+    writes = []
+    fmt = spec.fmt
+    if fmt is Format.R:
+        reads = [rs1, rs2]
+        writes = [rd]
+    elif fmt in (Format.I, Format.JALR):
+        reads = [rs1]
+        writes = [rd]
+    elif fmt in (Format.LI, Format.FLI, Format.JAL):
+        writes = [rd]
+    elif fmt is Format.LOAD:
+        reads = [rs1]
+        writes = [rd]
+    elif fmt is Format.STORE:
+        reads = [rs1, rs2]
+    elif fmt is Format.BRANCH:
+        reads = [rs1, rs2]
+    elif fmt is Format.R2:
+        reads = [rs1]
+        writes = [rd]
+    elif fmt is Format.NONE:
+        # ecall reads the syscall number (a7) and first argument (a0).
+        reads = [17, 10]
+    # The zero register is never a real dependence; FP x0 does not exist
+    # (internal index NUM_INT_REGS is f0, a real register).
+    reads = tuple(r for r in reads if r != ZERO)
+    writes = tuple(w for w in writes if w != ZERO)
+    return reads, writes
+
+
+#: Functional-unit group per instruction class (syscalls use an ALU port).
+_FU_BY_CLASS = {
+    InstrClass.ALU: "alu",
+    InstrClass.MUL: "mul",
+    InstrClass.DIV: "div",
+    InstrClass.FP: "fp",
+    InstrClass.FP_DIV: "fp_div",
+    InstrClass.LOAD: "load",
+    InstrClass.STORE: "store",
+    InstrClass.BRANCH: "branch",
+    InstrClass.JUMP: "branch",
+    InstrClass.JUMP_IND: "branch",
+    InstrClass.SYSCALL: "alu",
+}
+
+
+def classify_fu(instr: Instruction) -> str:
+    """Functional-unit group key used by :mod:`repro.core.ports`."""
+    return _FU_BY_CLASS[instr.cls]

@@ -1,0 +1,87 @@
+"""Program container: laid-out text, data segment and symbols.
+
+Memory layout (word-aligned, byte addresses):
+
+* text starts at :data:`TEXT_BASE`; each instruction is 4 bytes,
+* static data starts at :data:`DATA_BASE`,
+* the stack grows down from :data:`STACK_TOP`.
+
+Keeping the three regions far apart makes instruction/data cache behaviour
+realistic and lets the loader place multi-megabyte graph data without
+colliding with code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+
+TEXT_BASE = 0x0000_1000
+DATA_BASE = 0x0010_0000
+STACK_TOP = 0x07FF_FF00
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (bad layout, duplicate symbols...)."""
+
+
+class Program:
+    """A fully laid-out program ready for functional simulation.
+
+    Attributes
+    ----------
+    instructions:
+        Static instructions in text order; ``instructions[i].pc`` is
+        ``text_base + 4*i``.
+    symbols:
+        Label name -> byte address (both text labels and data symbols).
+    data:
+        List of ``(address, words)`` initialised-data chunks; ``words`` is a
+        list of 32-bit integers.
+    entry:
+        Byte address where execution starts.
+    """
+
+    def __init__(self, instructions: List[Instruction],
+                 symbols: Optional[Dict[str, int]] = None,
+                 data: Optional[List[Tuple[int, List[int]]]] = None,
+                 entry: Optional[int] = None,
+                 text_base: int = TEXT_BASE):
+        if text_base % INSTRUCTION_SIZE:
+            raise ProgramError("text base must be 4-byte aligned")
+        self.text_base = text_base
+        self.instructions = instructions
+        for i, instr in enumerate(instructions):
+            instr.pc = text_base + i * INSTRUCTION_SIZE
+        self.symbols = dict(symbols or {})
+        self.data = list(data or [])
+        self.entry = entry if entry is not None else text_base
+        self._by_pc = {instr.pc: instr for instr in instructions}
+
+    @property
+    def text_end(self) -> int:
+        return self.text_base + len(self.instructions) * INSTRUCTION_SIZE
+
+    def instruction_at(self, pc: int) -> Optional[Instruction]:
+        """The static instruction at byte address ``pc`` (None if outside
+        the text segment)."""
+        return self._by_pc.get(pc)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise ProgramError(f"unknown symbol: {name!r}") from None
+
+    def add_data(self, address: int, words: Iterable[int]) -> None:
+        """Append an initialised-data chunk (used by workload loaders to
+        inject graph/benchmark data at symbol addresses)."""
+        self.data.append((address, list(words)))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (f"Program({len(self.instructions)} instrs, "
+                f"entry={self.entry:#x}, {len(self.symbols)} symbols)")

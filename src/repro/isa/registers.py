@@ -1,0 +1,94 @@
+"""Register-file naming for the repro ISA.
+
+The ISA has 32 integer registers (``x0``-``x31``, with ``x0`` hardwired to
+zero) and 32 floating-point registers (``f0``-``f31``).  Internally a register
+is a small integer: integer registers map to 0-31 and float registers to
+32-63, so a single dependence-tracking array covers both files.
+
+The RISC-V ABI mnemonics are accepted by the assembler (``ra``, ``sp``,
+``a0``-``a7``, ``t0``-``t6``, ``s0``-``s11``, ``fa0``...), because workload
+code is far more readable with them.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+# Hardwired-zero integer register.
+ZERO = 0
+# Link register used by call/ret pseudo-instructions.
+RA = 1
+# Stack pointer / global pointer / frame pointer.
+SP = 2
+GP = 3
+FP = 8
+# First integer argument / return-value register (a0).
+A0 = 10
+
+_ABI_INT = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_ABI_FP = {
+    "ft0": 0, "ft1": 1, "ft2": 2, "ft3": 3,
+    "ft4": 4, "ft5": 5, "ft6": 6, "ft7": 7,
+    "fs0": 8, "fs1": 9,
+    "fa0": 10, "fa1": 11, "fa2": 12, "fa3": 13,
+    "fa4": 14, "fa5": 15, "fa6": 16, "fa7": 17,
+    "fs2": 18, "fs3": 19, "fs4": 20, "fs5": 21, "fs6": 22, "fs7": 23,
+    "fs8": 24, "fs9": 25, "fs10": 26, "fs11": 27,
+    "ft8": 28, "ft9": 29, "ft10": 30, "ft11": 31,
+}
+
+
+class RegisterError(ValueError):
+    """Raised when a register name or index is invalid."""
+
+
+def parse_register(name: str) -> int:
+    """Parse a register name into its internal index (0-63).
+
+    Accepts ``xN``/``fN`` raw names and the ABI mnemonics.
+
+    >>> parse_register("x5")
+    5
+    >>> parse_register("a0")
+    10
+    >>> parse_register("f3")
+    35
+    >>> parse_register("fa0")
+    42
+    """
+    name = name.strip().lower()
+    if name in _ABI_INT:
+        return _ABI_INT[name]
+    if name in _ABI_FP:
+        return _ABI_FP[name] + NUM_INT_REGS
+    if len(name) >= 2 and name[0] in ("x", "f") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < 32:
+            return idx if name[0] == "x" else idx + NUM_INT_REGS
+    raise RegisterError(f"invalid register name: {name!r}")
+
+
+def is_fp_register(reg: int) -> bool:
+    """Return True if the internal register index names an FP register."""
+    return NUM_INT_REGS <= reg < NUM_REGS
+
+
+def register_name(reg: int) -> str:
+    """Canonical ``xN``/``fN`` name of an internal register index."""
+    if 0 <= reg < NUM_INT_REGS:
+        return f"x{reg}"
+    if NUM_INT_REGS <= reg < NUM_REGS:
+        return f"f{reg - NUM_INT_REGS}"
+    raise RegisterError(f"invalid register index: {reg}")

@@ -1,0 +1,46 @@
+"""minicc — a small C-subset compiler targeting the repro ISA.
+
+The paper's workloads (GAP graph kernels, SPEC-like synthetic kernels) are
+authored in this language and compiled to the simulated ISA, playing the
+role the native compiler + x86 binaries play in the paper's setup.
+
+Language summary::
+
+    int dist[1024];              // globals: int/float scalars and arrays
+    float damping = 0.85;        //          (arrays are global-only)
+
+    int relax(int u, int w) {    // functions: scalar params, int/float/void
+        int d = dist[u] + w;     // locals live in callee-saved registers
+        if (d < 0) return 0;     // if/else, while, do-while, for,
+        return d;                // break/continue, return
+    }
+
+    void main() {
+        for (int i = 0; i < 10; i += 1) {
+            print_int(relax(i, 2));          // builtins: print_int,
+        }                                    // print_float, print_char
+    }
+
+Expressions: full C operator set minus pointers, assignment-as-expression
+and ``++``/``--`` (use ``i += 1``).  ``int`` and ``float`` mix with C-style
+promotion; comparisons yield ``int``.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.minicc.codegen import CompileError, generate
+from repro.minicc.lexer import LexerError, tokenize
+from repro.minicc.parser import ParseError, parse
+
+__all__ = ["CompileError", "LexerError", "ParseError", "compile_source",
+           "compile_to_program", "generate", "parse", "tokenize"]
+
+
+def compile_source(source: str) -> str:
+    """Compile minicc source to assembly text."""
+    return generate(parse(source))
+
+
+def compile_to_program(source: str) -> Program:
+    """Compile minicc source all the way to a loaded :class:`Program`."""
+    return assemble(compile_source(source))

@@ -1,0 +1,236 @@
+"""AST node definitions for minicc.
+
+Nodes are plain data; every node carries its source line for diagnostics.
+Types are the strings ``"int"``, ``"float"`` and ``"void"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int):
+        self.line = line
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+class IntLiteral(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLiteral(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class VarRef(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int):
+        super().__init__(line)
+        self.name = name
+
+
+class ArrayRef(Node):
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: "Expr", line: int):
+        super().__init__(line)
+        self.name = name
+        self.index = index
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: "Expr", line: int):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: "Expr", right: "Expr", line: int):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Call(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List["Expr"], line: int):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+Expr = Union[IntLiteral, FloatLiteral, VarRef, ArrayRef, Unary, Binary,
+             Call]
+
+
+# -- statements -------------------------------------------------------------------
+
+
+class VarDecl(Node):
+    __slots__ = ("type", "name", "init")
+
+    def __init__(self, type_: str, name: str, init: Optional[Expr],
+                 line: int):
+        super().__init__(line)
+        self.type = type_
+        self.name = name
+        self.init = init
+
+
+class Assign(Node):
+    """``target = value`` where target is a VarRef or ArrayRef."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Union[VarRef, ArrayRef], value: Expr,
+                 line: int):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Expr, then: "Stmt",
+                 otherwise: Optional["Stmt"], line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: "Stmt", line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: "Stmt", line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional["Stmt"], cond: Optional[Expr],
+                 step: Optional["Stmt"], body: "Stmt", line: int):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Expr], line: int):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: List["Stmt"], line: int):
+        super().__init__(line)
+        self.statements = statements
+
+
+Stmt = Union[VarDecl, Assign, ExprStmt, If, While, DoWhile, For, Return,
+             Break, Continue, Block]
+
+
+# -- top level --------------------------------------------------------------------
+
+
+class GlobalVar(Node):
+    """Global scalar or array.  ``size`` is None for scalars; ``init`` is a
+    literal (scalar) or list of literals (array), or None."""
+
+    __slots__ = ("type", "name", "size", "init")
+
+    def __init__(self, type_: str, name: str, size: Optional[int],
+                 init, line: int):
+        super().__init__(line)
+        self.type = type_
+        self.name = name
+        self.size = size
+        self.init = init
+
+
+class Param(Node):
+    __slots__ = ("type", "name")
+
+    def __init__(self, type_: str, name: str, line: int):
+        super().__init__(line)
+        self.type = type_
+        self.name = name
+
+
+class Function(Node):
+    __slots__ = ("return_type", "name", "params", "body")
+
+    def __init__(self, return_type: str, name: str, params: List[Param],
+                 body: Block, line: int):
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class TranslationUnit(Node):
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_: List[GlobalVar],
+                 functions: List[Function]):
+        super().__init__(1)
+        self.globals = globals_
+        self.functions = functions

@@ -1,0 +1,835 @@
+"""Code generation: minicc AST -> repro ISA assembly text.
+
+Conventions
+-----------
+* Calling convention: integer args in ``a0``-``a7``, float args in
+  ``fa0``-``fa7``, returns in ``a0``/``fa0``; temporaries (``t0``-``t6``,
+  ``ft0``-``ft7``) are caller-saved, ``s2``-``s11``/``fs2``-``fs11`` are
+  callee-saved.
+* Locals: the first locals of each type live in callee-saved registers
+  (fast, register-resident inner loops, like real compiled code); overflow
+  locals get frame slots.  Arrays are global-only.
+* Expressions evaluate into temporaries via a small ownership-tracking
+  allocator; live temporaries are spilled to frame slots around calls.
+* The frame layout is finalized after the body is generated (slot offsets
+  are sp-relative and stable): ``[sp+0 ..]`` spill/local slots, above them
+  the saved callee-saved registers, then ``ra``.
+
+Deliberate simplifications (documented for workload authors):
+
+* assignment is a statement; compound assignment re-evaluates index
+  expressions,
+* conditions of ``if``/``while``/``for`` must be int-typed (comparisons
+  always are),
+* expressions deep enough to exhaust the temporary pool are a compile
+  error (7 int / 8 float temps — far beyond what the workloads need).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.minicc import ast
+
+INT_TEMPS = ("t0", "t1", "t2", "t3", "t4", "t5", "t6")
+FP_TEMPS = ("ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7")
+INT_SAVED = ("s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11")
+FP_SAVED = ("fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+            "fs10", "fs11")
+INT_ARGS = ("a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7")
+FP_ARGS = ("fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7")
+
+BUILTINS = {"print_int": 1, "print_float": 2, "print_char": 3}
+
+#: Float intrinsics: name -> single-operand FP opcode.
+FLOAT_INTRINSICS = {"sqrtf": "fsqrt", "fabsf": "fabs"}
+
+_INT_BINOPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+               "&": "and", "|": "or", "^": "xor", "<<": "sll", ">>": "sra"}
+_FP_BINOPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+_INT_ONLY_OPS = frozenset({"%", "<<", ">>", "&", "|", "^"})
+
+
+class CompileError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+
+
+class Value:
+    """An evaluated expression: a register plus its type and ownership.
+    Owned registers come from the temp pool and must be released; unowned
+    registers alias a local's home register and must not be written."""
+
+    __slots__ = ("reg", "type", "owned")
+
+    def __init__(self, reg: str, type_: str, owned: bool):
+        self.reg = reg
+        self.type = type_
+        self.owned = owned
+
+
+class VarInfo:
+    """Storage of one variable."""
+
+    __slots__ = ("name", "type", "kind", "reg", "slot", "symbol", "size")
+
+    def __init__(self, name: str, type_: str, kind: str,
+                 reg: Optional[str] = None, slot: Optional[int] = None,
+                 symbol: Optional[str] = None, size: Optional[int] = None):
+        self.name = name
+        self.type = type_
+        self.kind = kind  # "reg" | "frame" | "global" | "garray"
+        self.reg = reg
+        self.slot = slot
+        self.symbol = symbol
+        self.size = size
+
+
+class TempPool:
+    """Ownership-tracking temporary-register allocator."""
+
+    def __init__(self, regs: Tuple[str, ...], what: str):
+        self._free = list(reversed(regs))
+        self._live: List[str] = []
+        self._what = what
+
+    def acquire(self, line: int) -> str:
+        if not self._free:
+            raise CompileError(
+                f"expression too complex: out of {self._what} temporaries",
+                line)
+        reg = self._free.pop()
+        self._live.append(reg)
+        return reg
+
+    def release(self, reg: str) -> None:
+        self._live.remove(reg)
+        self._free.append(reg)
+
+    def live(self) -> List[str]:
+        return list(self._live)
+
+
+class _FunctionContext:
+    """Per-function mutable state."""
+
+    def __init__(self, fn: ast.Function):
+        self.fn = fn
+        self.lines: List[str] = []
+        self.slot_count = 0
+        self.free_spill_slots: List[int] = []
+        self.used_saved: List[str] = []
+        self.int_saved_pool = list(reversed(INT_SAVED))
+        self.fp_saved_pool = list(reversed(FP_SAVED))
+        self.int_temps = TempPool(INT_TEMPS, "integer")
+        self.fp_temps = TempPool(FP_TEMPS, "float")
+        self.label_counter = 0
+        self.loop_stack: List[Tuple[str, str]] = []  # (break, continue)
+        self.returns_value = fn.return_type != "void"
+
+
+class CodeGenerator:
+    """Generates one assembly module from a translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.globals: Dict[str, VarInfo] = {}
+        self.functions: Dict[str, ast.Function] = {}
+
+    # -- top level -------------------------------------------------------------
+
+    def generate(self) -> str:
+        out: List[str] = []
+        self._collect_globals()
+        self._collect_functions()
+        out.append(".data")
+        out.extend(self._emit_data())
+        out.append(".text")
+        out.extend(self._emit_start())
+        for fn in self.unit.functions:
+            out.extend(self._emit_function(fn))
+        return "\n".join(out) + "\n"
+
+    def _collect_globals(self) -> None:
+        for g in self.unit.globals:
+            if g.name in self.globals:
+                raise CompileError(f"duplicate global {g.name!r}", g.line)
+            kind = "garray" if g.size is not None else "global"
+            self.globals[g.name] = VarInfo(g.name, g.type, kind,
+                                           symbol=g.name, size=g.size)
+
+    def _collect_functions(self) -> None:
+        for fn in self.unit.functions:
+            if fn.name in self.functions or fn.name in BUILTINS:
+                raise CompileError(f"duplicate function {fn.name!r}",
+                                   fn.line)
+            if fn.name in self.globals:
+                raise CompileError(
+                    f"{fn.name!r} is both a global and a function", fn.line)
+            if len(fn.params) > 6:
+                raise CompileError(
+                    "at most 6 parameters are supported", fn.line)
+            self.functions[fn.name] = fn
+        if "main" not in self.functions:
+            raise CompileError("no main function")
+
+    def _emit_data(self) -> List[str]:
+        lines = []
+        for g in self.unit.globals:
+            directive = ".float" if g.type == "float" else ".word"
+            if g.size is None:
+                init = g.init if g.init is not None else 0
+                lines.append(f"{g.name}: {directive} {init}")
+            elif g.init:
+                values = ", ".join(str(v) for v in g.init)
+                lines.append(f"{g.name}: {directive} {values}")
+                remaining = g.size - len(g.init)
+                if remaining:
+                    lines.append(f"    .space {4 * remaining}")
+            else:
+                lines.append(f"{g.name}: .space {4 * g.size}")
+        return lines
+
+    def _emit_start(self) -> List[str]:
+        return [
+            "_start:",
+            "    call main",
+            "    li a7, 93",
+            "    ecall",
+        ]
+
+    # -- functions --------------------------------------------------------------
+
+    def _emit_function(self, fn: ast.Function) -> List[str]:
+        ctx = _FunctionContext(fn)
+        scope: List[Dict[str, VarInfo]] = [{}]
+        # Bind parameters: move incoming arg registers into local storage.
+        int_arg = 0
+        fp_arg = 0
+        for param in fn.params:
+            info = self._declare_local(ctx, scope, param.type, param.name,
+                                       param.line)
+            if param.type == "float":
+                src = FP_ARGS[fp_arg]
+                fp_arg += 1
+                self._store_to(ctx, info, src, "float")
+            else:
+                src = INT_ARGS[int_arg]
+                int_arg += 1
+                self._store_to(ctx, info, src, "int")
+        self._gen_block(ctx, scope, fn.body)
+        # Implicit return (void or falling off the end).
+        ctx.lines.append(f"    j {fn.name}$ret")
+
+        # Finalize frame: slots | saved s-regs | ra.
+        n_slots = ctx.slot_count
+        n_saved = len(ctx.used_saved)
+        frame = 4 * (n_slots + n_saved + 1)
+        frame = (frame + 15) & ~15
+        prologue = [f"{fn.name}:",
+                    f"    addi sp, sp, -{frame}",
+                    f"    sw ra, {frame - 4}(sp)"]
+        epilogue = [f"{fn.name}$ret:"]
+        for i, reg in enumerate(ctx.used_saved):
+            offset = 4 * (n_slots + i)
+            store = "fsw" if reg.startswith("fs") else "sw"
+            load = "flw" if reg.startswith("fs") else "lw"
+            prologue.append(f"    {store} {reg}, {offset}(sp)")
+            epilogue.append(f"    {load} {reg}, {offset}(sp)")
+        epilogue.append(f"    lw ra, {frame - 4}(sp)")
+        epilogue.append(f"    addi sp, sp, {frame}")
+        epilogue.append("    ret")
+        return prologue + ctx.lines + epilogue
+
+    # -- declarations and storage --------------------------------------------------
+
+    def _declare_local(self, ctx: _FunctionContext, scope, type_: str,
+                       name: str, line: int) -> VarInfo:
+        if name in scope[-1]:
+            raise CompileError(f"duplicate variable {name!r}", line)
+        pool = ctx.fp_saved_pool if type_ == "float" else ctx.int_saved_pool
+        if pool:
+            reg = pool.pop()
+            ctx.used_saved.append(reg)
+            info = VarInfo(name, type_, "reg", reg=reg)
+        else:
+            info = VarInfo(name, type_, "frame", slot=ctx.slot_count)
+            ctx.slot_count += 1
+        scope[-1][name] = info
+        return info
+
+    def _release_scope(self, ctx: _FunctionContext,
+                       bindings: Dict[str, VarInfo]) -> None:
+        for info in bindings.values():
+            if info.kind == "reg":
+                pool = ctx.fp_saved_pool if info.reg.startswith("fs") \
+                    else ctx.int_saved_pool
+                pool.append(info.reg)
+
+    def _lookup(self, scope, name: str, line: int) -> VarInfo:
+        for frame in reversed(scope):
+            if name in frame:
+                return frame[name]
+        info = self.globals.get(name)
+        if info is None:
+            raise CompileError(f"undeclared variable {name!r}", line)
+        return info
+
+    def _store_to(self, ctx: _FunctionContext, info: VarInfo, reg: str,
+                  type_: str) -> None:
+        """Store register ``reg`` (already converted to info.type) into a
+        local/global scalar's storage."""
+        emit = ctx.lines.append
+        if info.kind == "reg":
+            op = "fmv" if info.type == "float" else "mv"
+            emit(f"    {op} {info.reg}, {reg}")
+        elif info.kind == "frame":
+            op = "fsw" if info.type == "float" else "sw"
+            emit(f"    {op} {reg}, {4 * info.slot}(sp)")
+        elif info.kind == "global":
+            addr = ctx.int_temps.acquire(0)
+            emit(f"    la {addr}, {info.symbol}")
+            op = "fsw" if info.type == "float" else "sw"
+            emit(f"    {op} {reg}, 0({addr})")
+            ctx.int_temps.release(addr)
+        else:
+            raise CompileError(f"cannot assign to array {info.name!r}")
+
+    # -- statements -------------------------------------------------------------------
+
+    def _gen_block(self, ctx, scope, block: ast.Block) -> None:
+        scope.append({})
+        for stmt in block.statements:
+            self._gen_stmt(ctx, scope, stmt)
+        self._release_scope(ctx, scope.pop())
+
+    def _gen_stmt(self, ctx, scope, stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._gen_block(ctx, scope, stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            info = self._declare_local(ctx, scope, stmt.type, stmt.name,
+                                       stmt.line)
+            if stmt.init is not None:
+                value = self._gen_expr(ctx, scope, stmt.init)
+                value = self._convert(ctx, value, stmt.type, stmt.line)
+                self._store_to(ctx, info, value.reg, stmt.type)
+                self._release(ctx, value)
+        elif isinstance(stmt, ast.Assign):
+            self._gen_assign(ctx, scope, stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            value = self._gen_expr(ctx, scope, stmt.expr, allow_void=True)
+            if value is not None:
+                self._release(ctx, value)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(ctx, scope, stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(ctx, scope, stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(ctx, scope, stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(ctx, scope, stmt)
+        elif isinstance(stmt, ast.Return):
+            self._gen_return(ctx, scope, stmt)
+        elif isinstance(stmt, ast.Break):
+            if not ctx.loop_stack:
+                raise CompileError("break outside loop", stmt.line)
+            ctx.lines.append(f"    j {ctx.loop_stack[-1][0]}")
+        elif isinstance(stmt, ast.Continue):
+            if not ctx.loop_stack:
+                raise CompileError("continue outside loop", stmt.line)
+            ctx.lines.append(f"    j {ctx.loop_stack[-1][1]}")
+        else:
+            raise CompileError(f"unhandled statement {type(stmt).__name__}",
+                               stmt.line)
+
+    def _gen_assign(self, ctx, scope, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            info = self._lookup(scope, target.name, target.line)
+            if info.kind == "garray":
+                raise CompileError(
+                    f"cannot assign to array {target.name!r}", target.line)
+            value = self._gen_expr(ctx, scope, stmt.value)
+            value = self._convert(ctx, value, info.type, stmt.line)
+            self._store_to(ctx, info, value.reg, info.type)
+            self._release(ctx, value)
+            return
+        # Array element.
+        info = self._lookup(scope, target.name, target.line)
+        if info.kind != "garray":
+            raise CompileError(f"{target.name!r} is not an array",
+                               target.line)
+        addr = self._gen_element_address(ctx, scope, info, target.index)
+        value = self._gen_expr(ctx, scope, stmt.value)
+        value = self._convert(ctx, value, info.type, stmt.line)
+        op = "fsw" if info.type == "float" else "sw"
+        ctx.lines.append(f"    {op} {value.reg}, 0({addr})")
+        self._release(ctx, value)
+        ctx.int_temps.release(addr)
+
+    def _gen_element_address(self, ctx, scope, info: VarInfo,
+                             index: ast.Expr) -> str:
+        """Compute &info[index] into an owned int temp."""
+        idx = self._gen_expr(ctx, scope, index)
+        if idx.type != "int":
+            raise CompileError("array index must be int", index.line)
+        idx = self._own_int(ctx, idx, index.line)
+        emit = ctx.lines.append
+        base = ctx.int_temps.acquire(index.line)
+        emit(f"    la {base}, {info.symbol}")
+        emit(f"    slli {idx.reg}, {idx.reg}, 2")
+        emit(f"    add {idx.reg}, {idx.reg}, {base}")
+        ctx.int_temps.release(base)
+        return idx.reg
+
+    def _gen_if(self, ctx, scope, stmt: ast.If) -> None:
+        cond = self._gen_cond(ctx, scope, stmt.cond)
+        else_label = self._label(ctx, "else")
+        end_label = self._label(ctx, "endif")
+        target = else_label if stmt.otherwise is not None else end_label
+        ctx.lines.append(f"    beqz {cond.reg}, {target}")
+        self._release(ctx, cond)
+        self._gen_stmt(ctx, scope, stmt.then)
+        if stmt.otherwise is not None:
+            ctx.lines.append(f"    j {end_label}")
+            ctx.lines.append(f"{else_label}:")
+            self._gen_stmt(ctx, scope, stmt.otherwise)
+        ctx.lines.append(f"{end_label}:")
+
+    def _gen_while(self, ctx, scope, stmt: ast.While) -> None:
+        head = self._label(ctx, "while")
+        end = self._label(ctx, "endwhile")
+        ctx.lines.append(f"{head}:")
+        cond = self._gen_cond(ctx, scope, stmt.cond)
+        ctx.lines.append(f"    beqz {cond.reg}, {end}")
+        self._release(ctx, cond)
+        ctx.loop_stack.append((end, head))
+        self._gen_stmt(ctx, scope, stmt.body)
+        ctx.loop_stack.pop()
+        ctx.lines.append(f"    j {head}")
+        ctx.lines.append(f"{end}:")
+
+    def _gen_do_while(self, ctx, scope, stmt: ast.DoWhile) -> None:
+        head = self._label(ctx, "do")
+        cont = self._label(ctx, "docond")
+        end = self._label(ctx, "enddo")
+        ctx.lines.append(f"{head}:")
+        ctx.loop_stack.append((end, cont))
+        self._gen_stmt(ctx, scope, stmt.body)
+        ctx.loop_stack.pop()
+        ctx.lines.append(f"{cont}:")
+        cond = self._gen_cond(ctx, scope, stmt.cond)
+        ctx.lines.append(f"    bnez {cond.reg}, {head}")
+        self._release(ctx, cond)
+        ctx.lines.append(f"{end}:")
+
+    def _gen_for(self, ctx, scope, stmt: ast.For) -> None:
+        scope.append({})  # the init declaration scopes over the loop
+        if stmt.init is not None:
+            self._gen_stmt(ctx, scope, stmt.init)
+        head = self._label(ctx, "for")
+        cont = self._label(ctx, "forstep")
+        end = self._label(ctx, "endfor")
+        ctx.lines.append(f"{head}:")
+        if stmt.cond is not None:
+            cond = self._gen_cond(ctx, scope, stmt.cond)
+            ctx.lines.append(f"    beqz {cond.reg}, {end}")
+            self._release(ctx, cond)
+        ctx.loop_stack.append((end, cont))
+        self._gen_stmt(ctx, scope, stmt.body)
+        ctx.loop_stack.pop()
+        ctx.lines.append(f"{cont}:")
+        if stmt.step is not None:
+            self._gen_stmt(ctx, scope, stmt.step)
+        ctx.lines.append(f"    j {head}")
+        ctx.lines.append(f"{end}:")
+        self._release_scope(ctx, scope.pop())
+
+    def _gen_return(self, ctx, scope, stmt: ast.Return) -> None:
+        fn = ctx.fn
+        if stmt.value is None:
+            if ctx.returns_value:
+                raise CompileError(
+                    f"{fn.name} must return a value", stmt.line)
+        else:
+            if not ctx.returns_value:
+                raise CompileError(
+                    f"void function {fn.name} cannot return a value",
+                    stmt.line)
+            value = self._gen_expr(ctx, scope, stmt.value)
+            value = self._convert(ctx, value, fn.return_type, stmt.line)
+            op = "fmv fa0" if fn.return_type == "float" else "mv a0"
+            ctx.lines.append(f"    {op}, {value.reg}")
+            self._release(ctx, value)
+        ctx.lines.append(f"    j {fn.name}$ret")
+
+    def _gen_cond(self, ctx, scope, expr: ast.Expr) -> Value:
+        cond = self._gen_expr(ctx, scope, expr)
+        if cond.type != "int":
+            raise CompileError("condition must be int-typed "
+                               "(use a comparison)", expr.line)
+        return cond
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _gen_expr(self, ctx, scope, expr, allow_void: bool = False
+                  ) -> Optional[Value]:
+        if isinstance(expr, ast.IntLiteral):
+            reg = ctx.int_temps.acquire(expr.line)
+            ctx.lines.append(f"    li {reg}, {expr.value}")
+            return Value(reg, "int", True)
+        if isinstance(expr, ast.FloatLiteral):
+            return self._gen_float_literal(ctx, expr)
+        if isinstance(expr, ast.VarRef):
+            return self._gen_varref(ctx, scope, expr)
+        if isinstance(expr, ast.ArrayRef):
+            return self._gen_arrayref(ctx, scope, expr)
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(ctx, scope, expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(ctx, scope, expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(ctx, scope, expr, allow_void)
+        raise CompileError(f"unhandled expression {type(expr).__name__}",
+                           expr.line)
+
+    def _gen_float_literal(self, ctx, expr: ast.FloatLiteral) -> Value:
+        reg = ctx.fp_temps.acquire(expr.line)
+        # fli carries the (single-precision-rounded) value exactly.
+        value = struct.unpack("<f", struct.pack("<f", expr.value))[0]
+        ctx.lines.append(f"    fli {reg}, {value!r}")
+        return Value(reg, "float", True)
+
+    def _gen_varref(self, ctx, scope, expr: ast.VarRef) -> Value:
+        info = self._lookup(scope, expr.name, expr.line)
+        emit = ctx.lines.append
+        if info.kind == "reg":
+            return Value(info.reg, info.type, False)
+        if info.kind == "frame":
+            pool = ctx.fp_temps if info.type == "float" else ctx.int_temps
+            reg = pool.acquire(expr.line)
+            op = "flw" if info.type == "float" else "lw"
+            emit(f"    {op} {reg}, {4 * info.slot}(sp)")
+            return Value(reg, info.type, True)
+        if info.kind == "global":
+            addr = ctx.int_temps.acquire(expr.line)
+            emit(f"    la {addr}, {info.symbol}")
+            if info.type == "float":
+                reg = ctx.fp_temps.acquire(expr.line)
+                emit(f"    flw {reg}, 0({addr})")
+                ctx.int_temps.release(addr)
+                return Value(reg, "float", True)
+            emit(f"    lw {addr}, 0({addr})")
+            return Value(addr, "int", True)
+        raise CompileError(
+            f"array {expr.name!r} must be indexed", expr.line)
+
+    def _gen_arrayref(self, ctx, scope, expr: ast.ArrayRef) -> Value:
+        info = self._lookup(scope, expr.name, expr.line)
+        if info.kind != "garray":
+            raise CompileError(f"{expr.name!r} is not an array", expr.line)
+        addr = self._gen_element_address(ctx, scope, info, expr.index)
+        if info.type == "float":
+            reg = ctx.fp_temps.acquire(expr.line)
+            ctx.lines.append(f"    flw {reg}, 0({addr})")
+            ctx.int_temps.release(addr)
+            return Value(reg, "float", True)
+        ctx.lines.append(f"    lw {addr}, 0({addr})")
+        return Value(addr, "int", True)
+
+    def _gen_unary(self, ctx, scope, expr: ast.Unary) -> Value:
+        operand = self._gen_expr(ctx, scope, expr.operand)
+        emit = ctx.lines.append
+        if expr.op == "-":
+            if operand.type == "float":
+                operand = self._own_fp(ctx, operand, expr.line)
+                emit(f"    fneg {operand.reg}, {operand.reg}")
+            else:
+                operand = self._own_int(ctx, operand, expr.line)
+                emit(f"    neg {operand.reg}, {operand.reg}")
+            return operand
+        if expr.op == "!":
+            if operand.type != "int":
+                raise CompileError("! requires an int operand", expr.line)
+            operand = self._own_int(ctx, operand, expr.line)
+            emit(f"    seqz {operand.reg}, {operand.reg}")
+            return operand
+        if expr.op == "~":
+            if operand.type != "int":
+                raise CompileError("~ requires an int operand", expr.line)
+            operand = self._own_int(ctx, operand, expr.line)
+            emit(f"    not {operand.reg}, {operand.reg}")
+            return operand
+        raise CompileError(f"unhandled unary {expr.op!r}", expr.line)
+
+    def _gen_binary(self, ctx, scope, expr: ast.Binary) -> Value:
+        if expr.op in ("&&", "||"):
+            return self._gen_logical(ctx, scope, expr)
+        left = self._gen_expr(ctx, scope, expr.left)
+        right = self._gen_expr(ctx, scope, expr.right)
+        line = expr.line
+        if expr.op in _INT_ONLY_OPS and ("float" in
+                                         (left.type, right.type)):
+            raise CompileError(f"{expr.op!r} requires int operands", line)
+        if left.type == "float" or right.type == "float":
+            left = self._convert(ctx, left, "float", line)
+            right = self._convert(ctx, right, "float", line)
+            return self._gen_fp_binary(ctx, expr.op, left, right, line)
+        return self._gen_int_binary(ctx, expr.op, left, right, line)
+
+    def _gen_int_binary(self, ctx, op: str, left: Value, right: Value,
+                        line: int) -> Value:
+        emit = ctx.lines.append
+        result = self._result_int(ctx, left, right, line)
+        a, b = left.reg, right.reg
+        if op in _INT_BINOPS:
+            emit(f"    {_INT_BINOPS[op]} {result}, {a}, {b}")
+        elif op == "<":
+            emit(f"    slt {result}, {a}, {b}")
+        elif op == ">":
+            emit(f"    slt {result}, {b}, {a}")
+        elif op == "<=":
+            emit(f"    slt {result}, {b}, {a}")
+            emit(f"    xori {result}, {result}, 1")
+        elif op == ">=":
+            emit(f"    slt {result}, {a}, {b}")
+            emit(f"    xori {result}, {result}, 1")
+        elif op == "==":
+            emit(f"    xor {result}, {a}, {b}")
+            emit(f"    seqz {result}, {result}")
+        elif op == "!=":
+            emit(f"    xor {result}, {a}, {b}")
+            emit(f"    snez {result}, {result}")
+        else:
+            raise CompileError(f"unhandled int operator {op!r}", line)
+        self._release_operands(ctx, left, right, result)
+        return Value(result, "int", True)
+
+    def _gen_fp_binary(self, ctx, op: str, left: Value, right: Value,
+                       line: int) -> Value:
+        emit = ctx.lines.append
+        a, b = left.reg, right.reg
+        if op in _FP_BINOPS:
+            result = self._result_fp(ctx, left, right, line)
+            emit(f"    {_FP_BINOPS[op]} {result}, {a}, {b}")
+            self._release_operands(ctx, left, right, result)
+            return Value(result, "float", True)
+        # Comparisons produce int.
+        result = ctx.int_temps.acquire(line)
+        if op == "<":
+            emit(f"    flt {result}, {a}, {b}")
+        elif op == ">":
+            emit(f"    flt {result}, {b}, {a}")
+        elif op == "<=":
+            emit(f"    fle {result}, {a}, {b}")
+        elif op == ">=":
+            emit(f"    fle {result}, {b}, {a}")
+        elif op == "==":
+            emit(f"    feq {result}, {a}, {b}")
+        elif op == "!=":
+            emit(f"    feq {result}, {a}, {b}")
+            emit(f"    xori {result}, {result}, 1")
+        else:
+            raise CompileError(f"unhandled float operator {op!r}", line)
+        self._release(ctx, left)
+        self._release(ctx, right)
+        return Value(result, "int", True)
+
+    def _gen_logical(self, ctx, scope, expr: ast.Binary) -> Value:
+        emit = ctx.lines.append
+        end = self._label(ctx, "logic")
+        left = self._gen_expr(ctx, scope, expr.left)
+        if left.type != "int":
+            raise CompileError(f"{expr.op!r} requires int operands",
+                               expr.line)
+        left = self._own_int(ctx, left, expr.line)
+        emit(f"    snez {left.reg}, {left.reg}")
+        if expr.op == "&&":
+            emit(f"    beqz {left.reg}, {end}")
+        else:
+            emit(f"    bnez {left.reg}, {end}")
+        right = self._gen_expr(ctx, scope, expr.right)
+        if right.type != "int":
+            raise CompileError(f"{expr.op!r} requires int operands",
+                               expr.line)
+        emit(f"    snez {left.reg}, {right.reg}")
+        self._release(ctx, right)
+        emit(f"{end}:")
+        return left
+
+    def _gen_call(self, ctx, scope, expr: ast.Call,
+                  allow_void: bool) -> Optional[Value]:
+        emit = ctx.lines.append
+        if expr.name in BUILTINS:
+            return self._gen_builtin(ctx, scope, expr, allow_void)
+        if expr.name in FLOAT_INTRINSICS:
+            return self._gen_float_intrinsic(ctx, scope, expr)
+        fn = self.functions.get(expr.name)
+        if fn is None:
+            raise CompileError(f"unknown function {expr.name!r}", expr.line)
+        if len(expr.args) != len(fn.params):
+            raise CompileError(
+                f"{expr.name} expects {len(fn.params)} argument(s), "
+                f"got {len(expr.args)}", expr.line)
+        # Evaluate arguments into temporaries.
+        arg_values: List[Value] = []
+        for arg_expr, param in zip(expr.args, fn.params):
+            value = self._gen_expr(ctx, scope, arg_expr)
+            value = self._convert(ctx, value, param.type, arg_expr.line)
+            arg_values.append(value)
+        # Save caller-held temporaries that are NOT argument carriers.
+        arg_regs = {v.reg for v in arg_values}
+        saved = self._save_live_temps(ctx, exclude=arg_regs)
+        # Move arguments into the ABI registers and release their temps.
+        int_idx = fp_idx = 0
+        for value, param in zip(arg_values, fn.params):
+            if param.type == "float":
+                emit(f"    fmv {FP_ARGS[fp_idx]}, {value.reg}")
+                fp_idx += 1
+            else:
+                emit(f"    mv {INT_ARGS[int_idx]}, {value.reg}")
+                int_idx += 1
+            self._release(ctx, value)
+        emit(f"    call {expr.name}")
+        result = None
+        if fn.return_type == "float":
+            reg = ctx.fp_temps.acquire(expr.line)
+            emit(f"    fmv {reg}, fa0")
+            result = Value(reg, "float", True)
+        elif fn.return_type == "int":
+            reg = ctx.int_temps.acquire(expr.line)
+            emit(f"    mv {reg}, a0")
+            result = Value(reg, "int", True)
+        elif not allow_void:
+            raise CompileError(
+                f"void function {expr.name} used in an expression",
+                expr.line)
+        self._restore_live_temps(ctx, saved)
+        return result
+
+    def _gen_float_intrinsic(self, ctx, scope, expr: ast.Call) -> Value:
+        """sqrtf/fabsf: inline single-instruction FP intrinsics."""
+        if len(expr.args) != 1:
+            raise CompileError(f"{expr.name} expects 1 argument", expr.line)
+        value = self._gen_expr(ctx, scope, expr.args[0])
+        value = self._convert(ctx, value, "float", expr.line)
+        value = self._own_fp(ctx, value, expr.line)
+        op = FLOAT_INTRINSICS[expr.name]
+        ctx.lines.append(f"    {op} {value.reg}, {value.reg}")
+        return value
+
+    def _gen_builtin(self, ctx, scope, expr: ast.Call,
+                     allow_void: bool) -> None:
+        if not allow_void:
+            raise CompileError(
+                f"{expr.name} returns void and cannot be used in an "
+                "expression", expr.line)
+        if len(expr.args) != 1:
+            raise CompileError(f"{expr.name} expects 1 argument", expr.line)
+        emit = ctx.lines.append
+        value = self._gen_expr(ctx, scope, expr.args[0])
+        saved = self._save_live_temps(ctx, exclude={value.reg})
+        if expr.name == "print_float":
+            value = self._convert(ctx, value, "float", expr.line)
+            emit(f"    fmv fa0, {value.reg}")
+        else:
+            value = self._convert(ctx, value, "int", expr.line)
+            emit(f"    mv a0, {value.reg}")
+        self._release(ctx, value)
+        emit(f"    li a7, {BUILTINS[expr.name]}")
+        emit("    ecall")
+        self._restore_live_temps(ctx, saved)
+        return None
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _label(self, ctx: _FunctionContext, hint: str) -> str:
+        ctx.label_counter += 1
+        return f"{ctx.fn.name}${hint}{ctx.label_counter}"
+
+    def _release(self, ctx, value: Value) -> None:
+        if value.owned:
+            pool = ctx.fp_temps if value.type == "float" else ctx.int_temps
+            pool.release(value.reg)
+
+    def _release_operands(self, ctx, left: Value, right: Value,
+                          result: str) -> None:
+        for value in (left, right):
+            if value.owned and value.reg != result:
+                self._release(ctx, value)
+
+    def _own_int(self, ctx, value: Value, line: int) -> Value:
+        """Ensure the value is an owned int temp (copy if aliasing)."""
+        if value.owned:
+            return value
+        reg = ctx.int_temps.acquire(line)
+        ctx.lines.append(f"    mv {reg}, {value.reg}")
+        return Value(reg, "int", True)
+
+    def _own_fp(self, ctx, value: Value, line: int) -> Value:
+        if value.owned:
+            return value
+        reg = ctx.fp_temps.acquire(line)
+        ctx.lines.append(f"    fmv {reg}, {value.reg}")
+        return Value(reg, "float", True)
+
+    def _result_int(self, ctx, left: Value, right: Value,
+                    line: int) -> str:
+        if left.owned:
+            return left.reg
+        if right.owned:
+            return right.reg
+        return ctx.int_temps.acquire(line)
+
+    def _result_fp(self, ctx, left: Value, right: Value, line: int) -> str:
+        if left.owned:
+            return left.reg
+        if right.owned:
+            return right.reg
+        return ctx.fp_temps.acquire(line)
+
+    def _convert(self, ctx, value: Value, target: str, line: int) -> Value:
+        if value.type == target:
+            return value
+        if target == "float":
+            reg = ctx.fp_temps.acquire(line)
+            ctx.lines.append(f"    fcvt.s.w {reg}, {value.reg}")
+            self._release(ctx, value)
+            return Value(reg, "float", True)
+        if target == "int":
+            reg = ctx.int_temps.acquire(line)
+            ctx.lines.append(f"    fcvt.w.s {reg}, {value.reg}")
+            self._release(ctx, value)
+            return Value(reg, "int", True)
+        raise CompileError(f"cannot convert {value.type} to {target}", line)
+
+    def _save_live_temps(self, ctx, exclude: set) -> List[Tuple[str, int]]:
+        """Spill live temporaries (minus ``exclude``) to frame slots."""
+        saved: List[Tuple[str, int]] = []
+        live = [r for r in ctx.int_temps.live() + ctx.fp_temps.live()
+                if r not in exclude]
+        for reg in live:
+            if ctx.free_spill_slots:
+                slot = ctx.free_spill_slots.pop()
+            else:
+                slot = ctx.slot_count
+                ctx.slot_count += 1
+            op = "fsw" if reg.startswith("ft") else "sw"
+            ctx.lines.append(f"    {op} {reg}, {4 * slot}(sp)")
+            saved.append((reg, slot))
+        return saved
+
+    def _restore_live_temps(self, ctx,
+                            saved: List[Tuple[str, int]]) -> None:
+        for reg, slot in reversed(saved):
+            op = "flw" if reg.startswith("ft") else "lw"
+            ctx.lines.append(f"    {op} {reg}, {4 * slot}(sp)")
+            ctx.free_spill_slots.append(slot)
+
+
+def generate(unit: ast.TranslationUnit) -> str:
+    """Generate assembly text for a parsed translation unit."""
+    return CodeGenerator(unit).generate()

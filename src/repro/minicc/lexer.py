@@ -1,0 +1,130 @@
+"""Lexer for minicc, the C subset used to author workloads.
+
+Token kinds: identifiers/keywords, integer and float literals, operators
+and punctuation.  Comments: ``//`` to end of line and ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+KEYWORDS = frozenset({
+    "int", "float", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "do",
+})
+
+# Longest-match-first operator list.
+OPERATORS = (
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+
+class Token(NamedTuple):
+    kind: str      # "ident" | "keyword" | "int" | "float" | op literal | "eof"
+    text: str
+    line: int
+    column: int
+
+
+class LexerError(Exception):
+    def __init__(self, message: str, line: int, column: int):
+        self.line = line
+        self.column = column
+        super().__init__(f"line {line}:{column}: {message}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize minicc source, appending a final ``eof`` token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        col = i - line_start + 1
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", line, col)
+            line += source.count("\n", i, end)
+            if "\n" in source[i:end]:
+                line_start = source.rfind("\n", i, end) + 1
+            i = end + 2
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n
+                            and source[i + 1].isdigit()):
+            start = i
+            if source.startswith(("0x", "0X"), i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                yield Token("int", source[start:i], line, col)
+                continue
+            is_float = False
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                if source[i] == ".":
+                    if is_float:
+                        raise LexerError("malformed number", line, col)
+                    is_float = True
+                i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            kind = "float" if is_float else "int"
+            yield Token(kind, source[start:i], line, col)
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, col)
+            continue
+        # Character literal -> int token.
+        if ch == "'":
+            end = source.find("'", i + 1)
+            if end < 0:
+                raise LexerError("unterminated char literal", line, col)
+            body = source[i + 1:end].encode().decode("unicode_escape")
+            if len(body) != 1:
+                raise LexerError("char literal must be one character",
+                                 line, col)
+            yield Token("int", str(ord(body)), line, col)
+            i = end + 1
+            continue
+        # Operators / punctuation.
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token(op, op, line, col)
+                i += len(op)
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, 0)

@@ -1,0 +1,380 @@
+"""Recursive-descent parser for minicc.
+
+Grammar (see package docstring for the language summary)::
+
+    unit      := (global | function)*
+    global    := type IDENT ('[' INT ']')? ('=' init)? ';'
+    function  := type IDENT '(' params? ')' block
+    block     := '{' stmt* '}'
+    stmt      := block | if | while | do-while | for | return ';'-forms
+               | decl ';' | simple ';'
+    simple    := lvalue ('=' | op'=') expr | expr
+    expr      := logic-or with C precedence:
+                 || < && < | < ^ < & < == != < relational < shift
+                 < additive < multiplicative < unary < postfix < primary
+
+Assignment is a statement, not an expression (keeps workloads readable and
+codegen simple); compound assignment (``+=`` etc.) is desugared here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.minicc import ast
+from repro.minicc.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        self.token = token
+        super().__init__(f"line {token.line}: {message} "
+                         f"(near {token.text!r})")
+
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+# Binary precedence levels, loosest first.
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None
+                ) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        want = text if text is not None else kind
+        raise ParseError(f"expected {want!r}", self._cur)
+
+    def _is_type(self) -> bool:
+        return self._cur.kind == "keyword" and \
+            self._cur.text in ("int", "float", "void")
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse(self) -> ast.TranslationUnit:
+        globals_: List[ast.GlobalVar] = []
+        functions: List[ast.Function] = []
+        while not self._check("eof"):
+            if not self._is_type():
+                raise ParseError("expected declaration", self._cur)
+            type_tok = self._advance()
+            name_tok = self._expect("ident")
+            if self._check("("):
+                functions.append(self._function(type_tok.text,
+                                                name_tok.text,
+                                                name_tok.line))
+            else:
+                globals_.append(self._global(type_tok.text, name_tok.text,
+                                             name_tok.line))
+        return ast.TranslationUnit(globals_, functions)
+
+    def _global(self, type_: str, name: str, line: int) -> ast.GlobalVar:
+        if type_ == "void":
+            raise ParseError("variables cannot be void", self._cur)
+        size = None
+        if self._accept("["):
+            size_tok = self._expect("int")
+            size = int(size_tok.text, 0)
+            if size <= 0:
+                raise ParseError("array size must be positive", size_tok)
+            self._expect("]")
+        init = None
+        if self._accept("="):
+            init = self._global_init(type_, size)
+        self._expect(";")
+        return ast.GlobalVar(type_, name, size, init, line)
+
+    def _global_init(self, type_: str, size: Optional[int]):
+        if size is None:
+            return self._const_literal(type_)
+        self._expect("{")
+        values = []
+        if not self._check("}"):
+            values.append(self._const_literal(type_))
+            while self._accept(","):
+                values.append(self._const_literal(type_))
+        self._expect("}")
+        if len(values) > size:
+            raise ParseError("too many initializers", self._cur)
+        return values
+
+    def _const_literal(self, type_: str):
+        negative = bool(self._accept("-"))
+        tok = self._cur
+        if tok.kind == "int":
+            self._advance()
+            value = int(tok.text, 0)
+            value = -value if negative else value
+            return float(value) if type_ == "float" else value
+        if tok.kind == "float":
+            self._advance()
+            value = float(tok.text)
+            return -value if negative else value
+        raise ParseError("expected literal initializer", tok)
+
+    def _function(self, return_type: str, name: str,
+                  line: int) -> ast.Function:
+        self._expect("(")
+        params: List[ast.Param] = []
+        if not self._check(")"):
+            if self._accept("keyword", "void") and self._check(")"):
+                pass
+            else:
+                params.append(self._param())
+                while self._accept(","):
+                    params.append(self._param())
+        self._expect(")")
+        body = self._block()
+        return ast.Function(return_type, name, params, body, line)
+
+    def _param(self) -> ast.Param:
+        if not self._is_type() or self._cur.text == "void":
+            raise ParseError("expected parameter type", self._cur)
+        type_tok = self._advance()
+        name_tok = self._expect("ident")
+        return ast.Param(type_tok.text, name_tok.text, name_tok.line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        open_tok = self._expect("{")
+        statements: List[ast.Stmt] = []
+        while not self._check("}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", self._cur)
+            statements.append(self._statement())
+        self._expect("}")
+        return ast.Block(statements, open_tok.line)
+
+    def _statement(self) -> ast.Stmt:
+        tok = self._cur
+        if tok.kind == "{":
+            return self._block()
+        if tok.kind == "keyword":
+            if tok.text == "if":
+                return self._if()
+            if tok.text == "while":
+                return self._while()
+            if tok.text == "do":
+                return self._do_while()
+            if tok.text == "for":
+                return self._for()
+            if tok.text == "return":
+                self._advance()
+                value = None if self._check(";") else self._expression()
+                self._expect(";")
+                return ast.Return(value, tok.line)
+            if tok.text == "break":
+                self._advance()
+                self._expect(";")
+                return ast.Break(tok.line)
+            if tok.text == "continue":
+                self._advance()
+                self._expect(";")
+                return ast.Continue(tok.line)
+            if tok.text in ("int", "float"):
+                stmt = self._local_decl()
+                self._expect(";")
+                return stmt
+            raise ParseError("unexpected keyword", tok)
+        stmt = self._simple_statement()
+        self._expect(";")
+        return stmt
+
+    def _local_decl(self) -> ast.VarDecl:
+        type_tok = self._advance()
+        name_tok = self._expect("ident")
+        if self._check("["):
+            raise ParseError(
+                "arrays must be declared at global scope", self._cur)
+        init = self._expression() if self._accept("=") else None
+        return ast.VarDecl(type_tok.text, name_tok.text, init,
+                           name_tok.line)
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment (plain or compound) or a bare expression."""
+        start = self._pos
+        tok = self._cur
+        if tok.kind == "ident":
+            target = self._maybe_lvalue()
+            if target is not None:
+                if self._accept("="):
+                    value = self._expression()
+                    return ast.Assign(target, value, tok.line)
+                for op_text, op in _COMPOUND_OPS.items():
+                    if self._accept(op_text):
+                        value = self._expression()
+                        expanded = ast.Binary(op, _copy_lvalue(target),
+                                              value, tok.line)
+                        return ast.Assign(target, expanded, tok.line)
+            # Not an assignment: rewind and parse as an expression.
+            self._pos = start
+        expr = self._expression()
+        return ast.ExprStmt(expr, tok.line)
+
+    def _maybe_lvalue(self):
+        """Parse ``IDENT`` or ``IDENT [ expr ]`` if followed by an
+        assignment operator; otherwise return None (caller rewinds)."""
+        name_tok = self._advance()
+        if self._check("["):
+            self._advance()
+            index = self._expression()
+            self._expect("]")
+            target = ast.ArrayRef(name_tok.text, index, name_tok.line)
+        else:
+            target = ast.VarRef(name_tok.text, name_tok.line)
+        if self._cur.kind == "=" or self._cur.kind in _COMPOUND_OPS:
+            return target
+        return None
+
+    def _if(self) -> ast.If:
+        tok = self._advance()
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        then = self._statement()
+        otherwise = self._statement() if self._accept("keyword", "else") \
+            else None
+        return ast.If(cond, then, otherwise, tok.line)
+
+    def _while(self) -> ast.While:
+        tok = self._advance()
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        body = self._statement()
+        return ast.While(cond, body, tok.line)
+
+    def _do_while(self) -> ast.DoWhile:
+        tok = self._advance()
+        body = self._statement()
+        self._expect("keyword", "while")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(cond, body, tok.line)
+
+    def _for(self) -> ast.For:
+        tok = self._advance()
+        self._expect("(")
+        init = None
+        if not self._check(";"):
+            if self._is_type():
+                init = self._local_decl()
+            else:
+                init = self._simple_statement()
+        self._expect(";")
+        cond = None if self._check(";") else self._expression()
+        self._expect(";")
+        step = None if self._check(")") else self._simple_statement()
+        self._expect(")")
+        body = self._statement()
+        return ast.For(init, cond, step, body, tok.line)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while self._cur.kind in ops:
+            op_tok = self._advance()
+            right = self._binary(level + 1)
+            left = ast.Binary(op_tok.text, left, right, op_tok.line)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind in ("-", "!", "~"):
+            self._advance()
+            return ast.Unary(tok.text, self._unary(), tok.line)
+        if tok.kind == "+":
+            self._advance()
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == "int":
+            self._advance()
+            return ast.IntLiteral(int(tok.text, 0), tok.line)
+        if tok.kind == "float":
+            self._advance()
+            return ast.FloatLiteral(float(tok.text), tok.line)
+        if tok.kind == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if tok.kind == "ident":
+            self._advance()
+            if self._accept("("):
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    args.append(self._expression())
+                    while self._accept(","):
+                        args.append(self._expression())
+                self._expect(")")
+                return ast.Call(tok.text, args, tok.line)
+            if self._accept("["):
+                index = self._expression()
+                self._expect("]")
+                return ast.ArrayRef(tok.text, index, tok.line)
+            return ast.VarRef(tok.text, tok.line)
+        raise ParseError("expected expression", tok)
+
+
+def _copy_lvalue(target):
+    """Fresh AST for re-reading an lvalue (compound-assignment desugar).
+    The index expression is shared, which is safe because codegen treats the
+    AST as immutable."""
+    if isinstance(target, ast.VarRef):
+        return ast.VarRef(target.name, target.line)
+    return ast.ArrayRef(target.name, target.index, target.line)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    return Parser(source).parse()

@@ -1,0 +1,6 @@
+"""Multicore simulation with a shared last-level cache."""
+
+from repro.multicore.simulation import (MulticoreResult,
+                                        MulticoreSimulator)
+
+__all__ = ["MulticoreResult", "MulticoreSimulator"]

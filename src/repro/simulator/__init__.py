@@ -1,0 +1,8 @@
+"""Simulation composition and experiment runners."""
+
+from repro.simulator.runner import TechniqueComparison, compare_techniques
+from repro.simulator.simulation import (ALL_TECHNIQUES, SimulationResult,
+                                        Simulator, TECHNIQUES, simulate)
+
+__all__ = ["TechniqueComparison", "compare_techniques", "ALL_TECHNIQUES",
+           "SimulationResult", "Simulator", "TECHNIQUES", "simulate"]

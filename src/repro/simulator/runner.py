@@ -1,0 +1,69 @@
+"""Experiment runner: simulate one workload under several techniques and
+compute the paper's comparison metrics (error vs. wpemul, slowdown vs.
+nowp, wrong-path fractions, convergence metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.config import CoreConfig
+from repro.isa.program import Program
+from repro.simulator.simulation import (ALL_TECHNIQUES, SimulationResult,
+                                        Simulator)
+
+
+class TechniqueComparison:
+    """Results of simulating one workload under several techniques."""
+
+    def __init__(self, name: str, results: Dict[str, SimulationResult]):
+        self.name = name
+        self.results = results
+
+    @property
+    def reference(self) -> SimulationResult:
+        """The accuracy reference: wpemul when available, else the most
+        accurate technique present (conv > instrec > nowp)."""
+        for technique in ("wpemul", "conv", "instrec", "nowp"):
+            if technique in self.results:
+                return self.results[technique]
+        raise ValueError("empty comparison")
+
+    def error(self, technique: str) -> float:
+        """Relative IPC error of ``technique`` vs. the reference (the
+        paper's accuracy metric)."""
+        return self.results[technique].error_vs(self.reference)
+
+    def errors(self) -> Dict[str, float]:
+        return {t: self.error(t) for t in self.results}
+
+    def slowdown(self, technique: str) -> float:
+        """Wall-clock slowdown of ``technique`` vs. nowp (the paper's
+        simulation-speed metric, Section V-B)."""
+        base = self.results["nowp"].wall_seconds
+        if base <= 0:
+            return 1.0
+        return self.results[technique].wall_seconds / base
+
+    def slowdowns(self) -> Dict[str, float]:
+        return {t: self.slowdown(t) for t in self.results}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{t}={r.ipc:.3f}" for t, r in
+                          self.results.items())
+        return f"<TechniqueComparison {self.name}: {parts}>"
+
+
+def compare_techniques(program: Program,
+                       config: Optional[CoreConfig] = None,
+                       techniques: Iterable[str] = ALL_TECHNIQUES,
+                       max_instructions: Optional[int] = None,
+                       name: str = "program") -> TechniqueComparison:
+    """Simulate ``program`` once per technique (identical inputs, fresh
+    state each run) and bundle the results."""
+    results: Dict[str, SimulationResult] = {}
+    for technique in techniques:
+        sim = Simulator(program, config=config, technique=technique,
+                        max_instructions=max_instructions, name=name)
+        results[technique] = sim.run()
+    return TechniqueComparison(name, results)

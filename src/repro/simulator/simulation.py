@@ -1,0 +1,176 @@
+"""User-facing composition: one decoupled functional-first simulation.
+
+:class:`Simulator` wires together the functional frontend, the runahead
+queue, the branch predictor(s), the cache hierarchy, the out-of-order core
+and one of the four wrong-path models, runs the workload, and returns a
+:class:`SimulationResult`.
+
+>>> from repro import Simulator, assemble
+>>> program = assemble('''
+...     li a0, 0
+...     li a7, 93
+...     ecall
+... ''')
+>>> result = Simulator(program, technique="conv").run()
+>>> result.instructions
+3
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Type
+
+from repro.branch.predictors import BranchPredictorUnit
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.config import CoreConfig
+from repro.core.ooo import OoOCore
+from repro.core.stats import CoreStats
+from repro.frontend.queue import RunaheadQueue
+from repro.functional.frontend import FunctionalFrontend
+from repro.functional.memory import Memory
+from repro.isa.program import Program
+from repro.wrongpath.base import WrongPathModel
+from repro.wrongpath.convergence import ConvergenceExploitation
+from repro.wrongpath.emulation import WrongPathEmulation
+from repro.wrongpath.instrec import InstructionReconstruction
+from repro.wrongpath.nowp import NoWrongPath
+
+#: The four simulator versions of Section IV.
+TECHNIQUES: Dict[str, Type[WrongPathModel]] = {
+    NoWrongPath.name: NoWrongPath,
+    InstructionReconstruction.name: InstructionReconstruction,
+    ConvergenceExploitation.name: ConvergenceExploitation,
+    WrongPathEmulation.name: WrongPathEmulation,
+}
+
+#: Evaluation order used throughout the benches (reference last).
+ALL_TECHNIQUES = ("nowp", "instrec", "conv", "wpemul")
+
+
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    def __init__(self, name: str, technique: str, config: CoreConfig,
+                 stats: CoreStats, hierarchy: CacheHierarchy,
+                 bpu: BranchPredictorUnit, output: list,
+                 exit_code: Optional[int], wall_seconds: float,
+                 frontend: FunctionalFrontend):
+        self.name = name
+        self.technique = technique
+        self.config = config
+        self.stats = stats
+        self.cache_stats = hierarchy.stats()
+        self.bpu = bpu
+        self.output = output
+        self.exit_code = exit_code
+        self.wall_seconds = wall_seconds
+        self.wp_emulations = frontend.wp_emulations
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def branch_mpki(self) -> float:
+        return self.bpu.mpki(self.stats.instructions)
+
+    def error_vs(self, reference: "SimulationResult") -> float:
+        """Relative IPC error against a reference run (the paper's error
+        metric, with ``wpemul`` as reference)."""
+        if reference.ipc == 0:
+            return 0.0
+        return (self.ipc - reference.ipc) / reference.ipc
+
+    def summary(self) -> str:
+        stats = self.stats
+        return (f"{self.name}/{self.technique}: {stats.instructions} instrs,"
+                f" {stats.cycles} cycles, IPC={stats.ipc:.3f}, "
+                f"bMPKI={self.branch_mpki:.2f}, "
+                f"wp_exec={stats.wp_executed}")
+
+    def __repr__(self) -> str:
+        return f"<SimulationResult {self.summary()}>"
+
+
+class Simulator:
+    """One functional-first simulation of a program."""
+
+    def __init__(self, program: Program,
+                 config: Optional[CoreConfig] = None,
+                 technique: str = "nowp",
+                 max_instructions: Optional[int] = None,
+                 queue_depth: Optional[int] = None,
+                 name: str = "program"):
+        if technique not in TECHNIQUES:
+            raise ValueError(
+                f"unknown technique {technique!r}; "
+                f"choose from {sorted(TECHNIQUES)}")
+        self.program = program
+        self.config = config if config is not None else CoreConfig()
+        self.technique = technique
+        self.max_instructions = max_instructions
+        # The conv model peeks ROB-size instructions ahead, so the queue
+        # must run ahead at least that far plus slack.
+        if queue_depth is None:
+            queue_depth = max(2 * self.config.rob_size + 128, 1024)
+        self.queue_depth = queue_depth
+        self.name = name
+
+    def run(self) -> SimulationResult:
+        cfg = self.config
+        start = time.perf_counter()
+
+        timing_bpu = self._make_bpu()
+        wp_model = TECHNIQUES[self.technique]()
+        emulate_wp = self.technique == WrongPathEmulation.name
+        frontend = FunctionalFrontend(
+            self.program, Memory(),
+            emulate_wrong_path=emulate_wp,
+            predictor=self._make_bpu() if emulate_wp else None,
+            wp_limit=cfg.rob_size + cfg.wp_frontend_buffer)
+        queue = RunaheadQueue(frontend.produce, depth=self.queue_depth)
+        hierarchy = CacheHierarchy.from_config(cfg)
+        core = OoOCore(cfg, hierarchy, timing_bpu, wp_model, queue=queue)
+
+        processed = 0
+        limit = self.max_instructions
+        while limit is None or processed < limit:
+            di = queue.pop()
+            if di is None:
+                break
+            core.process(di)
+            processed += 1
+        stats = core.finalize()
+
+        wall = time.perf_counter() - start
+        return SimulationResult(self.name, self.technique, cfg, stats,
+                                hierarchy, timing_bpu,
+                                frontend.output,
+                                frontend.emulator.exit_code, wall, frontend)
+
+    def _make_bpu(self) -> BranchPredictorUnit:
+        cfg = self.config
+        return BranchPredictorUnit(
+            kind=cfg.predictor_kind,
+            table_bits=cfg.predictor_table_bits,
+            history_bits=cfg.predictor_history_bits,
+            ras_depth=cfg.ras_depth,
+            indirect_bits=cfg.indirect_bits)
+
+
+def simulate(program: Program, technique: str = "nowp",
+             config: Optional[CoreConfig] = None,
+             max_instructions: Optional[int] = None,
+             name: str = "program") -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    return Simulator(program, config=config, technique=technique,
+                     max_instructions=max_instructions, name=name).run()

@@ -1,0 +1,12 @@
+"""Workload construction: synthetic graphs, the GAP suite (in minicc) and
+SPEC-like INT/FP kernel suites."""
+
+from repro.workloads.base import (SCALES, Workload, build_program,
+                                  inject_float_array, inject_int_array)
+from repro.workloads.registry import (build_workload, gap_names,
+                                      spec_fp_names, spec_int_names,
+                                      workload_names)
+
+__all__ = ["SCALES", "Workload", "build_program", "inject_float_array",
+           "inject_int_array", "build_workload", "gap_names",
+           "spec_fp_names", "spec_int_names", "workload_names"]

@@ -1,0 +1,67 @@
+"""Workload abstraction: a named, fully built program plus metadata.
+
+Workloads are built from minicc source (with scale-dependent constants
+formatted in) and a data image injected at global-array symbols — the
+analogue of the paper's "benchmark binary + input".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.isa.assembler import float_to_bits
+from repro.isa.program import Program
+from repro.minicc import compile_to_program
+
+#: Named scale presets: (nodes, degree) for graphs, element counts for the
+#: SPEC-like kernels.  "tiny" is for tests, "small" for benches, "medium"
+#: for longer studies.
+SCALES = ("tiny", "small", "medium")
+
+
+class Workload:
+    """A runnable workload."""
+
+    def __init__(self, name: str, suite: str, program: Program,
+                 description: str = "",
+                 expected_output: Optional[list] = None,
+                 meta: Optional[Dict] = None):
+        self.name = name
+        self.suite = suite  # "gap" | "spec-int" | "spec-fp" | "micro"
+        self.program = program
+        self.description = description
+        self.expected_output = expected_output
+        self.meta = dict(meta or {})
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, suite={self.suite!r})"
+
+
+def inject_int_array(program: Program, symbol: str,
+                     values: Iterable[int]) -> None:
+    """Write integer array data at a global symbol."""
+    words = [int(v) & 0xFFFFFFFF for v in values]
+    program.add_data(program.symbol(symbol), words)
+
+
+def inject_float_array(program: Program, symbol: str,
+                       values: Iterable[float]) -> None:
+    """Write float array data (IEEE-754 bits) at a global symbol."""
+    words = [float_to_bits(float(v)) for v in values]
+    program.add_data(program.symbol(symbol), words)
+
+
+def build_program(source: str, arrays: Optional[Dict[str, object]] = None
+                  ) -> Program:
+    """Compile minicc ``source`` and inject ``arrays`` (symbol -> values;
+    numpy float arrays are stored as IEEE bits, everything else as ints)."""
+    program = compile_to_program(source)
+    for symbol, values in (arrays or {}).items():
+        arr = np.asarray(values)
+        if arr.dtype.kind == "f":
+            inject_float_array(program, symbol, arr.tolist())
+        else:
+            inject_int_array(program, symbol, arr.tolist())
+    return program

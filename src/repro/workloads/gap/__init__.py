@@ -1,0 +1,34 @@
+"""The GAP benchmark suite (Beamer et al.) re-implemented in minicc.
+
+Six kernels — bc, bfs, cc, pr, sssp, tc — run on synthetic power-law or
+uniform graphs.  The implementations keep the structural properties the
+paper's evaluation relies on (Section IV): tight per-vertex inner loops with
+data-dependent branches that reconverge at the next loop iteration within
+ROB reach; PageRank's inner loop is branch-free (only the loop bound), and
+Triangle Count is compute-bound on cache-resident sorted adjacency lists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.workloads.gap import bc, bfs, cc, pr, sssp, tc
+
+#: Graph-scale presets: (nodes, degree).
+GRAPH_SCALES: Dict[str, tuple] = {
+    "tiny": (192, 6),
+    "small": (1024, 8),
+    "medium": (4096, 10),
+}
+
+#: Kernel name -> build(scale, seed) factory.
+KERNELS: Dict[str, Callable] = {
+    "bc": bc.build,
+    "bfs": bfs.build,
+    "cc": cc.build,
+    "pr": pr.build,
+    "sssp": sssp.build,
+    "tc": tc.build,
+}
+
+__all__ = ["GRAPH_SCALES", "KERNELS"]

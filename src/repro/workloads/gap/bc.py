@@ -1,0 +1,130 @@
+"""GAP bc: betweenness centrality (Brandes, single source).
+
+Forward BFS accumulating shortest-path counts, then a reverse dependency
+pass with float arithmetic — a mix of converging data-dependent branches
+and irregular float loads.  The paper observes bc's error flips positive
+under the convergence technique (positive interference modeled, negative
+not).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.workloads import graphs
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int row_ptr[{n1}];
+int col[{m}];
+int dist[{n}];
+int order[{n}];
+float sigma[{n}];
+float delta[{n}];
+
+void main() {{
+    int n = {n};
+    for (int i = 0; i < n; i += 1) {{
+        dist[i] = -1;
+        sigma[i] = 0.0;
+        delta[i] = 0.0;
+    }}
+    int source = {source};
+    dist[source] = 0;
+    sigma[source] = 1.0;
+    order[0] = source;
+    int qtail = 1;
+    int qhead = 0;
+    while (qhead < qtail) {{
+        int u = order[qhead];
+        qhead += 1;
+        int du = dist[u];
+        int rb = row_ptr[u];
+        int re = row_ptr[u + 1];
+        for (int j = rb; j < re; j += 1) {{
+            int v = col[j];
+            int dv = dist[v];
+            if (dv < 0) {{
+                dv = du + 1;
+                dist[v] = dv;
+                order[qtail] = v;
+                qtail += 1;
+            }}
+            if (dv == du + 1) {{
+                sigma[v] += sigma[u];
+            }}
+        }}
+    }}
+    for (int i = qtail - 1; i >= 0; i -= 1) {{
+        int u = order[i];
+        int du = dist[u];
+        int rb = row_ptr[u];
+        int re = row_ptr[u + 1];
+        float acc = 0;
+        for (int j = rb; j < re; j += 1) {{
+            int v = col[j];
+            if (dist[v] == du + 1) {{
+                acc += sigma[u] / sigma[v] * (1.0 + delta[v]);
+            }}
+        }}
+        delta[u] = acc;
+    }}
+    float total = 0;
+    for (int i = 0; i < n; i += 1) {{
+        total += delta[i];
+    }}
+    print_float(total);
+}}
+"""
+
+
+def reference(graph: graphs.CSRGraph, source: int) -> float:
+    """Brandes single-source dependencies, summed (float64; the kernel's
+    float32 stores give ~1e-4 relative differences)."""
+    n = graph.num_nodes
+    dist = [-1] * n
+    sigma = [0.0] * n
+    delta = [0.0] * n
+    order = []
+    dist[source] = 0
+    sigma[source] = 1.0
+    queue = deque([source])
+    order.append(source)
+    while queue:
+        u = queue.popleft()
+        for v in map(int, graph.neighbors(u)):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+                order.append(v)
+            if dist[v] == dist[u] + 1:
+                sigma[v] += sigma[u]
+    for u in reversed(order):
+        acc = 0.0
+        for v in map(int, graph.neighbors(u)):
+            if dist[v] == dist[u] + 1:
+                acc += sigma[u] / sigma[v] * (1.0 + delta[v])
+        delta[u] = acc
+    return sum(delta)
+
+
+def build(scale: str = "small", seed: int = 6,
+          check: bool = True) -> Workload:
+    from repro.workloads.gap import GRAPH_SCALES
+    n, degree = GRAPH_SCALES[scale]
+    graph = graphs.power_law(n, degree, seed=seed, symmetric=True)
+    source_vertex = n // 7
+    src = SOURCE.format(n=n, n1=n + 1, m=graph.num_edges,
+                        source=source_vertex)
+    program = build_program(src, {
+        "row_ptr": graph.row_ptr,
+        "col": graph.col,
+    })
+    expected = [reference(graph, source_vertex)] if check else None
+    return Workload("bc", "gap", program,
+                    description="Brandes betweenness centrality, one "
+                                "source (GAP)",
+                    expected_output=expected,
+                    meta={"nodes": n, "edges": graph.num_edges,
+                          "scale": scale, "seed": seed,
+                          "float_tolerance": 1e-3})

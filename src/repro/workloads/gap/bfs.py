@@ -1,0 +1,93 @@
+"""GAP bfs: top-down breadth-first search.
+
+The inner neighbour loop tests ``dist[v] < 0`` — a data-dependent branch on
+a random-access load, the archetypal converging-mispredict pattern the
+paper's convergence technique targets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.workloads import graphs
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int row_ptr[{n1}];
+int col[{m}];
+int dist[{n}];
+int frontier[{n}];
+int next_frontier[{n}];
+
+void main() {{
+    int n = {n};
+    for (int i = 0; i < n; i += 1) {{
+        dist[i] = -1;
+    }}
+    dist[{source}] = 0;
+    frontier[0] = {source};
+    int fsize = 1;
+    int level = 0;
+    while (fsize > 0) {{
+        int nsize = 0;
+        for (int i = 0; i < fsize; i += 1) {{
+            int u = frontier[i];
+            int rb = row_ptr[u];
+            int re = row_ptr[u + 1];
+            for (int j = rb; j < re; j += 1) {{
+                int v = col[j];
+                if (dist[v] < 0) {{
+                    dist[v] = level + 1;
+                    next_frontier[nsize] = v;
+                    nsize += 1;
+                }}
+            }}
+        }}
+        for (int i = 0; i < nsize; i += 1) {{
+            frontier[i] = next_frontier[i];
+        }}
+        fsize = nsize;
+        level += 1;
+    }}
+    int sum = 0;
+    for (int i = 0; i < n; i += 1) {{
+        sum += dist[i];
+    }}
+    print_int(sum);
+}}
+"""
+
+
+def reference(graph: graphs.CSRGraph, source: int) -> int:
+    """Python BFS distance-sum reference (unreached vertices count -1)."""
+    n = graph.num_nodes
+    dist = [-1] * n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(int(v))
+    return sum(dist)
+
+
+def build(scale: str = "small", seed: int = 1,
+          check: bool = True) -> Workload:
+    from repro.workloads.gap import GRAPH_SCALES
+    n, degree = GRAPH_SCALES[scale]
+    graph = graphs.power_law(n, degree, seed=seed)
+    source_vertex = graph.num_nodes // 3
+    src = SOURCE.format(n=n, n1=n + 1, m=graph.num_edges,
+                        source=source_vertex)
+    program = build_program(src, {
+        "row_ptr": graph.row_ptr,
+        "col": graph.col,
+    })
+    expected = [reference(graph, source_vertex)] if check else None
+    return Workload("bfs", "gap", program,
+                    description="top-down BFS (GAP)",
+                    expected_output=expected,
+                    meta={"nodes": n, "edges": graph.num_edges,
+                          "scale": scale, "seed": seed})

@@ -1,0 +1,99 @@
+"""GAP pr: PageRank (pull direction).
+
+The paper singles out PageRank: "pr has no impact, because it has no
+conditional branches in its inner loop" — the only branches here are
+well-predicted loop bounds, so nowp error should stay near zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import graphs
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int row_ptr[{n1}];
+int col[{m}];
+int out_deg[{n}];
+float rank[{n}];
+float contrib[{n}];
+
+void main() {{
+    int n = {n};
+    float damping = 0.85;
+    float base = (1.0 - damping) / n;
+    float init = 1.0 / n;
+    for (int i = 0; i < n; i += 1) {{
+        rank[i] = init;
+    }}
+    for (int iter = 0; iter < {iterations}; iter += 1) {{
+        for (int i = 0; i < n; i += 1) {{
+            contrib[i] = damping * rank[i] / out_deg[i];
+        }}
+        for (int u = 0; u < n; u += 1) {{
+            int rb = row_ptr[u];
+            int re = row_ptr[u + 1];
+            float sum = 0;
+            for (int j = rb; j < re; j += 1) {{
+                sum += contrib[col[j]];
+            }}
+            rank[u] = base + sum;
+        }}
+    }}
+    float total = 0;
+    for (int i = 0; i < n; i += 1) {{
+        total += rank[i];
+    }}
+    print_float(total);
+}}
+"""
+
+ITERATIONS = {"tiny": 3, "small": 3, "medium": 2}
+
+
+def reference(graph: graphs.CSRGraph, iterations: int) -> float:
+    """Float32-faithful replication of the kernel's arithmetic."""
+    n = graph.num_nodes
+    f32 = np.float32
+    out_deg = np.maximum(np.bincount(graph.col, minlength=n), 1)
+    damping = f32(0.85)
+    base = (f32(1.0) - damping) / f32(n)
+    rank = np.full(n, f32(1.0) / f32(n), dtype=np.float32)
+    for _ in range(iterations):
+        contrib = (damping * rank / out_deg.astype(np.float32)).astype(
+            np.float32)
+        new_rank = np.empty(n, dtype=np.float32)
+        for u in range(n):
+            s = f32(0.0)
+            for j in range(graph.row_ptr[u], graph.row_ptr[u + 1]):
+                s = f32(s + contrib[graph.col[j]])
+            new_rank[u] = f32(base + s)
+        rank = new_rank
+    total = f32(0.0)
+    for v in rank:
+        total = f32(total + v)
+    return float(total)
+
+
+def build(scale: str = "small", seed: int = 2,
+          check: bool = True) -> Workload:
+    from repro.workloads.gap import GRAPH_SCALES
+    n, degree = GRAPH_SCALES[scale]
+    graph = graphs.power_law(n, degree, seed=seed)
+    iterations = ITERATIONS[scale]
+    out_deg = np.maximum(np.bincount(graph.col, minlength=n), 1)
+    src = SOURCE.format(n=n, n1=n + 1, m=graph.num_edges,
+                        iterations=iterations)
+    program = build_program(src, {
+        "row_ptr": graph.row_ptr,
+        "col": graph.col,
+        "out_deg": out_deg,
+    })
+    expected = [reference(graph, iterations)] if check else None
+    return Workload("pr", "gap", program,
+                    description="PageRank pull (GAP); branch-free inner loop",
+                    expected_output=expected,
+                    meta={"nodes": n, "edges": graph.num_edges,
+                          "scale": scale, "seed": seed,
+                          "float_tolerance": 1e-3})

@@ -1,0 +1,123 @@
+"""Synthetic graph generation in CSR form.
+
+The paper evaluates the GAP benchmark suite on large real/synthetic graphs;
+we generate scaled-down graphs that preserve the properties the paper leans
+on: irregular, data-dependent neighbour access (high data-cache miss rate)
+and skewed degree distributions (power-law option, Kronecker-like skew).
+All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class CSRGraph:
+    """Compressed-sparse-row graph with optional edge weights.
+
+    ``row_ptr`` has ``n+1`` entries; ``col[row_ptr[u]:row_ptr[u+1]]`` are
+    ``u``'s neighbours (sorted, deduplicated, no self-loops).
+    """
+
+    def __init__(self, row_ptr: np.ndarray, col: np.ndarray,
+                 weights: Optional[np.ndarray] = None):
+        if row_ptr.ndim != 1 or col.ndim != 1:
+            raise ValueError("row_ptr and col must be 1-D")
+        if row_ptr[0] != 0 or row_ptr[-1] != len(col):
+            raise ValueError("malformed row_ptr")
+        self.row_ptr = row_ptr.astype(np.int64)
+        self.col = col.astype(np.int64)
+        self.weights = None if weights is None \
+            else weights.astype(np.int64)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.row_ptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.col)
+
+    def degree(self, u: int) -> int:
+        return int(self.row_ptr[u + 1] - self.row_ptr[u])
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.row_ptr)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        return self.col[self.row_ptr[u]:self.row_ptr[u + 1]]
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+def _build_csr(n: int, edges_by_src: List[np.ndarray]) -> CSRGraph:
+    """Assemble CSR from per-source target arrays, sorting and dropping
+    duplicates and self-loops."""
+    cols = []
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    for u in range(n):
+        targets = np.unique(edges_by_src[u])
+        targets = targets[targets != u]
+        cols.append(targets)
+        row_ptr[u + 1] = row_ptr[u] + len(targets)
+    col = np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
+    return CSRGraph(row_ptr, col)
+
+
+def uniform_random(n: int, degree: int, seed: int = 1,
+                   symmetric: bool = False) -> CSRGraph:
+    """Uniform random graph: each vertex draws ``degree`` random targets."""
+    if n < 2 or degree < 1:
+        raise ValueError("need n >= 2 and degree >= 1")
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(0, n, size=(n, degree), dtype=np.int64)
+    edges = [targets[u] for u in range(n)]
+    if symmetric:
+        return _symmetrize(n, edges)
+    return _build_csr(n, edges)
+
+
+def power_law(n: int, degree: int, seed: int = 1, skew: float = 1.3,
+              symmetric: bool = False) -> CSRGraph:
+    """Power-law graph: targets drawn Zipf-like over a shuffled vertex
+    permutation, giving a few high-degree hubs (graph-analytics-like)."""
+    if n < 2 or degree < 1:
+        raise ValueError("need n >= 2 and degree >= 1")
+    if skew <= 1.0:
+        raise ValueError("skew must be > 1.0")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    # Zipf ranks clipped into [0, n); rank 0 is the biggest hub.
+    ranks = rng.zipf(skew, size=(n, degree)) - 1
+    ranks = np.minimum(ranks, n - 1)
+    targets = perm[ranks]
+    edges = [targets[u] for u in range(n)]
+    if symmetric:
+        return _symmetrize(n, edges)
+    return _build_csr(n, edges)
+
+
+def _symmetrize(n: int, edges: List[np.ndarray]) -> CSRGraph:
+    """Make the edge set undirected (needed by tc and cc)."""
+    fwd_src = np.concatenate(
+        [np.full(len(t), u, dtype=np.int64) for u, t in enumerate(edges)])
+    fwd_dst = np.concatenate(edges)
+    src = np.concatenate([fwd_src, fwd_dst])
+    dst = np.concatenate([fwd_dst, fwd_src])
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n)
+    by_src = np.split(dst, np.cumsum(counts)[:-1])
+    return _build_csr(n, by_src)
+
+
+def with_weights(graph: CSRGraph, seed: int = 7,
+                 max_weight: int = 64) -> CSRGraph:
+    """Attach uniform integer edge weights in [1, max_weight]."""
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(1, max_weight + 1, size=graph.num_edges,
+                           dtype=np.int64)
+    return CSRGraph(graph.row_ptr, graph.col, weights)

@@ -1,0 +1,72 @@
+"""Workload registry: name -> factory, spanning all suites.
+
+Names are ``"<suite>.<kernel>"`` (``gap.bfs``, ``spec.int.xz_like``, ...).
+Factories take ``(scale, seed, check)`` keyword arguments and return a
+:class:`~repro.workloads.base.Workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import Workload
+
+
+class _Registry:
+    def __init__(self):
+        self._factories: Dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable) -> None:
+        if name in self._factories:
+            raise ValueError(f"duplicate workload {name!r}")
+        self._factories[name] = factory
+
+    def build(self, name: str, **kwargs) -> Workload:
+        factory = self._factories.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown workload {name!r}; "
+                f"known: {', '.join(sorted(self._factories))}")
+        return factory(**kwargs)
+
+    def names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._factories if n.startswith(prefix))
+
+
+REGISTRY = _Registry()
+
+
+def _populate() -> None:
+    from repro.workloads.gap import KERNELS as GAP_KERNELS
+    for kernel, factory in GAP_KERNELS.items():
+        REGISTRY.register(f"gap.{kernel}", factory)
+    from repro.workloads.spec import INT_KERNELS, FP_KERNELS
+    for kernel, factory in INT_KERNELS.items():
+        REGISTRY.register(f"spec.int.{kernel}", factory)
+    for kernel, factory in FP_KERNELS.items():
+        REGISTRY.register(f"spec.fp.{kernel}", factory)
+
+
+_populate()
+
+
+def build_workload(name: str, **kwargs) -> Workload:
+    """Build a workload by registry name (e.g. ``"gap.bfs"``)."""
+    return REGISTRY.build(name, **kwargs)
+
+
+def workload_names(prefix: str = "") -> List[str]:
+    """All registered workload names with the given prefix."""
+    return REGISTRY.names(prefix)
+
+
+def gap_names() -> List[str]:
+    return REGISTRY.names("gap.")
+
+
+def spec_int_names() -> List[str]:
+    return REGISTRY.names("spec.int.")
+
+
+def spec_fp_names() -> List[str]:
+    return REGISTRY.names("spec.fp.")

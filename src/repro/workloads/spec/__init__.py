@@ -1,0 +1,61 @@
+"""SPEC CPU 2017-like synthetic kernels.
+
+We cannot run SPEC itself (no binaries, no inputs, and 1B-instruction
+SimPoints are far beyond Python simulation speed), so this package provides
+a population of small kernels engineered to reproduce the *distributional*
+property the paper reports in Figure 4 (right): the INT-like kernels have
+irregular, data-dependent branches and mixed cache behaviour (negatively
+skewed nowp error), while the FP-like kernels are regular, streaming,
+predictable-branch number crunching (errors tightly around 0%).
+
+Each kernel is named after the SPEC benchmark whose behaviour it caricatures
+(``xz_like``, ``gcc_like``, ``lbm_like``, ...), with the defining behaviour
+documented in its module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.workloads.spec import (gcc_like, hashjoin_like, heap_like,
+                                  lcgwalk_like, permute_like, sjeng_like,
+                                  sort_like, strmatch_like, tree_like,
+                                  xz_like)
+from repro.workloads.spec import (conv2d_like, fftpass_like, matvec_like,
+                                  nbody_like, ray_like, reduce_like,
+                                  saxpy_like, stencil_like)
+
+#: SPECint-like kernels: irregular control flow.
+INT_KERNELS: Dict[str, Callable] = {
+    "gcc_like": gcc_like.build,
+    "hashjoin_like": hashjoin_like.build,
+    "heap_like": heap_like.build,
+    "lcgwalk_like": lcgwalk_like.build,
+    "permute_like": permute_like.build,
+    "sjeng_like": sjeng_like.build,
+    "sort_like": sort_like.build,
+    "strmatch_like": strmatch_like.build,
+    "tree_like": tree_like.build,
+    "xz_like": xz_like.build,
+}
+
+#: SPECfp-like kernels: regular streaming float code.
+FP_KERNELS: Dict[str, Callable] = {
+    "conv2d_like": conv2d_like.build,
+    "fftpass_like": fftpass_like.build,
+    "matvec_like": matvec_like.build,
+    "nbody_like": nbody_like.build,
+    "ray_like": ray_like.build,
+    "reduce_like": reduce_like.build,
+    "saxpy_like": saxpy_like.build,
+    "stencil_like": stencil_like.build,
+}
+
+#: Element-count presets per scale, shared by the kernels.
+SPEC_SCALES = {
+    "tiny": 1 << 10,
+    "small": 1 << 13,
+    "medium": 1 << 15,
+}
+
+__all__ = ["INT_KERNELS", "FP_KERNELS", "SPEC_SCALES"]

@@ -1,0 +1,66 @@
+"""conv2d_like (imagick-flavoured): 3x3 convolution over an image."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float image[{cells}];
+float result[{cells}];
+float kernel3[9];
+
+void main() {{
+    int side = {side};
+    for (int y = 1; y < side - 1; y += 1) {{
+        for (int x = 1; x < side - 1; x += 1) {{
+            float acc = 0;
+            int base = (y - 1) * side + x - 1;
+            acc += image[base] * kernel3[0];
+            acc += image[base + 1] * kernel3[1];
+            acc += image[base + 2] * kernel3[2];
+            acc += image[base + side] * kernel3[3];
+            acc += image[base + side + 1] * kernel3[4];
+            acc += image[base + side + 2] * kernel3[5];
+            acc += image[base + 2 * side] * kernel3[6];
+            acc += image[base + 2 * side + 1] * kernel3[7];
+            acc += image[base + 2 * side + 2] * kernel3[8];
+            result[y * side + x] = acc;
+        }}
+    }}
+    float total = 0;
+    for (int i = 0; i < {cells}; i += 1) {{
+        total += result[i];
+    }}
+    print_float(total);
+}}
+"""
+
+SIDES = {"tiny": 28, "small": 72, "medium": 128}
+
+
+def reference(image: np.ndarray, kernel: np.ndarray, side: int) -> float:
+    img = image.astype(np.float64).reshape(side, side)
+    k = kernel.astype(np.float64).reshape(3, 3)
+    total = 0.0
+    for y in range(1, side - 1):
+        for x in range(1, side - 1):
+            total += (img[y - 1:y + 2, x - 1:x + 2] * k).sum()
+    return float(total)
+
+
+def build(scale: str = "small", seed: int = 25,
+          check: bool = True) -> Workload:
+    side = SIDES[scale]
+    rng = np.random.default_rng(seed)
+    image = rng.random(side * side).astype(np.float32)
+    kernel = (rng.random(9).astype(np.float32) - 0.25)
+    src = SOURCE.format(cells=side * side, side=side)
+    program = build_program(src, {"image": image, "kernel3": kernel})
+    expected = [reference(image, kernel, side)] if check else None
+    return Workload("conv2d_like", "spec-fp", program,
+                    description="3x3 image convolution (imagick-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 2e-3})

@@ -1,0 +1,88 @@
+"""fftpass_like (wrf-flavoured): radix-2 butterfly passes over a signal.
+
+Strided, branch-free float sweeps with power-of-two access patterns (some
+cache-set pressure at large strides), rounding out the FP population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float re[{n}];
+float im[{n}];
+
+void main() {{
+    int n = {n};
+    int half = n / 2;
+    int stride = 1;
+    while (stride < n) {{
+        int pairs = n / (2 * stride);
+        for (int p = 0; p < pairs; p += 1) {{
+            int base = p * 2 * stride;
+            for (int k = 0; k < stride; k += 1) {{
+                int i = base + k;
+                int j = i + stride;
+                float ar = re[i];
+                float ai = im[i];
+                float br = re[j];
+                float bi = im[j];
+                re[i] = ar + br;
+                im[i] = ai + bi;
+                re[j] = ar - br;
+                im[j] = ai - bi;
+            }}
+        }}
+        stride = stride * 2;
+    }}
+    float total = 0;
+    for (int i = 0; i < half; i += 1) {{
+        total += re[i] * re[i] + im[i] * im[i];
+    }}
+    print_float(total * 0.000001);
+}}
+"""
+
+
+def reference(re: np.ndarray, im: np.ndarray) -> float:
+    r = re.astype(np.float64).copy()
+    i = im.astype(np.float64).copy()
+    n = len(r)
+    stride = 1
+    while stride < n:
+        for p in range(n // (2 * stride)):
+            base = p * 2 * stride
+            for k in range(stride):
+                a, b = base + k, base + k + stride
+                # Mirror the kernel's f32 stores.
+                ar, ai = r[a], i[a]
+                br, bi = r[b], i[b]
+                r[a] = np.float32(ar + br)
+                i[a] = np.float32(ai + bi)
+                r[b] = np.float32(ar - br)
+                i[b] = np.float32(ai - bi)
+        stride *= 2
+    half = n // 2
+    total = 0.0
+    for k in range(half):
+        total += r[k] * r[k] + i[k] * i[k]
+    return float(total * 0.000001)
+
+
+def build(scale: str = "small", seed: int = 28,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    n = SPEC_SCALES[scale]
+    rng = np.random.default_rng(seed)
+    re = (rng.random(n) - 0.5).astype(np.float32)
+    im = (rng.random(n) - 0.5).astype(np.float32)
+    src = SOURCE.format(n=n)
+    program = build_program(src, {"re": re, "im": im})
+    expected = [reference(re, im)] if check else None
+    return Workload("fftpass_like", "spec-fp", program,
+                    description="radix-2 butterfly passes (wrf-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 5e-3})

@@ -1,0 +1,125 @@
+"""gcc_like: token-driven dispatch through many small handler functions.
+
+The defining feature is a large *instruction* footprint: dozens of distinct
+handlers dispatched data-dependently, stressing the I-cache.  The paper
+notes gcc is the benchmark where plain instruction reconstruction already
+helps, because wrong-path execution prefetches instructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+_NUM_HANDLERS = 24
+
+_HANDLER_TEMPLATE = """
+int handler{idx}(int x) {{
+    int a = x + {c1};
+    int b = (x >> {s1}) & 255;
+    a = a * {c2} + b;
+    if (a & {bit}) {{
+        a = a ^ {c3};
+    }} else {{
+        a = a + {c3};
+    }}
+    state[{slot}] = state[{slot}] + a;
+    return a & 1023;
+}}
+"""
+
+_DISPATCH_CASE = """        {el}if (op == {idx}) {{
+            acc += handler{idx}(tok);
+        }}"""
+
+SOURCE_HEADER = """
+int tokens[{ntokens}];
+int state[64];
+"""
+
+SOURCE_MAIN = """
+void main() {{
+    int acc = 0;
+    for (int i = 0; i < {ntokens}; i += 1) {{
+        int tok = tokens[i];
+        int op = tok % {nhandlers};
+{dispatch}
+    }}
+    int s = 0;
+    for (int i = 0; i < 64; i += 1) {{
+        s += state[i];
+    }}
+    print_int(acc & 1048575);
+    print_int(s & 1048575);
+}}
+"""
+
+
+def _make_source(ntokens: int, rng) -> tuple:
+    handlers = []
+    params = []
+    for idx in range(_NUM_HANDLERS):
+        p = {
+            "idx": idx,
+            "c1": int(rng.integers(1, 97)),
+            "c2": int(rng.integers(3, 31)) | 1,
+            "c3": int(rng.integers(1, 4096)),
+            "s1": int(rng.integers(1, 9)),
+            "bit": 1 << int(rng.integers(2, 9)),
+            "slot": int(rng.integers(0, 64)),
+        }
+        params.append(p)
+        handlers.append(_HANDLER_TEMPLATE.format(**p))
+    dispatch = "\n".join(
+        _DISPATCH_CASE.format(el="" if i == 0 else "else ", idx=i)
+        for i in range(_NUM_HANDLERS))
+    source = (SOURCE_HEADER.format(ntokens=ntokens)
+              + "".join(handlers)
+              + SOURCE_MAIN.format(ntokens=ntokens,
+                                   nhandlers=_NUM_HANDLERS,
+                                   dispatch=dispatch))
+    return source, params
+
+
+def reference(tokens: np.ndarray, params: list) -> list:
+    mask = 0xFFFFFFFF
+
+    def s32(v):
+        v &= mask
+        return v - (1 << 32) if v & 0x80000000 else v
+
+    state = [0] * 64
+    acc = 0
+    for tok in map(int, tokens):
+        p = params[tok % _NUM_HANDLERS]
+        a = s32(tok + p["c1"])
+        b = (s32(tok) >> p["s1"]) & 255
+        a = s32(a * p["c2"] + b)
+        if a & p["bit"]:
+            a = s32(a ^ p["c3"])
+        else:
+            a = s32(a + p["c3"])
+        state[p["slot"]] = s32(state[p["slot"]] + a)
+        acc = s32(acc + (a & 1023))
+    s = 0
+    for v in state:
+        s = s32(s + v)
+    return [acc & 1048575, s & 1048575]
+
+
+def build(scale: str = "small", seed: int = 13,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    ntokens = SPEC_SCALES[scale] // 2
+    rng = np.random.default_rng(seed)
+    source, params = _make_source(ntokens, rng)
+    tokens = rng.integers(0, 1 << 16, size=ntokens, dtype=np.int64)
+    program = build_program(source, {"tokens": tokens})
+    expected = reference(tokens, params) if check else None
+    return Workload("gcc_like", "spec-int", program,
+                    description="token dispatch over many handlers "
+                                "(gcc-like, I-cache heavy)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "handlers": _NUM_HANDLERS})

@@ -1,0 +1,91 @@
+"""hashjoin_like (mcf-flavoured): random probes into a chained hash table.
+
+Pointer-chase-like behaviour: the probe loop's exit branch depends on a
+load from a random bucket that frequently misses — high branch MPKI gated
+on cache misses, the strongest nowp-error producer among the INT kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int buckets[{nbuckets}];
+int next_idx[{nkeys}];
+int key_val[{nkeys}];
+int probes[{nprobes}];
+
+void main() {{
+    int hits = 0;
+    int total = 0;
+    for (int i = 0; i < {nprobes}; i += 1) {{
+        int key = probes[i];
+        int slot = key & {bucket_mask};
+        int cursor = buckets[slot];
+        while (cursor >= 0) {{
+            if (key_val[cursor] == key) {{
+                hits += 1;
+                total += cursor;
+                break;
+            }}
+            cursor = next_idx[cursor];
+        }}
+    }}
+    print_int(hits);
+    print_int(total & 65535);
+}}
+"""
+
+
+def _build_table(nkeys: int, nbuckets: int, rng):
+    keys = rng.integers(0, 1 << 20, size=nkeys, dtype=np.int64)
+    buckets = np.full(nbuckets, -1, dtype=np.int64)
+    next_idx = np.full(nkeys, -1, dtype=np.int64)
+    for i in range(nkeys):
+        slot = int(keys[i]) & (nbuckets - 1)
+        next_idx[i] = buckets[slot]
+        buckets[slot] = i
+    return keys, buckets, next_idx
+
+
+def reference(keys, buckets, next_idx, probes, nbuckets) -> list:
+    hits = 0
+    total = 0
+    for key in probes:
+        cursor = int(buckets[int(key) & (nbuckets - 1)])
+        while cursor >= 0:
+            if keys[cursor] == key:
+                hits += 1
+                total += cursor
+                break
+            cursor = int(next_idx[cursor])
+    return [hits, total & 65535]
+
+
+def build(scale: str = "small", seed: int = 11,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    nkeys = SPEC_SCALES[scale]
+    nbuckets = nkeys // 2
+    nprobes = nkeys
+    rng = np.random.default_rng(seed)
+    keys, buckets, next_idx = _build_table(nkeys, nbuckets, rng)
+    # Half the probes hit, half miss.
+    hit_probes = rng.choice(keys, size=nprobes // 2)
+    miss_probes = rng.integers(1 << 20, 1 << 21, size=nprobes -
+                               nprobes // 2, dtype=np.int64)
+    probes = rng.permutation(np.concatenate([hit_probes, miss_probes]))
+    src = SOURCE.format(nbuckets=nbuckets, nkeys=nkeys, nprobes=nprobes,
+                        bucket_mask=nbuckets - 1)
+    program = build_program(src, {
+        "buckets": buckets, "next_idx": next_idx, "key_val": keys,
+        "probes": probes,
+    })
+    expected = reference(keys, buckets, next_idx, probes, nbuckets) \
+        if check else None
+    return Workload("hashjoin_like", "spec-int", program,
+                    description="chained hash-table probes (mcf-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

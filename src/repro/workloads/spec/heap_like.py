@@ -1,0 +1,103 @@
+"""heap_like (omnetpp-flavoured): discrete-event queue on a binary heap.
+
+Sift-up/down comparisons are data-dependent; the event loop mixes pushes
+and pops with pseudo-random priorities, like a discrete-event simulator's
+future-event set.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int heap[{capacity}];
+
+void main() {{
+    int size = 0;
+    int rng = {seed};
+    int processed = 0;
+    int checksum = 0;
+    for (int ev = 0; ev < {nevents}; ev += 1) {{
+        rng = rng * 1103515245 + 12345;
+        int r = (rng >> 16) & 32767;
+        if (size < 4 || ((r & 3) != 0 && size < {capacity} - 1)) {{
+            // push r
+            int i = size;
+            heap[i] = r;
+            size += 1;
+            while (i > 0) {{
+                int parent = (i - 1) / 2;
+                if (heap[parent] > heap[i]) {{
+                    int tmp = heap[parent];
+                    heap[parent] = heap[i];
+                    heap[i] = tmp;
+                    i = parent;
+                }} else {{
+                    break;
+                }}
+            }}
+        }} else {{
+            // pop min
+            checksum += heap[0];
+            processed += 1;
+            size -= 1;
+            heap[0] = heap[size];
+            int i = 0;
+            int done = 0;
+            while (done == 0) {{
+                int smallest = i;
+                int l = 2 * i + 1;
+                int r2 = l + 1;
+                if (l < size && heap[l] < heap[smallest]) {{
+                    smallest = l;
+                }}
+                if (r2 < size && heap[r2] < heap[smallest]) {{
+                    smallest = r2;
+                }}
+                if (smallest == i) {{
+                    done = 1;
+                }} else {{
+                    int tmp = heap[smallest];
+                    heap[smallest] = heap[i];
+                    heap[i] = tmp;
+                    i = smallest;
+                }}
+            }}
+        }}
+    }}
+    print_int(processed);
+    print_int(checksum & 1048575);
+}}
+"""
+
+
+def reference(nevents: int, capacity: int, seed: int) -> list:
+    heap = []
+    rng = seed
+    processed = 0
+    checksum = 0
+    import heapq
+    for _ in range(nevents):
+        rng = (rng * 1103515245 + 12345) & 0xFFFFFFFF
+        r = (rng >> 16) & 32767
+        if len(heap) < 4 or ((r & 3) != 0 and len(heap) < capacity - 1):
+            heapq.heappush(heap, r)
+        else:
+            checksum += heapq.heappop(heap)
+            processed += 1
+    return [processed, checksum & 1048575]
+
+
+def build(scale: str = "small", seed: int = 16,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    nevents = SPEC_SCALES[scale]
+    capacity = max(1024, nevents)
+    lcg_seed = 12345 + seed
+    src = SOURCE.format(capacity=capacity, nevents=nevents, seed=lcg_seed)
+    program = build_program(src)
+    expected = reference(nevents, capacity, lcg_seed) if check else None
+    return Workload("heap_like", "spec-int", program,
+                    description="binary-heap event queue (omnetpp-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

@@ -1,0 +1,115 @@
+"""lcgwalk_like (leela-flavoured): Monte-Carlo random walks on a 2-D grid.
+
+LCG-driven direction choices make branch directions effectively random,
+while the grid array gives spatially clustered (cache-friendlier) data —
+branch-bound rather than memory-bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int grid[{cells}];
+
+void main() {{
+    int rng = {seed};
+    int visits = 0;
+    int wraps = 0;
+    for (int walk = 0; walk < {nwalks}; walk += 1) {{
+        int x = (walk * 37) % {side};
+        int y = (walk * 61) % {side};
+        for (int step = 0; step < {steps}; step += 1) {{
+            rng = rng * 1103515245 + 12345;
+            int dir = (rng >> 16) & 3;
+            if (dir == 0) {{
+                x += 1;
+                if (x >= {side}) {{
+                    x = 0;
+                    wraps += 1;
+                }}
+            }} else if (dir == 1) {{
+                x -= 1;
+                if (x < 0) {{
+                    x = {side} - 1;
+                    wraps += 1;
+                }}
+            }} else if (dir == 2) {{
+                y += 1;
+                if (y >= {side}) {{
+                    y = 0;
+                    wraps += 1;
+                }}
+            }} else {{
+                y -= 1;
+                if (y < 0) {{
+                    y = {side} - 1;
+                    wraps += 1;
+                }}
+            }}
+            int cell = y * {side} + x;
+            grid[cell] = grid[cell] + 1;
+            visits += grid[cell] & 7;
+        }}
+    }}
+    print_int(wraps);
+    print_int(visits & 1048575);
+}}
+"""
+
+
+def reference(side, nwalks, steps, seed) -> list:
+    grid = np.zeros(side * side, dtype=np.int64)
+    rng = seed
+    visits = 0
+    wraps = 0
+    for walk in range(nwalks):
+        x = (walk * 37) % side
+        y = (walk * 61) % side
+        for _ in range(steps):
+            rng = (rng * 1103515245 + 12345) & 0xFFFFFFFF
+            direction = (rng >> 16) & 3
+            if direction == 0:
+                x += 1
+                if x >= side:
+                    x = 0
+                    wraps += 1
+            elif direction == 1:
+                x -= 1
+                if x < 0:
+                    x = side - 1
+                    wraps += 1
+            elif direction == 2:
+                y += 1
+                if y >= side:
+                    y = 0
+                    wraps += 1
+            else:
+                y -= 1
+                if y < 0:
+                    y = side - 1
+                    wraps += 1
+            cell = y * side + x
+            grid[cell] += 1
+            visits += int(grid[cell]) & 7
+    return [wraps, visits & 1048575]
+
+
+def build(scale: str = "small", seed: int = 19,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    n = SPEC_SCALES[scale]
+    side = 64
+    nwalks = max(8, n // 1024)
+    steps = 512
+    lcg_seed = 777 + seed
+    src = SOURCE.format(cells=side * side, side=side, nwalks=nwalks,
+                        steps=steps, seed=lcg_seed)
+    program = build_program(src)
+    expected = reference(side, nwalks, steps, lcg_seed) if check else None
+    return Workload("lcgwalk_like", "spec-int", program,
+                    description="LCG random walks on a grid (leela-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

@@ -1,0 +1,67 @@
+"""matvec_like (bwaves-flavoured): repeated dense matrix-vector products.
+
+Long streaming rows with a branch-free inner loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float matrix[{elems}];
+float vec[{n}];
+float out[{n}];
+
+void main() {{
+    int n = {n};
+    for (int rep = 0; rep < {reps}; rep += 1) {{
+        for (int i = 0; i < n; i += 1) {{
+            int row = i * n;
+            float sum = 0;
+            for (int j = 0; j < n; j += 1) {{
+                sum += matrix[row + j] * vec[j];
+            }}
+            out[i] = sum;
+        }}
+        for (int i = 0; i < n; i += 1) {{
+            vec[i] = out[i] * 0.001 + 0.5;
+        }}
+    }}
+    float total = 0;
+    for (int i = 0; i < n; i += 1) {{
+        total += vec[i];
+    }}
+    print_float(total);
+}}
+"""
+
+DIMS = {"tiny": 24, "small": 64, "medium": 112}
+REPS = {"tiny": 2, "small": 2, "medium": 2}
+
+
+def reference(matrix: np.ndarray, n: int, reps: int) -> float:
+    m = matrix.astype(np.float64).reshape(n, n)
+    vec = np.full(n, 1.0)
+    for _ in range(reps):
+        out = m @ vec
+        vec = out * 0.001 + 0.5
+    return float(vec.sum())
+
+
+def build(scale: str = "small", seed: int = 22,
+          check: bool = True) -> Workload:
+    n = DIMS[scale]
+    reps = REPS[scale]
+    rng = np.random.default_rng(seed)
+    matrix = rng.random(n * n).astype(np.float32)
+    vec = np.ones(n, dtype=np.float32)
+    src = SOURCE.format(elems=n * n, n=n, reps=reps)
+    program = build_program(src, {"matrix": matrix, "vec": vec})
+    expected = [reference(matrix, n, reps)] if check else None
+    return Workload("matvec_like", "spec-fp", program,
+                    description="dense matvec iterations (bwaves-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 2e-3})

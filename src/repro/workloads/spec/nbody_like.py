@@ -1,0 +1,75 @@
+"""nbody_like (namd-flavoured): pairwise force accumulation with rsqrt-ish
+math.
+
+Heavy float math (mul/div/sqrt) per iteration, fully branch-free inner
+loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float px[{n}];
+float py[{n}];
+float fx[{n}];
+float fy[{n}];
+
+void main() {{
+    int n = {n};
+    float eps = 0.01;
+    for (int i = 0; i < n; i += 1) {{
+        float xi = px[i];
+        float yi = py[i];
+        float ax = 0;
+        float ay = 0;
+        for (int j = 0; j < n; j += 1) {{
+            float dx = px[j] - xi;
+            float dy = py[j] - yi;
+            float r2 = dx * dx + dy * dy + eps;
+            float inv = 1.0 / (r2 * sqrtf(r2));
+            ax += dx * inv;
+            ay += dy * inv;
+        }}
+        fx[i] = ax;
+        fy[i] = ay;
+    }}
+    float total = 0;
+    for (int i = 0; i < n; i += 1) {{
+        total += fx[i] * fx[i] + fy[i] * fy[i];
+    }}
+    print_float(total);
+}}
+"""
+
+BODIES = {"tiny": 32, "small": 80, "medium": 160}
+
+
+def reference(px: np.ndarray, py: np.ndarray) -> float:
+    x = px.astype(np.float64)
+    y = py.astype(np.float64)
+    dx = x[None, :] - x[:, None]
+    dy = y[None, :] - y[:, None]
+    r2 = dx * dx + dy * dy + 0.01
+    inv = 1.0 / (r2 * np.sqrt(r2))
+    fx = (dx * inv).sum(axis=1)
+    fy = (dy * inv).sum(axis=1)
+    return float((fx * fx + fy * fy).sum())
+
+
+def build(scale: str = "small", seed: int = 23,
+          check: bool = True) -> Workload:
+    n = BODIES[scale]
+    rng = np.random.default_rng(seed)
+    px = rng.random(n).astype(np.float32) * 10.0
+    py = rng.random(n).astype(np.float32) * 10.0
+    src = SOURCE.format(n=n)
+    program = build_program(src, {"px": px, "py": py})
+    expected = [reference(px, py)] if check else None
+    return Workload("nbody_like", "spec-fp", program,
+                    description="pairwise force kernel (namd-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 5e-3})

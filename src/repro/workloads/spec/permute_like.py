@@ -1,0 +1,87 @@
+"""permute_like (exchange2-flavoured): recursive permutation search with a
+constraint check.
+
+Regular recursion over a tiny working set: high IPC, low miss rates, mostly
+well-predicted branches — the INT benchmark family that shows near-zero
+nowp error in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int perm[16];
+int used[16];
+int solutions[4];
+
+int count_valid(int pos) {{
+    if (pos == {width}) {{
+        int weight = 0;
+        for (int i = 0; i < {width}; i += 1) {{
+            weight += perm[i] * (i + 1);
+        }}
+        if ((weight & 7) == 0) {{
+            return 1;
+        }}
+        return 0;
+    }}
+    int found = 0;
+    for (int v = 0; v < {width}; v += 1) {{
+        if (used[v] == 0) {{
+            if (pos > 0 && ((perm[pos - 1] + v) & 1) == 0) {{
+                continue;
+            }}
+            used[v] = 1;
+            perm[pos] = v;
+            found += count_valid(pos + 1);
+            used[v] = 0;
+        }}
+    }}
+    return found;
+}}
+
+void main() {{
+    for (int i = 0; i < 16; i += 1) {{
+        used[i] = 0;
+    }}
+    print_int(count_valid(0));
+}}
+"""
+
+WIDTHS = {"tiny": 6, "small": 8, "medium": 9}
+
+
+def reference(width: int) -> list:
+    perm = [0] * width
+    used = [False] * width
+
+    def count_valid(pos: int) -> int:
+        if pos == width:
+            weight = sum(perm[i] * (i + 1) for i in range(width))
+            return 1 if (weight & 7) == 0 else 0
+        found = 0
+        for v in range(width):
+            if not used[v]:
+                if pos > 0 and ((perm[pos - 1] + v) & 1) == 0:
+                    continue
+                used[v] = True
+                perm[pos] = v
+                found += count_valid(pos + 1)
+                used[v] = False
+        return found
+
+    return [count_valid(0)]
+
+
+def build(scale: str = "small", seed: int = 20,
+          check: bool = True) -> Workload:
+    width = WIDTHS[scale]
+    src = SOURCE.format(width=width)
+    program = build_program(src)
+    expected = reference(width) if check else None
+    return Workload("permute_like", "spec-int", program,
+                    description="constrained permutation search "
+                                "(exchange2-like, cache-resident)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed, "width": width})

@@ -1,0 +1,97 @@
+"""ray_like (povray-flavoured): ray-sphere intersection tests.
+
+Mostly-float math with one moderately biased branch (the discriminant
+test), giving the FP population a member with a little — but predictable —
+control flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float ox[{nrays}];
+float oy[{nrays}];
+float dx[{nrays}];
+float dy[{nrays}];
+float cx[{nspheres}];
+float cy[{nspheres}];
+float cr[{nspheres}];
+
+void main() {{
+    int hits = 0;
+    float tsum = 0;
+    for (int r = 0; r < {nrays}; r += 1) {{
+        float rox = ox[r];
+        float roy = oy[r];
+        float rdx = dx[r];
+        float rdy = dy[r];
+        for (int s = 0; s < {nspheres}; s += 1) {{
+            float lx = cx[s] - rox;
+            float ly = cy[s] - roy;
+            float tca = lx * rdx + ly * rdy;
+            float d2 = lx * lx + ly * ly - tca * tca;
+            float r2 = cr[s] * cr[s];
+            if (d2 < r2) {{
+                float thc = sqrtf(r2 - d2);
+                float t = tca - thc;
+                if (t > 0.0) {{
+                    hits += 1;
+                    tsum += t;
+                }}
+            }}
+        }}
+    }}
+    print_int(hits);
+    print_float(tsum);
+}}
+"""
+
+RAYS = {"tiny": 64, "small": 256, "medium": 768}
+SPHERES = {"tiny": 24, "small": 40, "medium": 64}
+
+
+def reference(ox, oy, dx, dy, cx, cy, cr) -> list:
+    hits = 0
+    tsum = 0.0
+    for r in range(len(ox)):
+        for s in range(len(cx)):
+            lx = float(cx[s]) - float(ox[r])
+            ly = float(cy[s]) - float(oy[r])
+            tca = lx * float(dx[r]) + ly * float(dy[r])
+            d2 = lx * lx + ly * ly - tca * tca
+            r2 = float(cr[s]) * float(cr[s])
+            if d2 < r2:
+                t = tca - np.sqrt(r2 - d2)
+                if t > 0.0:
+                    hits += 1
+                    tsum += t
+    return [hits, tsum]
+
+
+def build(scale: str = "small", seed: int = 27,
+          check: bool = True) -> Workload:
+    nrays = RAYS[scale]
+    nspheres = SPHERES[scale]
+    rng = np.random.default_rng(seed)
+    ox = (rng.random(nrays) * 4.0 - 2.0).astype(np.float32)
+    oy = (rng.random(nrays) * 4.0 - 2.0).astype(np.float32)
+    angle = rng.random(nrays) * 2 * np.pi
+    dx = np.cos(angle).astype(np.float32)
+    dy = np.sin(angle).astype(np.float32)
+    cx = (rng.random(nspheres) * 20.0 - 10.0).astype(np.float32)
+    cy = (rng.random(nspheres) * 20.0 - 10.0).astype(np.float32)
+    cr = (rng.random(nspheres) * 2.0 + 0.5).astype(np.float32)
+    src = SOURCE.format(nrays=nrays, nspheres=nspheres)
+    program = build_program(src, {
+        "ox": ox, "oy": oy, "dx": dx, "dy": dy,
+        "cx": cx, "cy": cy, "cr": cr,
+    })
+    expected = reference(ox, oy, dx, dy, cx, cy, cr) if check else None
+    return Workload("ray_like", "spec-fp", program,
+                    description="ray-sphere intersections (povray-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 5e-3})

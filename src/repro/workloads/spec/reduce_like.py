@@ -1,0 +1,67 @@
+"""reduce_like (nab-flavoured): blocked dot products and norms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float va[{n}];
+float vb[{n}];
+float partials[{nblocks}];
+
+void main() {{
+    int n = {n};
+    int bsize = {bsize};
+    for (int blk = 0; blk < {nblocks}; blk += 1) {{
+        int base = blk * bsize;
+        float dot = 0;
+        float norm = 0;
+        for (int i = 0; i < bsize; i += 1) {{
+            float a = va[base + i];
+            float b = vb[base + i];
+            dot += a * b;
+            norm += a * a;
+        }}
+        partials[blk] = dot / sqrtf(norm + 1.0);
+    }}
+    float total = 0;
+    for (int blk = 0; blk < {nblocks}; blk += 1) {{
+        total += partials[blk];
+    }}
+    print_float(total);
+}}
+"""
+
+BLOCK = 64
+
+
+def reference(va: np.ndarray, vb: np.ndarray, nblocks: int) -> float:
+    a = va.astype(np.float64)
+    b = vb.astype(np.float64)
+    total = 0.0
+    for blk in range(nblocks):
+        lo, hi = blk * BLOCK, (blk + 1) * BLOCK
+        dot = (a[lo:hi] * b[lo:hi]).sum()
+        norm = (a[lo:hi] * a[lo:hi]).sum()
+        total += dot / np.sqrt(norm + 1.0)
+    return float(total)
+
+
+def build(scale: str = "small", seed: int = 26,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    n = SPEC_SCALES[scale]
+    nblocks = n // BLOCK
+    rng = np.random.default_rng(seed)
+    va = rng.random(n).astype(np.float32)
+    vb = rng.random(n).astype(np.float32)
+    src = SOURCE.format(n=n, nblocks=nblocks, bsize=BLOCK)
+    program = build_program(src, {"va": va, "vb": vb})
+    expected = [reference(va, vb, nblocks)] if check else None
+    return Workload("reduce_like", "spec-fp", program,
+                    description="blocked dot/norm reductions (nab-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 2e-3})

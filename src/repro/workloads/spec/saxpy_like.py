@@ -1,0 +1,70 @@
+"""saxpy_like (cam4-flavoured): chained streaming axpy sweeps.
+
+Maximal memory streaming with zero data-dependent branches; the hardware
+bottleneck is pure bandwidth/latency, so wrong-path modeling changes
+nothing (FP population anchor near 0% error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float xs[{n}];
+float ys[{n}];
+float zs[{n}];
+
+void main() {{
+    int n = {n};
+    float a = 2.5;
+    float b = 0.75;
+    for (int rep = 0; rep < {reps}; rep += 1) {{
+        for (int i = 0; i < n; i += 1) {{
+            ys[i] = a * xs[i] + ys[i];
+        }}
+        for (int i = 0; i < n; i += 1) {{
+            zs[i] = b * ys[i] + zs[i];
+        }}
+        for (int i = 0; i < n; i += 1) {{
+            xs[i] = zs[i] * 0.125;
+        }}
+    }}
+    float total = 0;
+    for (int i = 0; i < n; i += 1) {{
+        total += zs[i];
+    }}
+    print_float(total);
+}}
+"""
+
+REPS = {"tiny": 3, "small": 4, "medium": 4}
+
+
+def reference(xs: np.ndarray, n: int, reps: int) -> float:
+    x = xs.astype(np.float64)
+    y = np.zeros(n)
+    z = np.zeros(n)
+    for _ in range(reps):
+        y = 2.5 * x + y
+        z = 0.75 * y + z
+        x = z * 0.125
+    return float(z.sum())
+
+
+def build(scale: str = "small", seed: int = 24,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    n = SPEC_SCALES[scale] // 2
+    reps = REPS[scale]
+    rng = np.random.default_rng(seed)
+    xs = rng.random(n).astype(np.float32)
+    src = SOURCE.format(n=n, reps=reps)
+    program = build_program(src, {"xs": xs})
+    expected = [reference(xs, n, reps)] if check else None
+    return Workload("saxpy_like", "spec-fp", program,
+                    description="chained axpy streams (cam4-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 2e-3})

@@ -1,0 +1,94 @@
+"""sjeng_like: recursive minimax with alpha-beta pruning over an implicit
+random game tree.
+
+Deep call recursion with hard-to-predict pruning branches; evaluation
+values come from a table indexed by a hashed path, so pruning decisions are
+gated on loads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int eval_table[{tsize}];
+
+int search(int node, int depth, int alpha, int beta, int color) {{
+    if (depth == 0) {{
+        return eval_table[node & {tmask}] * color;
+    }}
+    int best = -1000000;
+    for (int move = 0; move < {branching}; move += 1) {{
+        int child = node * {branching} + move + 1;
+        int score = -search(child, depth - 1, -beta, -alpha, -color);
+        if (score > best) {{
+            best = score;
+        }}
+        if (best > alpha) {{
+            alpha = best;
+        }}
+        if (alpha >= beta) {{
+            break;
+        }}
+    }}
+    return best;
+}}
+
+void main() {{
+    int total = 0;
+    for (int root = 0; root < {nroots}; root += 1) {{
+        total += search(root * 977, {depth}, -1000000, 1000000, 1);
+    }}
+    print_int(total & 1048575);
+}}
+"""
+
+DEPTHS = {"tiny": 4, "small": 5, "medium": 6}
+ROOTS = {"tiny": 12, "small": 24, "medium": 48}
+BRANCHING = 5
+
+
+def reference(table, tmask, nroots, depth) -> list:
+    def search(node, depth, alpha, beta, color):
+        if depth == 0:
+            value = int(table[node & tmask]) & 0xFFFFFFFF
+            if value & 0x80000000:
+                value -= 1 << 32
+            return value * color
+        best = -1000000
+        for move in range(BRANCHING):
+            child = (node * BRANCHING + move + 1) & 0xFFFFFFFF
+            score = -search(child, depth - 1, -beta, -alpha, -color)
+            if score > best:
+                best = score
+            if best > alpha:
+                alpha = best
+            if alpha >= beta:
+                break
+        return best
+
+    total = 0
+    for root in range(nroots):
+        total += search((root * 977) & 0xFFFFFFFF, depth, -1000000,
+                        1000000, 1)
+    return [total & 1048575]
+
+
+def build(scale: str = "small", seed: int = 18,
+          check: bool = True) -> Workload:
+    import numpy as np
+    from repro.workloads.spec import SPEC_SCALES
+    tsize = SPEC_SCALES[scale]
+    rng = np.random.default_rng(seed)
+    table = rng.integers(-500, 501, size=tsize, dtype=np.int64)
+    depth = DEPTHS[scale]
+    nroots = ROOTS[scale]
+    src = SOURCE.format(tsize=tsize, tmask=tsize - 1, branching=BRANCHING,
+                        nroots=nroots, depth=depth)
+    program = build_program(src, {"eval_table": table})
+    expected = reference(table, tsize - 1, nroots, depth) if check else None
+    return Workload("sjeng_like", "spec-int", program,
+                    description="alpha-beta minimax on a random tree "
+                                "(deepsjeng-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

@@ -1,0 +1,98 @@
+"""sort_like: iterative quicksort over a random array.
+
+Comparison branches are inherently data-dependent (~50% taken near the
+pivot) but operate on cache-resident partitions — branch-missy with fast
+resolutions, like the mid-pack SPEC INT benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int data[{size}];
+int stack_lo[64];
+int stack_hi[64];
+
+void main() {{
+    int top = 0;
+    stack_lo[0] = 0;
+    stack_hi[0] = {size} - 1;
+    top = 1;
+    while (top > 0) {{
+        top -= 1;
+        int lo = stack_lo[top];
+        int hi = stack_hi[top];
+        while (lo < hi) {{
+            int pivot = data[(lo + hi) / 2];
+            int i = lo;
+            int j = hi;
+            while (i <= j) {{
+                while (data[i] < pivot) {{
+                    i += 1;
+                }}
+                while (data[j] > pivot) {{
+                    j -= 1;
+                }}
+                if (i <= j) {{
+                    int tmp = data[i];
+                    data[i] = data[j];
+                    data[j] = tmp;
+                    i += 1;
+                    j -= 1;
+                }}
+            }}
+            if (j - lo < hi - i) {{
+                if (i < hi) {{
+                    stack_lo[top] = i;
+                    stack_hi[top] = hi;
+                    top += 1;
+                }}
+                hi = j;
+            }} else {{
+                if (lo < j) {{
+                    stack_lo[top] = lo;
+                    stack_hi[top] = j;
+                    top += 1;
+                }}
+                lo = i;
+            }}
+        }}
+    }}
+    int checksum = 0;
+    int sorted_ok = 1;
+    for (int i = 1; i < {size}; i += 1) {{
+        if (data[i - 1] > data[i]) {{
+            sorted_ok = 0;
+        }}
+        checksum += data[i] * i;
+    }}
+    print_int(sorted_ok);
+    print_int(checksum & 1048575);
+}}
+"""
+
+
+def reference(data: np.ndarray) -> list:
+    ordered = np.sort(data)
+    checksum = 0
+    for i in range(1, len(ordered)):
+        checksum = (checksum + int(ordered[i]) * i) & 0xFFFFFFFF
+    return [1, checksum & 1048575]
+
+
+def build(scale: str = "small", seed: int = 14,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    size = SPEC_SCALES[scale]
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 20, size=size, dtype=np.int64)
+    src = SOURCE.format(size=size)
+    program = build_program(src, {"data": data})
+    expected = reference(data) if check else None
+    return Workload("sort_like", "spec-int", program,
+                    description="iterative quicksort (sort-heavy INT)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

@@ -1,0 +1,73 @@
+"""stencil_like (lbm-flavoured): 5-point Jacobi stencil sweeps.
+
+Pure streaming float code; branches are loop bounds only, so the paper's
+FP-benchmark behaviour (nowp error ~0) should hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+float grid_a[{cells}];
+float grid_b[{cells}];
+
+void main() {{
+    int side = {side};
+    float quarter = 0.25;
+    for (int sweep = 0; sweep < {sweeps}; sweep += 1) {{
+        for (int y = 1; y < side - 1; y += 1) {{
+            int row = y * side;
+            for (int x = 1; x < side - 1; x += 1) {{
+                int c = row + x;
+                grid_b[c] = quarter * (grid_a[c - 1] + grid_a[c + 1]
+                                       + grid_a[c - side]
+                                       + grid_a[c + side]);
+            }}
+        }}
+        for (int y = 1; y < side - 1; y += 1) {{
+            int row = y * side;
+            for (int x = 1; x < side - 1; x += 1) {{
+                int c = row + x;
+                grid_a[c] = grid_b[c];
+            }}
+        }}
+    }}
+    float total = 0;
+    for (int i = 0; i < {cells}; i += 1) {{
+        total += grid_a[i];
+    }}
+    print_float(total);
+}}
+"""
+
+SWEEPS = {"tiny": 2, "small": 3, "medium": 3}
+SIDES = {"tiny": 24, "small": 56, "medium": 96}
+
+
+def reference(grid: np.ndarray, side: int, sweeps: int) -> float:
+    a = grid.astype(np.float32).reshape(side, side).copy()
+    for _ in range(sweeps):
+        b = a.copy()
+        b[1:-1, 1:-1] = np.float32(0.25) * (
+            a[1:-1, :-2] + a[1:-1, 2:] + a[:-2, 1:-1] + a[2:, 1:-1])
+        a = b
+    return float(a.sum(dtype=np.float64))
+
+
+def build(scale: str = "small", seed: int = 21,
+          check: bool = True) -> Workload:
+    side = SIDES[scale]
+    sweeps = SWEEPS[scale]
+    rng = np.random.default_rng(seed)
+    grid = rng.random(side * side).astype(np.float32)
+    src = SOURCE.format(cells=side * side, side=side, sweeps=sweeps)
+    program = build_program(src, {"grid_a": grid})
+    expected = [reference(grid, side, sweeps)] if check else None
+    return Workload("stencil_like", "spec-fp", program,
+                    description="5-point Jacobi stencil (lbm-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed,
+                          "float_tolerance": 2e-3})

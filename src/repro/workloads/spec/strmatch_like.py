@@ -1,0 +1,76 @@
+"""strmatch_like (perlbench-flavoured): naive substring search.
+
+Inner match loops break on the first mismatching character — short,
+data-dependent loops over streaming text, moderate branch MPKI with fast
+resolutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int text[{tsize}];
+int patterns[{psize}];
+
+void main() {{
+    int matches = 0;
+    int positions = 0;
+    for (int p = 0; p < {npatterns}; p += 1) {{
+        int pbase = p * {plen};
+        int limit = {tsize} - {plen};
+        for (int i = 0; i < limit; i += 1) {{
+            int j = 0;
+            while (j < {plen} && text[i + j] == patterns[pbase + j]) {{
+                j += 1;
+            }}
+            if (j == {plen}) {{
+                matches += 1;
+                positions += i;
+            }}
+        }}
+    }}
+    print_int(matches);
+    print_int(positions & 1048575);
+}}
+"""
+
+
+def reference(text, patterns, npatterns, plen) -> list:
+    matches = 0
+    positions = 0
+    text_list = [int(c) for c in text]
+    for p in range(npatterns):
+        pat = [int(c) for c in patterns[p * plen:(p + 1) * plen]]
+        for i in range(len(text_list) - plen):
+            if text_list[i:i + plen] == pat:
+                matches += 1
+                positions += i
+    return [matches, positions & 1048575]
+
+
+def build(scale: str = "small", seed: int = 17,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    tsize = SPEC_SCALES[scale] // 2
+    plen = 6
+    npatterns = 8
+    rng = np.random.default_rng(seed)
+    # Small alphabet so partial matches (and hence inner-loop mispredicts)
+    # are common.
+    text = rng.integers(0, 6, size=tsize, dtype=np.int64)
+    patterns = np.concatenate([
+        text[start:start + plen] if rng.random() < 0.5
+        else rng.integers(0, 6, size=plen, dtype=np.int64)
+        for start in rng.integers(0, tsize - plen, size=npatterns)
+    ])
+    src = SOURCE.format(tsize=tsize, psize=npatterns * plen,
+                        npatterns=npatterns, plen=plen)
+    program = build_program(src, {"text": text, "patterns": patterns})
+    expected = reference(text, patterns, npatterns, plen) if check else None
+    return Workload("strmatch_like", "spec-int", program,
+                    description="naive substring search (perlbench-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

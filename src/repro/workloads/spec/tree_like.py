@@ -1,0 +1,102 @@
+"""tree_like (xalancbmk-flavoured): random lookups in a binary search tree.
+
+Every comparison steers on freshly loaded, randomly placed node data —
+branch direction is essentially random and resolution is gated on the node
+load, producing deep wrong paths with little convergence (unlike GAP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int key[{nnodes}];
+int left[{nnodes}];
+int right[{nnodes}];
+int queries[{nqueries}];
+
+void main() {{
+    int found = 0;
+    int depth_total = 0;
+    for (int q = 0; q < {nqueries}; q += 1) {{
+        int target = queries[q];
+        int node = 0;
+        while (node >= 0) {{
+            int k = key[node];
+            depth_total += 1;
+            if (k == target) {{
+                found += 1;
+                break;
+            }}
+            if (target < k) {{
+                node = left[node];
+            }} else {{
+                node = right[node];
+            }}
+        }}
+    }}
+    print_int(found);
+    print_int(depth_total);
+}}
+"""
+
+
+def _build_tree(nnodes: int, rng):
+    keys = rng.permutation(nnodes * 4)[:nnodes]
+    left = np.full(nnodes, -1, dtype=np.int64)
+    right = np.full(nnodes, -1, dtype=np.int64)
+    # Insert in random order; node ids follow insertion order, so the tree
+    # layout in memory is unrelated to key order (cache-hostile walks).
+    for i in range(1, nnodes):
+        node = 0
+        while True:
+            if keys[i] < keys[node]:
+                if left[node] < 0:
+                    left[node] = i
+                    break
+                node = left[node]
+            else:
+                if right[node] < 0:
+                    right[node] = i
+                    break
+                node = right[node]
+    return keys, left, right
+
+
+def reference(keys, left, right, queries) -> list:
+    found = 0
+    depth_total = 0
+    for target in map(int, queries):
+        node = 0
+        while node >= 0:
+            depth_total += 1
+            k = int(keys[node])
+            if k == target:
+                found += 1
+                break
+            node = int(left[node] if target < k else right[node])
+    return [found, depth_total]
+
+
+def build(scale: str = "small", seed: int = 15,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    nnodes = SPEC_SCALES[scale]
+    nqueries = max(512, nnodes // 4)
+    rng = np.random.default_rng(seed)
+    keys, left, right = _build_tree(nnodes, rng)
+    hit = rng.choice(keys, size=nqueries // 2)
+    miss = rng.integers(nnodes * 4, nnodes * 8, size=nqueries -
+                        nqueries // 2, dtype=np.int64)
+    queries = rng.permutation(np.concatenate([hit, miss]))
+    src = SOURCE.format(nnodes=nnodes, nqueries=nqueries)
+    program = build_program(src, {
+        "key": keys, "left": left, "right": right, "queries": queries,
+    })
+    expected = reference(keys, left, right, queries) if check else None
+    return Workload("tree_like", "spec-int", program,
+                    description="random BST lookups (xalancbmk-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

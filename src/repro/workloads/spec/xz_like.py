@@ -1,0 +1,104 @@
+"""xz_like: LZ-style match finding over a byte-ish buffer.
+
+Data-dependent match-length loops and hash-head lookups produce both
+positive and negative wrong-path interference; the paper calls out xz as
+the benchmark where the convergence technique's positive-only modeling
+shows as a positive error outlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, build_program
+
+SOURCE = """
+int buffer[{size}];
+int head[{nheads}];
+
+void main() {{
+    int matched = 0;
+    int literals = 0;
+    for (int i = 0; i < {nheads}; i += 1) {{
+        head[i] = -1;
+    }}
+    int limit = {size} - 8;
+    for (int pos = 0; pos < limit; pos += 1) {{
+        int h = (buffer[pos] * 2654435761) >> {hash_shift};
+        h = h & {head_mask};
+        int cand = head[h];
+        head[h] = pos;
+        if (cand >= 0 && cand < pos) {{
+            int len = 0;
+            while (len < 8 && buffer[cand + len] == buffer[pos + len]) {{
+                len += 1;
+            }}
+            if (len >= 3) {{
+                matched += len;
+                pos += len - 1;
+            }} else {{
+                literals += 1;
+            }}
+        }} else {{
+            literals += 1;
+        }}
+    }}
+    print_int(matched);
+    print_int(literals);
+}}
+"""
+
+
+def reference(buffer: np.ndarray, nheads: int, hash_shift: int) -> list:
+    size = len(buffer)
+    head = [-1] * nheads
+    head_mask = nheads - 1
+    matched = 0
+    literals = 0
+    limit = size - 8
+    pos = 0
+    while pos < limit:
+        # Match the kernel's arithmetic shift (sra) on the wrapped product.
+        product = (int(buffer[pos]) * 2654435761) & 0xFFFFFFFF
+        if product & 0x80000000:
+            product -= 1 << 32
+        h = (product >> hash_shift) & head_mask
+        cand = head[h]
+        head[h] = pos
+        if 0 <= cand < pos:
+            length = 0
+            while length < 8 and buffer[cand + length] == \
+                    buffer[pos + length]:
+                length += 1
+            if length >= 3:
+                matched += length
+                pos += length - 1
+            else:
+                literals += 1
+        else:
+            literals += 1
+        pos += 1
+    return [matched, literals]
+
+
+def build(scale: str = "small", seed: int = 12,
+          check: bool = True) -> Workload:
+    from repro.workloads.spec import SPEC_SCALES
+    size = SPEC_SCALES[scale]
+    nheads = max(256, size // 16)
+    hash_shift = 18
+    rng = np.random.default_rng(seed)
+    # Compressible-ish data: small alphabet with repeated motifs.
+    motifs = rng.integers(0, 48, size=(32, 8), dtype=np.int64)
+    chunks = [motifs[rng.integers(0, 32)] if rng.random() < 0.6
+              else rng.integers(0, 48, size=8, dtype=np.int64)
+              for _ in range(size // 8)]
+    buffer = np.concatenate(chunks)[:size]
+    src = SOURCE.format(size=size, nheads=nheads, head_mask=nheads - 1,
+                        hash_shift=hash_shift)
+    program = build_program(src, {"buffer": buffer})
+    expected = reference(buffer, nheads, hash_shift) if check else None
+    return Workload("xz_like", "spec-int", program,
+                    description="LZ-style match finder (xz-like)",
+                    expected_output=expected,
+                    meta={"scale": scale, "seed": seed})

@@ -1,0 +1,14 @@
+"""The four wrong-path modeling techniques (Section III / IV)."""
+
+from repro.wrongpath.base import (WPItem, WrongPathModel,
+                                  reconstruct_from_code_cache,
+                                  simulate_wrong_path_stream)
+from repro.wrongpath.convergence import ConvergenceExploitation
+from repro.wrongpath.emulation import WrongPathEmulation
+from repro.wrongpath.instrec import InstructionReconstruction
+from repro.wrongpath.nowp import NoWrongPath
+
+__all__ = ["WPItem", "WrongPathModel", "reconstruct_from_code_cache",
+           "simulate_wrong_path_stream", "ConvergenceExploitation",
+           "WrongPathEmulation", "InstructionReconstruction",
+           "NoWrongPath"]

@@ -1,0 +1,211 @@
+"""Wrong-path model interface and the shared wrong-path pipeline executor.
+
+All techniques share the same *timing* treatment of wrong-path instructions
+(:func:`simulate_wrong_path_stream`): inside the mispredict window they
+consume fetch bandwidth, access the I-cache, occupy issue ports, obey
+register dependences (against both correct-path producers and earlier
+wrong-path instructions), and — when their memory address is known — access
+the data cache/TLB, mutating its state.  Port reservations are snapshotted
+and squashed at resolution, so correct-path timing is affected *only*
+through cache/TLB state, mirroring how real wrong-path execution perturbs
+performance.
+
+The techniques differ purely in how they obtain the wrong-path instruction
+stream and its memory addresses:
+
+* ``nowp``      — no stream (fetch just halts),
+* ``instrec``   — code-cache reconstruction, no addresses,
+* ``conv``      — code-cache reconstruction + convergence-recovered addresses,
+* ``wpemul``    — the functionally emulated trace with all addresses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+from repro.core.ooo import OoOCore, WrongPathWindow
+from repro.core.resources import SlotAllocator
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+
+
+class WPItem:
+    """One wrong-path instruction as fed to the pipeline executor."""
+
+    __slots__ = ("instr", "pc", "mem_addr")
+
+    def __init__(self, instr: Instruction, pc: int,
+                 mem_addr: Optional[int] = None):
+        self.instr = instr
+        self.pc = pc
+        self.mem_addr = mem_addr
+
+    def __repr__(self) -> str:
+        return f"WPItem({self.instr.op}, pc={self.pc:#x}, " \
+               f"mem={self.mem_addr})"
+
+
+class WrongPathModel(abc.ABC):
+    """One wrong-path modeling technique."""
+
+    #: Short name used in results tables ("nowp", "instrec", "conv",
+    #: "wpemul").
+    name: str = "abstract"
+
+    def attach(self, core: OoOCore) -> None:
+        """Bind the model to the core it serves (called by the core)."""
+        self.core = core
+
+    @abc.abstractmethod
+    def on_mispredict(self, window: WrongPathWindow) -> None:
+        """Handle one mispredict window."""
+
+
+def reconstruct_from_code_cache(core: OoOCore, start_pc: int,
+                                limit: int) -> List[WPItem]:
+    """Walk the code cache from ``start_pc``, steering wrong-path branches
+    with non-mutating predictor peeks (Section III-A).
+
+    Stops at the first address missing from the code cache, when an
+    indirect target cannot be predicted, or after ``limit`` instructions.
+    """
+    items: List[WPItem] = []
+    pc = start_pc
+    lookup = core.code_cache.lookup
+    spec = core.bpu.speculative_state()
+    stats = core.stats
+    for _ in range(limit):
+        instr = lookup(pc)
+        if instr is None:
+            stats.wp_stop_code_cache += 1
+            break
+        items.append(WPItem(instr, pc))
+        if instr.is_control:
+            next_pc = core.bpu.peek_next(instr, spec)
+            if next_pc is None:
+                stats.wp_stop_prediction += 1
+                break
+            pc = next_pc
+        elif instr.is_syscall:
+            break
+        else:
+            pc += INSTRUCTION_SIZE
+    return items
+
+
+def simulate_wrong_path_stream(window: WrongPathWindow,
+                               items: Iterable[WPItem]) -> int:
+    """Run wrong-path instructions through the pipeline inside the window.
+
+    Returns the number of wrong-path instructions *fetched*; updates the
+    core's wrong-path counters.  A wrong-path instruction counts as
+    *executed* when it completes before the branch resolves — unknown-address
+    loads behave like L1 hits, so less accurate techniques execute more
+    wrong-path instructions within the same window (the paper's Table II
+    observation).
+    """
+    core = window.core
+    cfg = core.cfg
+    stats = core.stats
+    hierarchy = core.hierarchy
+    ports = core.ports
+    resolution = window.resolution
+
+    snapshot = ports.snapshot()
+    fetch = SlotAllocator(cfg.fetch_width)
+    fetch.restart_at(window.start)
+    wp_ready = {}
+    cur_line = -1
+    line_shift = core._line_shift
+    fetched = 0
+    executed = 0
+    # Outstanding wrong-path fills (completion cycles); bounded by the L1D
+    # fill buffers so the wrong path cannot prefetch arbitrarily deep.
+    mshrs = []
+    mshr_cap = cfg.mshr_entries
+
+    for item in items:
+        if fetched >= window.max_instructions:
+            break
+        pc = item.pc
+        line = pc >> line_shift
+        if line != cur_line:
+            cur_line = line
+            latency = hierarchy.access_instr(pc, wrong_path=True)
+            penalty = latency - cfg.l1i_latency
+            if penalty > 0:
+                fetch.restart_at(fetch.cycle + penalty)
+        fetch_c = fetch.allocate(0)
+        if fetch_c >= resolution:
+            break  # squashed before it could be fetched
+        fetched += 1
+
+        instr = item.instr
+        ready = fetch_c + cfg.frontend_depth + 1
+        regready = core.regready
+        for reg in instr.reads:
+            t = wp_ready.get(reg)
+            if t is None:
+                t = regready[reg]
+            if t > ready:
+                ready = t
+        issue_c = ports.issue(instr.fu, ready)
+
+        if instr.is_load:
+            stats.wp_loads += 1
+            stats.wp_mem_ops += 1
+            if item.mem_addr is not None:
+                stats.wp_loads_with_addr += 1
+                stats.wp_addr_recovered += 1
+                addr = item.mem_addr
+                if issue_c >= resolution:
+                    # Operands became ready only after the squash: the load
+                    # never issues, so it must not touch the cache.  This is
+                    # what bounds wrong-path prefetch depth to what the
+                    # dependence chains allow inside the window.
+                    for reg in instr.writes:
+                        wp_ready[reg] = resolution + 1
+                    continue
+                if hierarchy.l1d.contains(addr):
+                    latency = hierarchy.access_data(addr, False, pc=pc,
+                                                    wrong_path=True)
+                else:
+                    # A fill needs an MSHR; recycle the earliest one once
+                    # the buffer is full, or drop the access if no MSHR
+                    # frees up before the squash.
+                    if len(mshrs) >= mshr_cap:
+                        earliest = min(mshrs)
+                        if earliest >= resolution:
+                            # Fill never issues before the squash: no cache
+                            # mutation, and dependents never become ready.
+                            for reg in instr.writes:
+                                wp_ready[reg] = resolution + 1
+                            continue
+                        mshrs.remove(earliest)
+                        if earliest > issue_c:
+                            issue_c = earliest
+                    latency = hierarchy.access_data(addr, False, pc=pc,
+                                                    wrong_path=True)
+                    mshrs.append(issue_c + latency)
+            else:
+                latency = cfg.l1d_latency  # optimistic: modeled as a hit
+            complete = issue_c + latency
+        elif instr.is_store:
+            stats.wp_stores += 1
+            stats.wp_mem_ops += 1
+            if item.mem_addr is not None:
+                stats.wp_addr_recovered += 1
+            # Wrong-path stores never commit and never touch the cache.
+            complete = issue_c + cfg.store_latency
+        else:
+            complete = issue_c + ports.latency[instr.fu]
+
+        for reg in instr.writes:
+            wp_ready[reg] = complete
+        if complete <= resolution:
+            executed += 1
+
+    ports.restore(snapshot)
+    stats.wp_fetched += fetched
+    stats.wp_executed += executed
+    return fetched

@@ -1,0 +1,145 @@
+"""Wrong-path memory-address reconstruction for converging code
+(Section III-C, simulator version 3 in Section IV — the paper's novel
+contribution).
+
+On a conditional-branch mispredict the technique:
+
+1. reconstructs the wrong path from the code cache (as ``instrec``),
+2. peeks at the future correct-path instructions in the runahead queue,
+3. detects *one-sided-branch convergence*: either the first wrong-path
+   instruction reappears within ROB-size future correct-path instructions,
+   or the first correct-path instruction reappears within the reconstructed
+   wrong path (Figure 2) — at most 2 x ROB-size address comparisons,
+4. collects the registers written on the non-converged prefix ("dirty"
+   registers, Figure 3 step 4),
+5. walks both paths from the convergence point while their instruction
+   pointers match, copying the correct-path memory address onto each
+   wrong-path memory op whose address register is clean, and propagating
+   dirtiness through register dependences (Figure 3 step 5).
+
+Deliberate limitations copied from the paper: only one-sided branches
+(if-then, not if-then-else) are checked, and only *register* dependences are
+tracked — through-memory dependences are not, which may over-approximate
+address validity.  Indirect-jump mispredicts fall back to plain instruction
+reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.ooo import WrongPathWindow
+from repro.frontend.dyninstr import DynInstr
+from repro.wrongpath.base import (WPItem, WrongPathModel,
+                                  reconstruct_from_code_cache,
+                                  simulate_wrong_path_stream)
+
+
+class ConvergenceExploitation(WrongPathModel):
+    """instrec + convergence-based memory-address recovery."""
+
+    name = "conv"
+
+    def on_mispredict(self, window: WrongPathWindow) -> None:
+        core = window.core
+        items = reconstruct_from_code_cache(core, window.wrong_pc,
+                                            window.max_instructions)
+        if not items:
+            return
+        stats = core.stats
+        stats.conv_attempts += 1
+        # One-sided convergence is only defined for conditional branches.
+        if window.branch.instr.is_branch and core.queue is not None:
+            future = core.queue.window(core.cfg.rob_size)
+            found = _recover_addresses(items, future)
+            if found is not None:
+                stats.conv_found += 1
+                stats.conv_distance_total += found
+        simulate_wrong_path_stream(window, items)
+
+
+def _first_index(pcs: List[int], target: int, start: int = 0) -> int:
+    """Index of the first occurrence of ``target`` in ``pcs`` at or after
+    ``start``; -1 if absent."""
+    try:
+        return pcs.index(target, start)
+    except ValueError:
+        return -1
+
+
+def _recover_addresses(items: List[WPItem],
+                       future: List[DynInstr]) -> Optional[int]:
+    """Detect convergence and copy addresses in place.
+
+    Returns the convergence distance (length of the non-converged prefix)
+    or None when the paths do not converge one-sidedly.
+    """
+    if not future:
+        return None
+    wp_pcs = [item.pc for item in items]
+    cp_pcs = [di.pc for di in future]
+
+    # Case "wrong path is the long side": the first correct-path pc appears
+    # later in the wrong path (branch taken path = WXYZABCD, correct = ABCD
+    # with A the branch fall-through, or vice versa).
+    j = _first_index(wp_pcs, cp_pcs[0], start=1)
+    # Case "correct path is the long side": the first wrong-path pc appears
+    # later in the correct path.
+    k = _first_index(cp_pcs, wp_pcs[0], start=1)
+
+    if j < 0 and k < 0:
+        return None
+    if j >= 0 and (k < 0 or j <= k):
+        # Pre-convergence prefix lies on the wrong path.
+        distance = j
+        dirty = _written_registers(item.instr for item in items[:j])
+        aligned = zip(items[j:], future)
+    else:
+        # Pre-convergence prefix lies on the correct path.
+        distance = k
+        dirty = _written_registers(di.instr for di in future[:k])
+        aligned = zip(items, future[k:])
+
+    _copy_addresses(aligned, dirty)
+    return distance
+
+
+def _written_registers(instrs) -> set:
+    dirty = set()
+    for instr in instrs:
+        dirty.update(instr.writes)
+    return dirty
+
+
+def _copy_addresses(aligned, dirty: set) -> None:
+    """Walk the aligned post-convergence streams, copying memory addresses
+    for address-clean memory ops and propagating register dirtiness."""
+    for wp_item, cp_di in aligned:
+        if wp_item.pc != cp_di.pc:
+            break  # paths diverged again (e.g. differing WP prediction)
+        instr = wp_item.instr
+        if instr.is_mem:
+            # The effective address depends only on the base register.
+            address_clean = instr.rs1 not in dirty
+            if address_clean and cp_di.mem_addr is not None:
+                wp_item.mem_addr = cp_di.mem_addr
+            # A load's value comes from (untracked) memory via the address:
+            # with a clean address it reloads the same location, so its
+            # result is clean; stores write no register.
+            if instr.is_load:
+                for reg in instr.writes:
+                    if address_clean:
+                        dirty.discard(reg)
+                    else:
+                        dirty.add(reg)
+        else:
+            src_dirty = False
+            for reg in instr.reads:
+                if reg in dirty:
+                    src_dirty = True
+                    break
+            for reg in instr.writes:
+                if src_dirty:
+                    dirty.add(reg)
+                else:
+                    dirty.discard(reg)

@@ -1,0 +1,39 @@
+"""Functional wrong-path emulation (Section III-B, simulator version 4 —
+the accuracy reference).
+
+The heavy lifting happens in the functional frontend
+(:meth:`repro.functional.frontend.FunctionalFrontend`): it keeps a copy of
+the branch predictor, detects the same mispredictions the timing model will
+detect, and emulates the wrong path there (checkpoint, redirect, suppress
+stores/exceptions, stop on syscalls) — recording the wrong-path instructions
+*with their real memory addresses* onto the branch's :class:`DynInstr`.
+
+This model consumes that recorded trace: every wrong-path load performs a
+real data-cache access.  Because the two predictor copies observe the same
+correct-path branch stream through the same entry point, they stay in
+lockstep; ``wp_trace_missing`` counts desyncs and must remain zero (enforced
+by an integration test).
+"""
+
+from __future__ import annotations
+
+from repro.core.ooo import WrongPathWindow
+from repro.wrongpath.base import (WPItem, WrongPathModel,
+                                  simulate_wrong_path_stream)
+
+
+class WrongPathEmulation(WrongPathModel):
+    """Timing-side consumer of the functionally emulated wrong path."""
+
+    name = "wpemul"
+
+    def on_mispredict(self, window: WrongPathWindow) -> None:
+        trace = window.branch.wp_trace
+        core = window.core
+        if not trace:
+            # The functional frontend did not predict this mispredict (or
+            # the wrong path was empty): fall back to halting fetch.
+            core.stats.wp_trace_missing += 1
+            return
+        items = [WPItem(rec.instr, rec.pc, rec.mem_addr) for rec in trace]
+        simulate_wrong_path_stream(window, items)

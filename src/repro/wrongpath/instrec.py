@@ -1,0 +1,28 @@
+"""Instruction reconstruction using the code cache (Section III-A,
+simulator version 2 in Section IV).
+
+On a mispredict the wrong path is replayed out of the code cache:
+data-independent information (instruction addresses for the I-cache, branch
+types for prediction, instruction types for FU/buffer occupancy, register
+dependences) is modeled; data-dependent information — above all memory
+addresses — is not, so data-cache and TLB accesses cannot be simulated and
+unknown-address loads behave like cache hits.
+"""
+
+from __future__ import annotations
+
+from repro.core.ooo import WrongPathWindow
+from repro.wrongpath.base import (WrongPathModel, reconstruct_from_code_cache,
+                                  simulate_wrong_path_stream)
+
+
+class InstructionReconstruction(WrongPathModel):
+    """Code-cache wrong-path replay without memory addresses."""
+
+    name = "instrec"
+
+    def on_mispredict(self, window: WrongPathWindow) -> None:
+        items = reconstruct_from_code_cache(window.core, window.wrong_pc,
+                                            window.max_instructions)
+        if items:
+            simulate_wrong_path_stream(window, items)

@@ -1,0 +1,24 @@
+"""No wrong-path modeling — the functional-first default (simulator
+version 1 in Section IV).
+
+"The performance simulator halts instruction fetch until the branch is
+executed (in simulation time), after which correct-path fetch restarts
+(with some extra latency to model squashing instructions and restoring
+register rename state)."  The halt/restart itself is implemented by the
+core for every technique; this model simply contributes nothing inside the
+window.
+"""
+
+from __future__ import annotations
+
+from repro.core.ooo import WrongPathWindow
+from repro.wrongpath.base import WrongPathModel
+
+
+class NoWrongPath(WrongPathModel):
+    """Fetch halts; no wrong-path instructions are simulated."""
+
+    name = "nowp"
+
+    def on_mispredict(self, window: WrongPathWindow) -> None:
+        return None

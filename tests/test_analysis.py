@@ -1,0 +1,64 @@
+"""Tests for the analysis/report helpers."""
+
+import pytest
+
+from repro.analysis.report import (distribution_summary, percent,
+                                   render_table)
+
+
+class TestPercent:
+    def test_sign_and_digits(self):
+        assert percent(0.0123) == "+1.2%"
+        assert percent(-0.5) == "-50.0%"
+        assert percent(0.012345, digits=2) == "+1.23%"
+        assert percent(0.0) == "+0.0%"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        table = render_table("My Title", ["a", "long_header"],
+                             [("x", 1), ("longer_cell", 22)])
+        lines = table.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+        assert "long_header" in lines[2]
+        # Columns align: the second column starts at the same offset in
+        # the header and in the widest data row.
+        assert "longer_cell" in lines[5]
+        assert lines[5].index("22") == lines[2].index("long_header")
+
+    def test_empty_rows(self):
+        table = render_table("t", ["h"], [])
+        assert "h" in table
+
+    def test_non_string_cells(self):
+        table = render_table("t", ["n", "f"], [(12, 3.5)])
+        assert "12" in table and "3.5" in table
+
+
+class TestDistributionSummary:
+    def test_empty(self):
+        assert distribution_summary({}) == {"count": 0}
+
+    def test_statistics(self):
+        summary = distribution_summary({
+            "a": -0.10, "b": -0.02, "c": 0.0, "d": 0.001, "e": 0.03,
+        })
+        assert summary["count"] == 5
+        assert summary["min"] == -0.10
+        assert summary["max"] == 0.03
+        assert summary["mean"] == pytest.approx((-0.10 - 0.02 + 0.001
+                                                 + 0.03) / 5)
+        assert summary["mean_abs"] == pytest.approx(
+            (0.10 + 0.02 + 0 + 0.001 + 0.03) / 5)
+        # near-zero band is +-0.5%.
+        assert summary["frac_near_zero"] == pytest.approx(2 / 5)
+        assert summary["frac_negative"] == pytest.approx(2 / 5)
+        assert summary["frac_positive"] == pytest.approx(1 / 5)
+
+    def test_fractions_partition(self):
+        errors = {"x%d" % i: (i - 5) / 100 for i in range(11)}
+        summary = distribution_summary(errors)
+        total = summary["frac_near_zero"] + summary["frac_negative"] \
+            + summary["frac_positive"]
+        assert total == pytest.approx(1.0)

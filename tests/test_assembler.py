@@ -1,0 +1,198 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import (AssemblerError, assemble, bits_to_float,
+                                 float_to_bits)
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+class TestBasicAssembly:
+    def test_simple_program(self):
+        prog = assemble("add x1, x2, x3\nsub x4, x5, x6\n")
+        assert len(prog) == 2
+        assert prog.instructions[0].op == "add"
+        assert prog.instructions[0].pc == TEXT_BASE
+        assert prog.instructions[1].pc == TEXT_BASE + 4
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+            # full-line comment
+            add x1, x2, x3   # trailing comment
+
+        """)
+        assert len(prog) == 1
+
+    def test_labels_resolve_forward_and_backward(self):
+        prog = assemble("""
+        start:
+            beq x1, x2, end
+            j start
+        end:
+            ecall
+        """)
+        beq, j, _ = prog.instructions
+        assert beq.target == TEXT_BASE + 8
+        assert j.target == TEXT_BASE
+
+    def test_label_on_same_line_as_instruction(self):
+        prog = assemble("loop: addi x1, x1, 1\nj loop\n")
+        assert prog.instructions[1].target == TEXT_BASE
+
+    def test_entry_prefers_start_then_main(self):
+        prog = assemble("nop\nmain: nop\n")
+        assert prog.entry == TEXT_BASE + 4
+        prog = assemble("nop\n_start: nop\nmain: nop\n")
+        assert prog.entry == TEXT_BASE + 4
+        prog = assemble("nop\n")
+        assert prog.entry == TEXT_BASE
+
+
+class TestOperandFormats:
+    def test_immediates(self):
+        prog = assemble("addi t0, t1, -42\naddi t0, t1, 0x10\n")
+        assert prog.instructions[0].imm == -42
+        assert prog.instructions[1].imm == 16
+
+    def test_char_immediate(self):
+        prog = assemble("li a0, 'A'\n")
+        assert prog.instructions[0].imm == 65
+
+    def test_memory_operands(self):
+        prog = assemble("lw t0, 8(sp)\nsw t1, -4(s0)\n")
+        lw, sw = prog.instructions
+        assert lw.imm == 8 and lw.rs1 == 2 and lw.rd == 5
+        assert sw.imm == -4 and sw.rs1 == 8 and sw.rs2 == 6
+
+    def test_jalr(self):
+        prog = assemble("jalr ra, t0, 4\n")
+        ins = prog.instructions[0]
+        assert ins.rd == 1 and ins.rs1 == 5 and ins.imm == 4
+
+    def test_fli_float_immediate(self):
+        prog = assemble("fli ft0, 0.25\n")
+        assert prog.instructions[0].imm == 0.25
+
+    def test_li_with_symbol(self):
+        prog = assemble("""
+        .data
+        table: .word 1, 2
+        .text
+        li t0, table
+        """)
+        assert prog.instructions[0].imm == DATA_BASE
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        ins = assemble("nop\n").instructions[0]
+        assert ins.op == "addi" and ins.rd == 0
+
+    def test_mv(self):
+        ins = assemble("mv t0, t1\n").instructions[0]
+        assert ins.op == "addi" and ins.rd == 5 and ins.rs1 == 6
+
+    def test_j_call_ret(self):
+        prog = assemble("x:\nj x\ncall x\nret\n")
+        j, call, ret = prog.instructions
+        assert j.op == "jal" and j.rd == 0
+        assert call.op == "jal" and call.rd == 1
+        assert ret.op == "jalr" and ret.rd == 0 and ret.rs1 == 1
+
+    def test_la(self):
+        prog = assemble(".data\nv: .word 7\n.text\nla t0, v\n")
+        assert prog.instructions[0].op == "li"
+        assert prog.instructions[0].imm == DATA_BASE
+
+    def test_branch_zero_forms(self):
+        prog = assemble("x:\nbeqz t0, x\nbnez t0, x\nbltz t0, x\n"
+                        "bgez t0, x\nblez t0, x\nbgtz t0, x\n")
+        ops = [i.op for i in prog.instructions]
+        assert ops == ["beq", "bne", "blt", "bge", "bge", "blt"]
+
+    def test_bgt_ble_swap_operands(self):
+        prog = assemble("x:\nbgt t0, t1, x\nble t0, t1, x\n")
+        bgt, ble = prog.instructions
+        assert bgt.op == "blt" and bgt.rs1 == 6 and bgt.rs2 == 5
+        assert ble.op == "bge" and ble.rs1 == 6 and ble.rs2 == 5
+
+    def test_not_neg_seqz_snez(self):
+        prog = assemble("not t0, t1\nneg t0, t1\nseqz t0, t1\n"
+                        "snez t0, t1\n")
+        ops = [i.op for i in prog.instructions]
+        assert ops == ["xori", "sub", "sltiu", "sltu"]
+
+
+class TestDataSection:
+    def test_word_layout(self):
+        prog = assemble("""
+        .data
+        a: .word 1, 2, 3
+        b: .word 4
+        .text
+        nop
+        """)
+        assert prog.symbols["a"] == DATA_BASE
+        assert prog.symbols["b"] == DATA_BASE + 12
+        assert prog.data[0] == (DATA_BASE, [1, 2, 3])
+
+    def test_space_rounds_to_words(self):
+        prog = assemble("""
+        .data
+        a: .space 5
+        b: .word 1
+        .text
+        nop
+        """)
+        assert prog.symbols["b"] == DATA_BASE + 8
+
+    def test_float_directive(self):
+        prog = assemble(".data\nf: .float 1.5\n.text\nnop\n")
+        addr, words = prog.data[0]
+        assert bits_to_float(words[0]) == 1.5
+
+    def test_negative_word_wraps(self):
+        prog = assemble(".data\nv: .word -1\n.text\nnop\n")
+        assert prog.data[0][1] == [0xFFFFFFFF]
+
+    def test_align(self):
+        prog = assemble("""
+        .data
+        a: .word 1
+        .align 4
+        b: .word 2
+        .text
+        nop
+        """)
+        assert prog.symbols["b"] % 16 == 0
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src,fragment", [
+        ("bogus x1, x2\n", "unknown instruction"),
+        ("add x1, x2\n", "expects 3"),
+        ("lw x1, x2\n", "offset(base)"),
+        ("j nowhere\n", "undefined label"),
+        ("x: nop\nx: nop\n", "duplicate label"),
+        (".word 5\n", "outside .data"),
+        ("addi x1, x2, zz\n", "invalid integer"),
+        (".data\nnop\n", "outside .text"),
+        (".bogus\n", "unknown directive"),
+        ("add q1, x2, x3\n", "invalid register"),
+    ])
+    def test_error_messages(self, src, fragment):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(src)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nnop\nbogus\n")
+        assert excinfo.value.line == 3
+
+
+class TestFloatBits:
+    def test_roundtrip(self):
+        for value in (0.0, 1.0, -2.5, 3.14159, 1e-8, -1e8):
+            got = bits_to_float(float_to_bits(value))
+            assert got == pytest.approx(value, rel=1e-6)

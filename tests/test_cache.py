@@ -1,0 +1,184 @@
+"""Unit tests for caches, TLB and prefetchers."""
+
+import pytest
+
+from repro.cache.cache import Cache, MainMemory
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.prefetcher import NextLinePrefetcher, StridePrefetcher
+from repro.cache.tlb import TLB
+
+
+def small_cache(size=1024, assoc=2, line=64, latency=2, mem_latency=100):
+    memory = MainMemory(latency=mem_latency)
+    return Cache("L1", size, assoc, line, latency, memory), memory
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        cache, memory = small_cache()
+        assert cache.access(0x1000) == 2 + 100  # cold miss
+        assert cache.access(0x1000) == 2        # hit
+        assert cache.access(0x103C) == 2        # same line
+
+    def test_miss_counts(self):
+        cache, _ = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x40)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction_order(self):
+        # 1KiB, 2-way, 64B lines -> 8 sets; set 0 holds lines 0x0, 0x200...
+        cache, _ = small_cache()
+        cache.access(0x0)
+        cache.access(0x200)
+        cache.access(0x0)      # touch: 0x200 becomes LRU
+        cache.access(0x400)    # evicts 0x200
+        assert cache.contains(0x0)
+        assert not cache.contains(0x200)
+        assert cache.contains(0x400)
+
+    def test_writeback_on_dirty_eviction(self):
+        cache, memory = small_cache()
+        cache.access(0x0, write=True)
+        cache.access(0x200)
+        cache.access(0x400)    # evicts dirty 0x0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache, _ = small_cache()
+        cache.access(0x0)
+        cache.access(0x200)
+        cache.access(0x400)
+        assert cache.stats.writebacks == 0
+
+    def test_wrong_path_stats_separate(self):
+        cache, _ = small_cache()
+        cache.access(0x0, wrong_path=True)
+        cache.access(0x40)
+        assert cache.stats.wp_accesses == 1
+        assert cache.stats.wp_misses == 1
+        assert cache.stats.misses == 2
+
+    def test_contains_does_not_touch_lru(self):
+        cache, _ = small_cache()
+        cache.access(0x0)
+        cache.access(0x200)
+        cache.contains(0x0)    # must NOT promote 0x0
+        cache.access(0x400)    # evicts 0x0 (true LRU)
+        assert not cache.contains(0x0)
+
+    def test_prefetch_inserts_without_demand_stats(self):
+        cache, _ = small_cache()
+        cache.prefetch(0x1000)
+        assert cache.contains(0x1000)
+        assert cache.stats.accesses == 0
+        assert cache.stats.prefetches == 1
+
+    def test_flush(self):
+        cache, _ = small_cache()
+        cache.access(0x0)
+        cache.flush()
+        assert not cache.contains(0x0)
+        assert cache.occupancy == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size=0), dict(assoc=0), dict(line=63), dict(size=96),
+    ])
+    def test_invalid_geometry(self, kwargs):
+        base = dict(size=1024, assoc=2, line=64)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            Cache("bad", base["size"], base["assoc"], base["line"], 1,
+                  MainMemory())
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4, page_size=4096, miss_penalty=20)
+        assert tlb.access(0x1000) == 20
+        assert tlb.access(0x1FFC) == 0  # same page
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2, page_size=4096, miss_penalty=10)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)      # promote page 0
+        tlb.access(0x2000)      # evicts page 1
+        assert tlb.access(0x1000) == 10
+
+    def test_wrong_path_counters(self):
+        tlb = TLB(entries=4)
+        tlb.access(0x5000, wrong_path=True)
+        assert tlb.wp_accesses == 1 and tlb.wp_misses == 1
+
+
+class TestPrefetchers:
+    def test_next_line(self):
+        cache, _ = small_cache(size=4096, assoc=4)
+        prefetcher = NextLinePrefetcher(cache, degree=2)
+        prefetcher.on_access(0x1000, miss=True)
+        assert cache.contains(0x1040) and cache.contains(0x1080)
+        prefetcher.on_access(0x2000, miss=False)
+        assert not cache.contains(0x2040)
+
+    def test_stride_detects_constant_stride(self):
+        cache, _ = small_cache(size=4096, assoc=4)
+        prefetcher = StridePrefetcher(cache, degree=1, threshold=2)
+        for i in range(5):
+            prefetcher.on_access(0x900, 0x1000 + i * 0x100)
+        assert prefetcher.issued > 0
+        assert cache.contains(0x1400 + 0x100)
+
+    def test_stride_ignores_random(self):
+        cache, _ = small_cache(size=4096, assoc=4)
+        prefetcher = StridePrefetcher(cache, degree=1, threshold=2)
+        for addr in (0x100, 0x900, 0x80, 0x3000):
+            prefetcher.on_access(0x900, addr)
+        assert prefetcher.issued == 0
+
+
+class TestHierarchy:
+    def test_levels_chain(self):
+        h = CacheHierarchy(l1d_size=1024, l1d_assoc=2, l1d_latency=2,
+                           l2_size=4096, l2_assoc=4, l2_latency=10,
+                           llc_size=16384, llc_assoc=4, llc_latency=30,
+                           mem_latency=100, dtlb_entries=4)
+        cold = h.access_data(0x100000)
+        # TLB walk + l1 + l2 + llc + memory
+        assert cold == 20 + 2 + 10 + 30 + 100
+        warm = h.access_data(0x100000)
+        assert warm == 2
+
+    def test_instr_and_data_separate_l1(self):
+        h = CacheHierarchy()
+        h.access_instr(0x1000)
+        assert h.l1i.stats.accesses == 1
+        assert h.l1d.stats.accesses == 0
+
+    def test_l2_shared_between_i_and_d(self):
+        h = CacheHierarchy()
+        h.access_instr(0x8000)
+        before = h.l2.stats.misses
+        h.access_data(0x8000)  # L1D miss, but L2 already has the line
+        assert h.l2.stats.misses == before
+
+    def test_stats_shape(self):
+        h = CacheHierarchy()
+        h.access_data(0x40)
+        stats = h.stats()
+        assert set(stats) == {"l1i", "l1d", "l2", "llc", "mem", "dtlb"}
+        assert stats["l1d"]["accesses"] == 1
+
+    def test_from_config(self):
+        from repro.core.config import CoreConfig
+        cfg = CoreConfig.scaled()
+        h = CacheHierarchy.from_config(cfg)
+        assert h.l1d.size == cfg.l1d_size
+        assert h.memory.latency == cfg.mem_latency
+
+    def test_unknown_prefetcher_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(l2_prefetcher="psychic")

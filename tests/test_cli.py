@@ -1,0 +1,88 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = make_parser().parse_args(["run", "gap.bfs"])
+        assert args.technique == "conv"
+        assert args.scale == "small"
+
+    def test_bad_technique_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["run", "gap.bfs",
+                                      "--technique", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gap.bfs" in out and "spec.fp.saxpy_like" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "gap.bfs", "--scale", "tiny",
+                   "--technique", "conv", "--max-instructions", "5000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "convergence found" in out
+
+    def test_run_nowp_omits_conv_metrics(self, capsys):
+        rc = main(["run", "gap.pr", "--scale", "tiny",
+                   "--technique", "nowp", "--max-instructions", "3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "convergence found" not in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "gap.bfs", "--scale", "tiny",
+                   "--max-instructions", "8000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for technique in ("nowp", "instrec", "conv", "wpemul"):
+            assert technique in out
+        assert "error" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["run", "gap.nothere",
+                     "--max-instructions", "10"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_compile_to_stdout(self, tmp_path, capsys):
+        src = tmp_path / "k.c"
+        src.write_text("void main() { print_int(7); }")
+        assert main(["compile", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out
+
+    def test_compile_to_file(self, tmp_path):
+        src = tmp_path / "k.c"
+        src.write_text("void main() { print_int(7); }")
+        out = tmp_path / "k.s"
+        assert main(["compile", str(src), "-o", str(out)]) == 0
+        assert "_start:" in out.read_text()
+        # The emitted assembly must itself assemble and run.
+        from repro.functional.emulator import Emulator
+        from repro.isa.assembler import assemble
+        emu = Emulator(assemble(out.read_text()))
+        emu.run()
+        assert emu.output == [7]
+
+    def test_compile_error_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "bad.c"
+        src.write_text("void main() { x = ; }")
+        assert main(["compile", str(src)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/file.c"]) == 1

@@ -1,0 +1,145 @@
+"""Unit tests for the convergence-exploitation technique (Section III-C):
+one-sided convergence detection, dirty-register independence tracking and
+address copying."""
+
+from repro.frontend.dyninstr import DynInstr
+from repro.isa.instructions import Instruction
+from repro.wrongpath.base import WPItem
+from repro.wrongpath.convergence import (_copy_addresses,
+                                         _recover_addresses,
+                                         _written_registers)
+
+
+def ins(op, rd=0, rs1=0, rs2=0, pc=0):
+    instruction = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=0)
+    instruction.pc = pc
+    return instruction
+
+
+def wp(op, pc, rd=0, rs1=0, rs2=0):
+    return WPItem(ins(op, rd=rd, rs1=rs1, rs2=rs2, pc=pc), pc)
+
+
+def cp(op, pc, rd=0, rs1=0, rs2=0, mem_addr=None, seq=0):
+    instruction = ins(op, rd=rd, rs1=rs1, rs2=rs2, pc=pc)
+    return DynInstr(seq, instruction, pc, pc + 4, False, mem_addr)
+
+
+class TestConvergenceDetection:
+    def test_wrong_path_prefix_case(self):
+        """WP = WXYZ ABCD..., CP = ABCD...: convergence at CP start."""
+        wp_items = [wp("add", 0x100, rd=5, rs1=6, rs2=7),   # W (prefix)
+                    wp("add", 0x104, rd=8, rs1=6, rs2=7),   # X (prefix)
+                    wp("lw", 0x200, rd=9, rs1=4),           # A (converged)
+                    wp("lw", 0x204, rd=10, rs1=4)]          # B
+        future = [cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x7000),
+                  cp("lw", 0x204, rd=10, rs1=4, mem_addr=0x7040)]
+        distance = _recover_addresses(wp_items, future)
+        assert distance == 2
+        assert wp_items[2].mem_addr == 0x7000
+        assert wp_items[3].mem_addr == 0x7040
+
+    def test_correct_path_prefix_case(self):
+        """CP = WXYZ ABCD..., WP = ABCD...: convergence inside CP."""
+        wp_items = [wp("lw", 0x200, rd=9, rs1=4)]
+        future = [cp("add", 0x100, rd=5, rs1=6, rs2=7),
+                  cp("add", 0x104, rd=8, rs1=6, rs2=7),
+                  cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x8000)]
+        distance = _recover_addresses(wp_items, future)
+        assert distance == 2
+        assert wp_items[0].mem_addr == 0x8000
+
+    def test_no_convergence(self):
+        wp_items = [wp("add", 0x100), wp("add", 0x104)]
+        future = [cp("add", 0x900), cp("add", 0x904)]
+        assert _recover_addresses(wp_items, future) is None
+
+    def test_empty_future_window(self):
+        assert _recover_addresses([wp("add", 0x100)], []) is None
+
+    def test_prefers_shorter_distance(self):
+        # Both directions "converge"; the shorter prefix must win.
+        wp_items = [wp("add", 0x100),      # appears in CP at index 3
+                    wp("lw", 0x200, rd=9, rs1=4)]  # CP[0] appears in WP @1
+        future = [cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x9000),
+                  cp("add", 0x300),
+                  cp("add", 0x304),
+                  cp("add", 0x100)]
+        distance = _recover_addresses(wp_items, future)
+        assert distance == 1  # WP-prefix case, j == 1
+        assert wp_items[1].mem_addr == 0x9000
+
+
+class TestIndependenceCheck:
+    def test_dirty_base_register_blocks_copy(self):
+        """A load whose address register was written pre-convergence must
+        not receive the correct-path address."""
+        wp_items = [wp("add", 0x100, rd=4, rs1=6, rs2=7),   # writes x4!
+                    wp("lw", 0x200, rd=9, rs1=4)]           # base = x4
+        future = [cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x7000)]
+        distance = _recover_addresses(wp_items, future)
+        assert distance == 1
+        assert wp_items[1].mem_addr is None
+
+    def test_dirtiness_propagates_through_alu(self):
+        wp_items = [wp("add", 0x100, rd=4, rs1=6, rs2=7),   # x4 dirty
+                    wp("add", 0x200, rd=5, rs1=4, rs2=7),   # x5 <- dirty x4
+                    wp("lw", 0x204, rd=9, rs1=5)]           # base x5 dirty
+        future = [cp("add", 0x200, rd=5, rs1=4, rs2=7),
+                  cp("lw", 0x204, rd=9, rs1=5, mem_addr=0x7000)]
+        _recover_addresses(wp_items, future)
+        assert wp_items[2].mem_addr is None
+
+    def test_clean_recompute_clears_dirtiness(self):
+        """Post-convergence instructions recomputing a register from clean
+        sources make it clean again (the paper's running dirty set)."""
+        wp_items = [wp("add", 0x100, rd=4, rs1=6, rs2=7),   # x4 dirty
+                    wp("add", 0x200, rd=4, rs1=6, rs2=7),   # x4 <- clean
+                    wp("lw", 0x204, rd=9, rs1=4)]
+        future = [cp("add", 0x200, rd=4, rs1=6, rs2=7),
+                  cp("lw", 0x204, rd=9, rs1=4, mem_addr=0x7000)]
+        _recover_addresses(wp_items, future)
+        assert wp_items[2].mem_addr == 0x7000
+
+    def test_clean_load_result_is_clean(self):
+        """A converged load with a clean address reloads the same value, so
+        its destination becomes clean (memory deps are not tracked)."""
+        wp_items = [wp("add", 0x100, rd=9, rs1=6, rs2=7),   # x9 dirty
+                    wp("lw", 0x200, rd=9, rs1=4),           # x9 <- clean
+                    wp("lw", 0x204, rd=10, rs1=9)]          # base x9 clean
+        future = [cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x7000),
+                  cp("lw", 0x204, rd=10, rs1=9, mem_addr=0x7100)]
+        _recover_addresses(wp_items, future)
+        assert wp_items[2].mem_addr == 0x7100
+
+    def test_scan_stops_at_divergence(self):
+        wp_items = [wp("lw", 0x200, rd=9, rs1=4),
+                    wp("add", 0x204, rd=1, rs1=2, rs2=3),
+                    wp("lw", 0x300, rd=9, rs1=4)]   # diverged (pc != CP)
+        future = [cp("add", 0x150),                 # prefix (k=1 case B)
+                  cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x7000),
+                  cp("add", 0x204, rd=1, rs1=2, rs2=3),
+                  cp("lw", 0x400, rd=9, rs1=4, mem_addr=0x8000)]
+        _recover_addresses(wp_items, future)
+        assert wp_items[0].mem_addr == 0x7000
+        assert wp_items[2].mem_addr is None  # after divergence: no copy
+
+    def test_store_address_recovered(self):
+        wp_items = [wp("add", 0x100, rd=5, rs1=6, rs2=7),
+                    WPItem(ins("sw", rs1=4, rs2=5, pc=0x200), 0x200)]
+        future = [cp("sw", 0x200, rs1=4, rs2=5, mem_addr=0x7000)]
+        _recover_addresses(wp_items, future)
+        # Data register x5 is dirty but the BASE x4 is clean: the address
+        # (not the data) is what cache modeling needs.
+        assert wp_items[1].mem_addr == 0x7000
+
+
+class TestHelpers:
+    def test_written_registers(self):
+        instrs = [ins("add", rd=5, rs1=1, rs2=2),
+                  ins("lw", rd=7, rs1=3),
+                  ins("sw", rs1=3, rs2=4)]
+        assert _written_registers(instrs) == {5, 7}
+
+    def test_copy_addresses_empty(self):
+        _copy_addresses(zip([], []), set())  # no crash

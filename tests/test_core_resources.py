@@ -1,0 +1,134 @@
+"""Unit tests for slot allocators, window buffers, ports and config."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.ports import PortFile, PortGroup
+from repro.core.resources import SlotAllocator, WindowBuffer
+
+
+class TestSlotAllocator:
+    def test_width_per_cycle(self):
+        alloc = SlotAllocator(width=2)
+        cycles = [alloc.allocate(0) for _ in range(5)]
+        assert cycles == [0, 0, 1, 1, 2]
+
+    def test_forward_jump(self):
+        alloc = SlotAllocator(width=2)
+        alloc.allocate(0)
+        assert alloc.allocate(10) == 10
+        assert alloc.allocate(0) == 10  # still bandwidth at cycle 10
+
+    def test_restart_resets_bandwidth(self):
+        alloc = SlotAllocator(width=2)
+        alloc.allocate(0)
+        alloc.restart_at(5)
+        assert [alloc.allocate(0), alloc.allocate(0)] == [5, 5]
+
+    def test_restart_does_not_go_backwards(self):
+        alloc = SlotAllocator(width=1)
+        alloc.allocate(10)
+        alloc.restart_at(3)
+        assert alloc.allocate(0) >= 3
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SlotAllocator(0)
+
+
+class TestWindowBuffer:
+    def test_no_stall_until_full(self):
+        window = WindowBuffer(capacity=2)
+        assert window.allocate(5) == 5
+        window.commit(100)
+        assert window.allocate(6) == 6
+        window.commit(200)
+
+    def test_stalls_on_oldest_release(self):
+        window = WindowBuffer(capacity=2)
+        window.allocate(0)
+        window.commit(50)
+        window.allocate(0)
+        window.commit(60)
+        assert window.allocate(10) == 50  # waits for the oldest entry
+
+    def test_no_stall_if_oldest_already_released(self):
+        window = WindowBuffer(capacity=1)
+        window.allocate(0)
+        window.commit(5)
+        assert window.allocate(20) == 20
+
+    def test_occupancy_at(self):
+        window = WindowBuffer(capacity=8)
+        for release in (10, 20, 30):
+            window.allocate(0)
+            window.commit(release)
+        assert window.occupancy_at(5) == 3
+        assert window.occupancy_at(15) == 2
+        assert window.occupancy_at(35) == 0
+
+
+class TestPortGroup:
+    def test_pipelined_back_to_back(self):
+        group = PortGroup("alu", count=1, latency=3)
+        assert group.issue(0) == 0
+        assert group.issue(0) == 1  # pipelined: next cycle
+
+    def test_unpipelined_blocks_for_latency(self):
+        group = PortGroup("div", count=1, latency=10, pipelined=False)
+        assert group.issue(0) == 0
+        assert group.issue(0) == 10
+
+    def test_multiple_ports(self):
+        group = PortGroup("alu", count=2, latency=1)
+        assert [group.issue(0) for _ in range(4)] == [0, 0, 1, 1]
+
+    def test_ready_after_free(self):
+        group = PortGroup("alu", count=1, latency=1)
+        group.issue(0)
+        assert group.issue(100) == 100
+
+
+class TestPortFile:
+    def test_snapshot_restore(self):
+        ports = PortFile(CoreConfig())
+        snap = ports.snapshot()
+        for _ in range(20):
+            ports.issue("load", 0)
+        ports.restore(snap)
+        assert ports.issue("load", 0) == 0
+
+    def test_groups_exist(self):
+        ports = PortFile(CoreConfig())
+        for group in ("alu", "mul", "div", "fp", "fp_div", "load",
+                      "store", "branch"):
+            assert group in ports.groups
+            assert group in ports.latency
+
+
+class TestCoreConfig:
+    def test_defaults_validate(self):
+        CoreConfig().validate()
+        CoreConfig.scaled().validate()
+
+    def test_copy_overrides(self):
+        cfg = CoreConfig().copy(rob_size=128)
+        assert cfg.rob_size == 128
+        assert CoreConfig().rob_size == 512  # original untouched
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_size=0).validate()
+        with pytest.raises(ValueError):
+            CoreConfig(wp_frontend_buffer=-1).validate()
+
+    def test_table1_rows_cover_key_parameters(self):
+        rows = dict(CoreConfig().table1_rows())
+        assert rows["ROB size"] == "512"
+        assert "KiB" in rows["L1D"]
+        assert "cycles" in rows["Memory latency"]
+
+    def test_scaled_keeps_full_scale_memory_latency(self):
+        # Branch-resolution depth must stay realistic when downscaling:
+        # caches shrink, but the memory round-trip does not.
+        assert CoreConfig.scaled().mem_latency >= CoreConfig().mem_latency

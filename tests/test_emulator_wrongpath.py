@@ -1,0 +1,154 @@
+"""Unit tests for functional wrong-path emulation (the 'Pin ExecuteAt'
+analogue): checkpoint/redirect/suppress/restore semantics."""
+
+from repro.functional.emulator import Emulator
+from repro.isa.assembler import assemble
+
+
+def make_emulator(source: str) -> Emulator:
+    return Emulator(assemble(source))
+
+
+class TestWrongPathEmulation:
+    def test_registers_restored_after_walk(self):
+        emu = make_emulator("""
+        main:
+            li t0, 1
+            li t1, 2
+        wrong:
+            li t0, 99
+            li t1, 98
+            li a7, 93
+            ecall
+        """)
+        emu.step()
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.symbol("wrong"), 10)
+        # Three li's (including "li a7, 93"), then the walk stops at ecall.
+        assert [r.instr.op for r in records] == ["li", "li", "li"]
+        assert emu.state.x[5] == 1 and emu.state.x[6] == 2
+        assert emu.state.pc == emu.program.symbol("wrong")
+
+    def test_stores_suppressed_but_addresses_recorded(self):
+        emu = make_emulator("""
+        .data
+        v: .word 7
+        .text
+        main:
+            la t0, v
+        wrong:
+            li t1, 42
+            sw t1, 0(t0)
+            li a7, 93
+            ecall
+        """)
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.symbol("wrong"), 10)
+        store = records[1]
+        assert store.instr.op == "sw"
+        assert store.mem_addr == emu.program.symbol("v")
+        assert emu.memory.load_word(emu.program.symbol("v")) == 7  # intact
+
+    def test_loads_from_unmapped_memory_read_zero(self):
+        emu = make_emulator("""
+        main:
+            li t0, 0x5000000
+        wrong:
+            lw t1, 0(t0)
+            li a7, 93
+            ecall
+        """)
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.symbol("wrong"), 10)
+        assert records[0].mem_addr == 0x5000000
+
+    def test_stops_on_syscall(self):
+        emu = make_emulator("""
+        main:
+            nop
+        wrong:
+            ecall
+        """)
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.symbol("wrong"), 10)
+        assert records == []
+
+    def test_stops_on_text_hole(self):
+        emu = make_emulator("main:\n nop\n nop\n")
+        emu.step()
+        end = emu.program.text_end
+        records = emu.emulate_wrong_path(end, 10)
+        assert records == []
+
+    def test_stops_on_fault_without_crashing(self):
+        emu = make_emulator("""
+        main:
+            li t0, 3       # misaligned address
+        wrong:
+            lw t1, 0(t0)
+            li t2, 5
+            li a7, 93
+            ecall
+        """)
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.symbol("wrong"), 10)
+        assert records == []  # faulting load terminates the walk
+        assert emu.state.x[5] == 3  # state restored
+
+    def test_respects_instruction_limit(self):
+        emu = make_emulator("""
+        main:
+        loop:
+            addi t0, t0, 1
+            j loop
+        """)
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.entry, 25)
+        assert len(records) == 25
+
+    def test_wrong_path_follows_actual_branch_semantics(self):
+        emu = make_emulator("""
+        main:
+            li t0, 5
+        wrong:
+            beqz t0, never     # not taken: t0 == 5
+            addi t1, t1, 1
+            li a7, 93
+            ecall
+        never:
+            addi t2, t2, 1
+            li a7, 93
+            ecall
+        """)
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.symbol("wrong"), 10)
+        pcs = [r.pc for r in records]
+        assert emu.program.symbol("never") not in pcs
+
+    def test_output_suppressed_on_wrong_path(self):
+        emu = make_emulator("""
+        main:
+            li a0, 7
+        wrong:
+            li a7, 1
+            li a0, 9
+            li a7, 93
+            ecall
+        """)
+        emu.step()
+        emu.emulate_wrong_path(emu.program.symbol("wrong"), 10)
+        assert emu.output == []
+
+    def test_next_pc_recorded_per_record(self):
+        emu = make_emulator("""
+        main:
+            nop
+        wrong:
+            j target
+        target:
+            li a7, 93
+            ecall
+        """)
+        emu.step()
+        records = emu.emulate_wrong_path(emu.program.symbol("wrong"), 1)
+        assert records[0].next_pc == emu.program.symbol("target")

@@ -1,0 +1,100 @@
+"""Unit tests for instruction decode metadata."""
+
+import pytest
+
+from repro.isa.instructions import (Instruction, InstrClass, OPCODES,
+                                    classify_fu)
+
+
+class TestRegSets:
+    def test_alu_reads_writes(self):
+        ins = Instruction("add", rd=5, rs1=6, rs2=7)
+        assert ins.reads == (6, 7)
+        assert ins.writes == (5,)
+
+    def test_zero_register_excluded(self):
+        ins = Instruction("add", rd=0, rs1=0, rs2=3)
+        assert ins.reads == (3,)
+        assert ins.writes == ()
+
+    def test_load(self):
+        ins = Instruction("lw", rd=5, rs1=6, imm=8)
+        assert ins.reads == (6,)
+        assert ins.writes == (5,)
+        assert ins.is_load and ins.is_mem and not ins.is_store
+
+    def test_store_reads_base_and_data(self):
+        ins = Instruction("sw", rs1=6, rs2=7, imm=0)
+        assert set(ins.reads) == {6, 7}
+        assert ins.writes == ()
+        assert ins.is_store and ins.is_mem
+
+    def test_branch_reads(self):
+        ins = Instruction("beq", rs1=5, rs2=6, target=0x100)
+        assert set(ins.reads) == {5, 6}
+        assert ins.is_branch and ins.is_control
+
+    def test_fp_registers_in_sets(self):
+        ins = Instruction("fadd", rd=33, rs1=34, rs2=35)
+        assert ins.reads == (34, 35)
+        assert ins.writes == (33,)
+
+    def test_f0_is_a_real_register(self):
+        # Internal index 32 is f0, not a zero register.
+        ins = Instruction("fadd", rd=32, rs1=32, rs2=33)
+        assert 32 in ins.reads
+        assert ins.writes == (32,)
+
+    def test_ecall_reads_syscall_regs(self):
+        ins = Instruction("ecall")
+        assert set(ins.reads) == {17, 10}
+        assert ins.is_syscall
+
+
+class TestControlClassification:
+    def test_jal_is_direct_jump(self):
+        ins = Instruction("jal", rd=1, target=0x2000)
+        assert ins.cls is InstrClass.JUMP
+        assert ins.is_control and not ins.is_branch
+        assert ins.is_call and not ins.is_return
+
+    def test_jalr_return_idiom(self):
+        ins = Instruction("jalr", rd=0, rs1=1, imm=0)
+        assert ins.is_indirect and ins.is_return and not ins.is_call
+
+    def test_jalr_call(self):
+        ins = Instruction("jalr", rd=1, rs1=5, imm=0)
+        assert ins.is_call and not ins.is_return
+
+    def test_fall_through(self):
+        ins = Instruction("add", rd=1, rs1=2, rs2=3)
+        ins.pc = 0x1000
+        assert ins.fall_through == 0x1004
+
+
+class TestFuClassification:
+    @pytest.mark.parametrize("op,fu", [
+        ("add", "alu"), ("mul", "mul"), ("div", "div"), ("fadd", "fp"),
+        ("fdiv", "fp_div"), ("lw", "load"), ("sw", "store"),
+        ("beq", "branch"), ("jal", "branch"), ("jalr", "branch"),
+        ("ecall", "alu"),
+    ])
+    def test_fu_groups(self, op, fu):
+        kwargs = {}
+        if op in ("fadd", "fdiv"):
+            kwargs = dict(rd=33, rs1=34, rs2=35)
+        ins = Instruction(op, **kwargs)
+        assert ins.fu == fu
+        assert classify_fu(ins) == fu
+
+    def test_every_opcode_has_fu(self):
+        for name in OPCODES:
+            ins = Instruction(name, rd=33 if OPCODES[name].rd_fp else 5,
+                              rs1=34 if OPCODES[name].rs1_fp else 6,
+                              rs2=35 if OPCODES[name].rs2_fp else 7)
+            assert ins.fu in {"alu", "mul", "div", "fp", "fp_div", "load",
+                              "store", "branch"}
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("bogus")

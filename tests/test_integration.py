@@ -1,0 +1,126 @@
+"""Cross-module integration tests: the paper's qualitative invariants on a
+real (small) workload.
+
+These use a branch-missy, cache-missy micro-kernel rather than the full GAP
+suite so the whole file stays fast; the benchmark harness covers the real
+workloads.
+"""
+
+import pytest
+
+from repro import CoreConfig, compare_techniques
+from repro.minicc import compile_to_program
+from repro.simulator.simulation import Simulator
+
+# A bfs-flavoured kernel: data-dependent branch gated on a random-access
+# load over an array larger than the scaled LLC.
+KERNEL = """
+int keys[4096];
+int marks[4096];
+void main() {
+    int seed = 12345;
+    for (int i = 0; i < 4096; i += 1) {
+        seed = seed * 1103515245 + 12345;
+        keys[i] = (seed >> 16) & 4095;
+    }
+    int hits = 0;
+    for (int rep = 0; rep < 3; rep += 1) {
+        for (int i = 0; i < 4096; i += 1) {
+            int k = keys[i];
+            if (marks[k] == rep) {
+                marks[k] = rep + 1;
+                hits += 1;
+            }
+        }
+    }
+    print_int(hits);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    program = compile_to_program(KERNEL)
+    return compare_techniques(program, config=CoreConfig.scaled(),
+                              name="kernel")
+
+
+class TestPaperInvariants:
+    def test_nowp_underestimates_performance(self, comparison):
+        """Figure 1: not modeling the wrong path gives negative error for
+        converging branch-missy workloads."""
+        assert comparison.error("nowp") < -0.01
+
+    def test_conv_reduces_error(self, comparison):
+        """Figure 4: convergence exploitation recovers a substantial part
+        of the wrong-path effect."""
+        nowp = abs(comparison.error("nowp"))
+        conv = abs(comparison.error("conv"))
+        assert conv < nowp
+
+    def test_instrec_between_nowp_and_conv(self, comparison):
+        """instrec models no data addresses: its error stays close to
+        nowp's for data-cache-dominated workloads."""
+        nowp = comparison.error("nowp")
+        instrec = comparison.error("instrec")
+        assert abs(instrec - nowp) <= abs(nowp) * 0.5 + 0.01
+
+    def test_wp_executed_ordering(self, comparison):
+        """Table II: instrec executes >= conv executes >= wpemul executes
+        (unknown-address loads behave like hits, so less accurate models
+        race ahead)."""
+        instrec = comparison.results["instrec"].stats.wp_executed
+        conv = comparison.results["conv"].stats.wp_executed
+        wpemul = comparison.results["wpemul"].stats.wp_executed
+        assert instrec >= conv >= wpemul > 0
+
+    def test_wp_trace_never_missing(self, comparison):
+        """Predictor copies stay in lockstep: every timing-side mispredict
+        has a functional wrong-path trace in wpemul mode."""
+        assert comparison.results["wpemul"].stats.wp_trace_missing == 0
+
+    def test_mispredict_counts_identical(self, comparison):
+        counts = {t: r.stats.mispredict_windows
+                  for t, r in comparison.results.items()}
+        assert len(set(counts.values())) == 1
+
+    def test_convergence_found_for_converging_kernel(self, comparison):
+        stats = comparison.results["conv"].stats
+        assert stats.conv_fraction > 0.5
+        assert stats.conv_distance > 0
+        assert stats.addr_recover_fraction > 0.02
+
+    def test_wp_cache_misses_shift_not_grow(self, comparison):
+        """Section V-C: "the overall cache miss rate does not change
+        significantly across the techniques: ... converging misses along
+        the wrong path are turning correct-path misses into hits"."""
+        nowp = comparison.results["nowp"].cache_stats["l2"]
+        wpemul = comparison.results["wpemul"].cache_stats["l2"]
+        nowp_total = nowp["misses"]
+        wpemul_total = wpemul["misses"]
+        assert wpemul_total <= nowp_total * 1.6 + 50
+        # And correct-path misses must actually drop.
+        wpemul_cp = wpemul["misses"] - wpemul["wp_misses"]
+        assert wpemul_cp < nowp_total
+
+    def test_conv_covers_subset_of_wpemul_l2_misses(self, comparison):
+        conv_wp = comparison.results["conv"].cache_stats["l2"]["wp_misses"]
+        emul_wp = comparison.results["wpemul"].cache_stats["l2"][
+            "wp_misses"]
+        assert 0 <= conv_wp <= emul_wp
+
+    def test_outputs_identical_across_techniques(self, comparison):
+        outputs = {tuple(r.output) for r in comparison.results.values()}
+        assert len(outputs) == 1
+
+
+class TestQueueDepthIndependence:
+    def test_deeper_queue_same_result(self):
+        program = compile_to_program(KERNEL)
+        shallow = Simulator(program, config=CoreConfig.scaled(),
+                            technique="nowp", max_instructions=60_000,
+                            queue_depth=1024).run()
+        deep = Simulator(program, config=CoreConfig.scaled(),
+                         technique="nowp", max_instructions=60_000,
+                         queue_depth=8192).run()
+        assert shallow.cycles == deep.cycles

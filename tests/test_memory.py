@@ -1,0 +1,71 @@
+"""Unit tests for the sparse functional memory."""
+
+import pytest
+
+from repro.functional.memory import Memory, MisalignedAccess
+
+
+class TestWordAccess:
+    def test_unwritten_reads_zero(self):
+        assert Memory().load_word(0x1000) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = Memory()
+        mem.store_word(0x2000, 0xDEADBEEF)
+        assert mem.load_word(0x2000) == 0xDEADBEEF
+
+    def test_store_masks_to_32_bits(self):
+        mem = Memory()
+        mem.store_word(0, 1 << 40 | 7)
+        assert mem.load_word(0) == 7
+
+    def test_misaligned_word_raises(self):
+        mem = Memory()
+        with pytest.raises(MisalignedAccess):
+            mem.load_word(0x1002)
+        with pytest.raises(MisalignedAccess):
+            mem.store_word(0x1001, 1)
+
+    def test_address_wraps_32_bits(self):
+        mem = Memory()
+        mem.store_word(0x1_0000_0004, 9)
+        assert mem.load_word(0x4) == 9
+
+
+class TestByteAccess:
+    def test_bytes_within_word(self):
+        mem = Memory()
+        mem.store_word(0x100, 0x44332211)
+        assert [mem.load_byte(0x100 + i) for i in range(4)] == \
+            [0x11, 0x22, 0x33, 0x44]
+
+    def test_store_byte_preserves_others(self):
+        mem = Memory()
+        mem.store_word(0x100, 0x44332211)
+        mem.store_byte(0x101, 0xAA)
+        assert mem.load_word(0x100) == 0x4433AA11
+
+    def test_byte_needs_no_alignment(self):
+        mem = Memory()
+        mem.store_byte(0x103, 0xFF)
+        assert mem.load_byte(0x103) == 0xFF
+
+
+class TestBulk:
+    def test_write_read_words(self):
+        mem = Memory()
+        mem.write_words(0x400, [1, 2, 3])
+        assert mem.read_words(0x400, 4) == [1, 2, 3, 0]
+
+    def test_footprint(self):
+        mem = Memory()
+        mem.write_words(0, [5] * 10)
+        assert mem.footprint_words() == 10
+
+    def test_copy_is_independent(self):
+        mem = Memory()
+        mem.store_word(0, 1)
+        clone = mem.copy()
+        clone.store_word(0, 2)
+        assert mem.load_word(0) == 1
+        assert clone.load_word(0) == 2

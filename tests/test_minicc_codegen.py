@@ -1,0 +1,308 @@
+"""End-to-end minicc tests: compile and execute on the functional
+emulator, checking program results (the codegen's real contract)."""
+
+import pytest
+
+from repro.functional.emulator import Emulator
+from repro.minicc import CompileError, compile_source, compile_to_program
+
+
+def run(source, max_instructions=2_000_000):
+    emu = Emulator(compile_to_program(source))
+    emu.run(max_instructions)
+    assert emu.halted, "program did not finish"
+    return emu.output
+
+
+class TestArithmetic:
+    def test_int_operators(self):
+        out = run("""
+        void main() {
+            print_int(7 + 3 * 2);        // 13
+            print_int((7 + 3) * 2);      // 20
+            print_int(17 / 5);           // 3
+            print_int(17 % 5);           // 2
+            print_int(-17 / 5);          // -3 (truncating)
+            print_int(1 << 10);          // 1024
+            print_int(-8 >> 1);          // -4 (arithmetic)
+            print_int(12 & 10);
+            print_int(12 | 10);
+            print_int(12 ^ 10);
+            print_int(~0);
+        }
+        """)
+        assert out == [13, 20, 3, 2, -3, 1024, -4, 8, 14, 6, -1]
+
+    def test_comparisons(self):
+        out = run("""
+        void main() {
+            print_int(3 < 4); print_int(4 < 3);
+            print_int(3 <= 3); print_int(4 <= 3);
+            print_int(4 > 3); print_int(3 > 4);
+            print_int(3 >= 4); print_int(3 >= 3);
+            print_int(5 == 5); print_int(5 != 5);
+            print_int(-1 < 1);
+        }
+        """)
+        assert out == [1, 0, 1, 0, 1, 0, 0, 1, 1, 0, 1]
+
+    def test_logical_short_circuit(self):
+        out = run("""
+        int calls = 0;
+        int bump() { calls += 1; return 1; }
+        void main() {
+            if (0 && bump()) { print_int(-1); }
+            print_int(calls);           // 0: bump not called
+            if (1 || bump()) { print_int(7); }
+            print_int(calls);           // still 0
+            if (1 && bump()) { print_int(8); }
+            print_int(calls);           // 1
+        }
+        """)
+        assert out == [0, 7, 0, 8, 1]
+
+    def test_unary(self):
+        out = run("""
+        void main() {
+            int x = 5;
+            print_int(-x);
+            print_int(!x);
+            print_int(!0);
+            print_int(~x);
+        }
+        """)
+        assert out == [-5, 0, 1, -6]
+
+
+class TestFloat:
+    def test_mixed_arithmetic_promotes(self):
+        out = run("""
+        void main() {
+            float f = 3;            // int -> float
+            print_float(f / 2);     // 1.5
+            int i = 7.9;            // float -> int truncates
+            print_int(i);
+            print_int(1.5 < 2);     // comparison yields int
+        }
+        """)
+        assert out[0] == pytest.approx(1.5)
+        assert out[1] == 7
+        assert out[2] == 1
+
+    def test_sqrtf_intrinsic(self):
+        out = run("""
+        void main() {
+            print_float(sqrtf(16.0));
+            print_float(fabsf(-2.5));
+            print_float(sqrtf(2));      // int arg converts
+        }
+        """)
+        assert out[0] == 4.0 and out[1] == 2.5
+        assert out[2] == pytest.approx(2 ** 0.5)
+
+    def test_float_literal_precision(self):
+        out = run("void main() { print_float(0.000001 * 1000000.0); }")
+        assert out[0] == pytest.approx(1.0, rel=1e-6)
+
+
+class TestControlFlow:
+    def test_nested_loops_with_break_continue(self):
+        out = run("""
+        void main() {
+            int total = 0;
+            for (int i = 0; i < 10; i += 1) {
+                if (i == 7) { break; }
+                int j = 0;
+                while (j < 10) {
+                    j += 1;
+                    if (j % 2 == 0) { continue; }
+                    total += 1;
+                }
+            }
+            print_int(total);       // 7 outer x 5 odd j
+        }
+        """)
+        assert out == [35]
+
+    def test_do_while_runs_once(self):
+        out = run("""
+        void main() {
+            int n = 0;
+            do { n += 1; } while (0);
+            print_int(n);
+        }
+        """)
+        assert out == [1]
+
+    def test_dangling_else_binds_inner(self):
+        out = run("""
+        void main() {
+            int r = 0;
+            if (1)
+                if (0) r = 1;
+                else r = 2;
+            print_int(r);
+        }
+        """)
+        assert out == [2]
+
+    def test_for_scope_shadows(self):
+        out = run("""
+        void main() {
+            int i = 99;
+            for (int i = 0; i < 3; i += 1) { }
+            print_int(i);
+        }
+        """)
+        assert out == [99]
+
+
+class TestFunctions:
+    def test_recursion_deep(self):
+        out = run("""
+        int sum_to(int n) {
+            if (n == 0) return 0;
+            return n + sum_to(n - 1);
+        }
+        void main() { print_int(sum_to(100)); }
+        """)
+        assert out == [5050]
+
+    def test_six_args(self):
+        out = run("""
+        int six(int a, int b, int c, int d, int e, int f) {
+            return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+        }
+        void main() { print_int(six(1, 2, 3, 4, 5, 6)); }
+        """)
+        assert out == [1 + 4 + 9 + 16 + 25 + 36]
+
+    def test_float_args_and_return(self):
+        out = run("""
+        float mix(float a, int b, float c) { return a * b + c; }
+        void main() { print_float(mix(1.5, 4, 0.5)); }
+        """)
+        assert out == [6.5]
+
+    def test_mutual_recursion(self):
+        out = run("""
+        int is_odd(int n);
+        """.replace("int is_odd(int n);", "") + """
+        int is_even(int n) {
+            if (n == 0) return 1;
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) return 0;
+            return is_even(n - 1);
+        }
+        void main() { print_int(is_even(10)); print_int(is_odd(7)); }
+        """)
+        assert out == [1, 1]
+
+    def test_call_preserves_caller_locals(self):
+        out = run("""
+        int clobber() {
+            int a = 1; int b = 2; int c = 3; int d = 4;
+            return a + b + c + d;
+        }
+        void main() {
+            int x = 10; int y = 20; int z = 30;
+            int r = clobber();
+            print_int(x + y + z + r);
+        }
+        """)
+        assert out == [70]
+
+    def test_call_inside_expression_spills_temps(self):
+        out = run("""
+        int f(int x) { return x * 2; }
+        void main() {
+            print_int(100 + f(3) + f(4) * 10);
+        }
+        """)
+        assert out == [100 + 6 + 80]
+
+    def test_exit_code_from_main(self):
+        emu = Emulator(compile_to_program(
+            "int main() { return 42; }"))
+        emu.run()
+        assert emu.exit_code == 42
+
+
+class TestGlobalsAndArrays:
+    def test_global_scalar_rw(self):
+        out = run("""
+        int counter = 5;
+        void main() {
+            counter = counter + 10;
+            print_int(counter);
+        }
+        """)
+        assert out == [15]
+
+    def test_array_init_and_default_zero(self):
+        out = run("""
+        int a[5] = {9, 8};
+        void main() {
+            print_int(a[0]); print_int(a[1]); print_int(a[4]);
+        }
+        """)
+        assert out == [9, 8, 0]
+
+    def test_float_array(self):
+        out = run("""
+        float f[3] = {0.5, 1.5};
+        void main() {
+            f[2] = f[0] + f[1];
+            print_float(f[2]);
+        }
+        """)
+        assert out == [2.0]
+
+    def test_many_locals_spill_to_frame(self):
+        # 14 int locals exceed the 10 callee-saved registers.
+        decls = "\n".join(f"int v{i} = {i};" for i in range(14))
+        adds = " + ".join(f"v{i}" for i in range(14))
+        out = run("void main() { %s print_int(%s); }" % (decls, adds))
+        assert out == [sum(range(14))]
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize("src,fragment", [
+        ("void main() { x = 1; }", "undeclared"),
+        ("void main() { int x = 1; int x = 2; }", "duplicate"),
+        ("int x; int x; void main() {}", "duplicate"),
+        ("void f() {} void main() { int x = f(); }", "void function"),
+        ("void main() { int y = nothere(3); }", "unknown function"),
+        ("int a[4]; void main() { a = 3; }", "array"),
+        ("int a[4]; void main() { int x = a; }", "indexed"),
+        ("void main() { int x = 1.5 % 2; }", "int operands"),
+        ("void main() { float f = 1.0; if (f) { } }", "condition"),
+        ("void main() { break; }", "outside loop"),
+        ("int f() { return; } void main() {}", "must return"),
+        ("void f() { return 3; } void main() {}", "cannot return"),
+        ("void main() { print_int(1, 2); }", "1 argument"),
+        ("int f(int a, int b, int c, int d, int e, int f2, int g)"
+         " { return 0; } void main() {}", "6 parameters"),
+    ])
+    def test_errors(self, src, fragment):
+        with pytest.raises(CompileError) as excinfo:
+            compile_to_program(src)
+        assert fragment in str(excinfo.value)
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            compile_source("int f() { return 1; }")
+
+
+class TestGeneratedAssembly:
+    def test_emits_start_stub(self):
+        asm = compile_source("void main() {}")
+        assert "_start:" in asm
+        assert "call main" in asm
+
+    def test_global_data_section(self):
+        asm = compile_source("int a[3]; int b = 7; void main() {}")
+        assert "a: .space 12" in asm
+        assert "b: .word 7" in asm

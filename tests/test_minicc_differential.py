@@ -1,0 +1,172 @@
+"""Differential testing of minicc + emulator against Python semantics.
+
+Hypothesis generates random integer expression trees; we compile them with
+minicc, execute them on the functional emulator, and compare against a
+Python evaluator implementing the ISA's 32-bit semantics.  This closes the
+loop on the whole compile-assemble-emulate stack.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.functional.emulator import Emulator
+from repro.minicc import compile_to_program
+
+MASK = 0xFFFFFFFF
+
+
+def s32(value: int) -> int:
+    value &= MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class Node:
+    """Expression tree node rendering to minicc and evaluating in Python."""
+
+    def __init__(self, op, left=None, right=None, value=None):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.value = value
+
+    def render(self) -> str:
+        if self.op == "lit":
+            return str(self.value)
+        if self.op == "neg":
+            return f"(-{self.left.render()})"
+        if self.op == "not":
+            return f"(~{self.left.render()})"
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def evaluate(self) -> int:
+        """Evaluate with the ISA's 32-bit wrapping semantics (signed)."""
+        if self.op == "lit":
+            return s32(self.value)
+        if self.op == "neg":
+            return s32(-self.left.evaluate())
+        if self.op == "not":
+            return s32(~self.left.evaluate())
+        a = self.left.evaluate()
+        b = self.right.evaluate()
+        if self.op == "+":
+            return s32(a + b)
+        if self.op == "-":
+            return s32(a - b)
+        if self.op == "*":
+            return s32(a * b)
+        if self.op == "/":
+            if b == 0:
+                return -1
+            if a == -(1 << 31) and b == -1:
+                return a
+            return s32(int(a / b))  # truncate toward zero
+        if self.op == "%":
+            if b == 0:
+                return a
+            if a == -(1 << 31) and b == -1:
+                return 0
+            return s32(a - int(a / b) * b)
+        if self.op == "&":
+            return s32(a & b)
+        if self.op == "|":
+            return s32(a | b)
+        if self.op == "^":
+            return s32(a ^ b)
+        if self.op == "<<":
+            return s32((a & MASK) << (b & 31))
+        if self.op == ">>":
+            return s32(a >> (b & 31))  # arithmetic on signed a
+        if self.op == "<":
+            return int(a < b)
+        if self.op == ">":
+            return int(a > b)
+        if self.op == "==":
+            return int(a == b)
+        if self.op == "!=":
+            return int(a != b)
+        raise AssertionError(self.op)
+
+
+_literals = st.integers(min_value=-1000, max_value=1000).map(
+    lambda v: Node("lit", value=v))
+
+_binops = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^",
+                           "<<", ">>", "<", ">", "==", "!="])
+
+
+def _trees(depth: int):
+    if depth == 0:
+        return _literals
+    sub = _trees(depth - 1)
+    return st.one_of(
+        _literals,
+        st.builds(lambda op, l, r: Node(op, l, r), _binops, sub, sub),
+        st.builds(lambda l: Node("neg", l), sub),
+        st.builds(lambda l: Node("not", l), sub),
+    )
+
+
+def run_expression(expr: Node) -> int:
+    source = "void main() { print_int(%s); }" % expr.render()
+    emu = Emulator(compile_to_program(source))
+    emu.run(200_000)
+    assert emu.halted
+    return emu.output[0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(_trees(3))
+def test_expression_semantics_match_python(expr):
+    assert run_expression(expr) == expr.evaluate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1,
+                max_size=20))
+def test_loop_accumulation_matches(values):
+    """A data-driven accumulation loop over an initialized global array."""
+    initializer = ", ".join(str(v) for v in values)
+    source = f"""
+    int vals[{len(values)}] = {{{initializer}}};
+    void main() {{
+        int acc = 0;
+        for (int i = 0; i < {len(values)}; i += 1) {{
+            if (vals[i] > 0) {{
+                acc += vals[i] * 3;
+            }} else {{
+                acc -= vals[i];
+            }}
+        }}
+        print_int(acc);
+    }}
+    """
+    emu = Emulator(compile_to_program(source))
+    emu.run(100_000)
+    expected = sum(v * 3 if v > 0 else -v for v in values)
+    assert emu.output == [expected]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=30),
+       st.integers(min_value=1, max_value=12))
+def test_recursive_function_matches(n, divisor):
+    source = f"""
+    int collatz_steps(int x, int limit) {{
+        if (x <= 1 || limit == 0) return 0;
+        if (x % 2 == 0) return 1 + collatz_steps(x / 2, limit - 1);
+        return 1 + collatz_steps(3 * x + 1, limit - 1);
+    }}
+    void main() {{
+        print_int(collatz_steps({n} + {divisor}, 40));
+    }}
+    """
+
+    def steps(x, limit):
+        if x <= 1 or limit == 0:
+            return 0
+        if x % 2 == 0:
+            return 1 + steps(x // 2, limit - 1)
+        return 1 + steps(3 * x + 1, limit - 1)
+
+    emu = Emulator(compile_to_program(source))
+    emu.run(500_000)
+    assert emu.output == [steps(n + divisor, 40)]

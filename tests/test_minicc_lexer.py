@@ -1,0 +1,78 @@
+"""Unit tests for the minicc lexer."""
+
+import pytest
+
+from repro.minicc.lexer import LexerError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int intx for forth")
+        assert [t.kind for t in toks[:-1]] == ["keyword", "ident",
+                                               "keyword", "ident"]
+
+    def test_integer_literals(self):
+        toks = tokenize("0 42 0x1F")
+        assert all(t.kind == "int" for t in toks[:-1])
+        assert texts("0 42 0x1F") == ["0", "42", "0x1F"]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 0.25 1e3 2.5e-2")
+        assert all(t.kind == "float" for t in toks[:-1])
+
+    def test_char_literal_becomes_int(self):
+        toks = tokenize("'A' '\\n'")
+        assert [t.text for t in toks[:-1]] == ["65", "10"]
+
+    def test_operators_longest_match(self):
+        assert texts("a <<= b << c <= d < e") == \
+            ["a", "<<=", "b", "<<", "c", "<=", "d", "<", "e"]
+        assert texts("a && b & c") == ["a", "&&", "b", "&", "c"]
+
+    def test_eof_token_present(self):
+        assert kinds("")[-1] == "eof"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // b c\nd") == ["a", "d"]
+
+    def test_block_comment(self):
+        assert texts("a /* b\nc */ d") == ["a", "d"]
+
+    def test_line_numbers_across_block_comment(self):
+        toks = tokenize("a /* x\ny */ b")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* b")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.line == 1
+
+    def test_malformed_number(self):
+        with pytest.raises(LexerError):
+            tokenize("1.2.3")
+
+    def test_bad_char_literal(self):
+        with pytest.raises(LexerError):
+            tokenize("'ab'")
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+        assert toks[2].column == 3

@@ -1,0 +1,172 @@
+"""Unit tests for the minicc parser."""
+
+import pytest
+
+from repro.minicc import ast
+from repro.minicc.parser import ParseError, parse
+
+
+def parse_body(body):
+    """Parse statements inside a main() wrapper."""
+    unit = parse("void main() { %s }" % body)
+    return unit.functions[0].body.statements
+
+
+def parse_expr(expr):
+    stmt = parse_body(f"x = {expr};")
+    # A bare global named x is undeclared, but parsing succeeds; the
+    # statement is an Assign whose value is the expression of interest.
+    return stmt[0].value
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        unit = parse("""
+        int scalar = 5;
+        float farr[10];
+        int addone(int x) { return x + 1; }
+        void main() { }
+        """)
+        assert [g.name for g in unit.globals] == ["scalar", "farr"]
+        assert unit.globals[0].init == 5
+        assert unit.globals[1].size == 10
+        assert [f.name for f in unit.functions] == ["addone", "main"]
+
+    def test_array_initializer(self):
+        unit = parse("int a[4] = {1, -2, 3}; void main() {}")
+        assert unit.globals[0].init == [1, -2, 3]
+
+    def test_float_global_init(self):
+        unit = parse("float f = -2.5; void main() {}")
+        assert unit.globals[0].init == -2.5
+
+    def test_params(self):
+        unit = parse("int f(int a, float b) { return a; } void main() {}")
+        params = unit.functions[0].params
+        assert [(p.type, p.name) for p in params] == [("int", "a"),
+                                                      ("float", "b")]
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 0; } void main() {}")
+        assert unit.functions[0].params == []
+
+    @pytest.mark.parametrize("src", [
+        "void x; void main() {}",
+        "int a[0]; void main() {}",
+        "int a[2] = {1,2,3}; void main() {}",
+        "int f(int) { return 0; } void main() {}",
+    ])
+    def test_bad_declarations(self, src):
+        with pytest.raises(ParseError):
+            parse(src)
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        stmts = parse_body("if (1) x = 1; else if (2) x = 2; else x = 3;")
+        node = stmts[0]
+        assert isinstance(node, ast.If)
+        assert isinstance(node.otherwise, ast.If)
+
+    def test_loops(self):
+        stmts = parse_body("""
+            while (1) { break; }
+            do { continue; } while (0);
+            for (int i = 0; i < 4; i += 1) { }
+            for (;;) { break; }
+        """)
+        assert isinstance(stmts[0], ast.While)
+        assert isinstance(stmts[1], ast.DoWhile)
+        assert isinstance(stmts[2], ast.For)
+        empty_for = stmts[3]
+        assert empty_for.init is None and empty_for.cond is None
+
+    def test_local_decl_with_init(self):
+        stmts = parse_body("int v = 3 + 4;")
+        decl = stmts[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert isinstance(decl.init, ast.Binary)
+
+    def test_local_arrays_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("int a[4];")
+
+    def test_array_assignment(self):
+        stmts = parse_body("a[i + 1] = 5;")
+        target = stmts[0].target
+        assert isinstance(target, ast.ArrayRef)
+        assert isinstance(target.index, ast.Binary)
+
+    def test_compound_assignment_desugars(self):
+        stmts = parse_body("x += 2; a[0] -= 3;")
+        plus = stmts[0]
+        assert isinstance(plus, ast.Assign)
+        assert isinstance(plus.value, ast.Binary) and plus.value.op == "+"
+        minus = stmts[1]
+        assert minus.value.op == "-"
+        assert isinstance(minus.target, ast.ArrayRef)
+
+    def test_call_statement(self):
+        stmts = parse_body("print_int(42);")
+        assert isinstance(stmts[0], ast.ExprStmt)
+        assert isinstance(stmts[0].expr, ast.Call)
+
+    def test_return_forms(self):
+        stmts = parse_body("return; ")
+        assert stmts[0].value is None
+        stmts = parse_body("return 1 + 2;")
+        assert isinstance(stmts[0].value, ast.Binary)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_compare_over_logic(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<" and expr.right.op == ">"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-" and expr.left.op == "-"
+        assert expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_unary_nesting(self):
+        expr = parse_expr("-!~x")
+        assert expr.op == "-"
+        assert expr.operand.op == "!"
+        assert expr.operand.operand.op == "~"
+
+    def test_call_and_index_expressions(self):
+        expr = parse_expr("f(a[1], g())")
+        assert isinstance(expr, ast.Call)
+        assert isinstance(expr.args[0], ast.ArrayRef)
+        assert isinstance(expr.args[1], ast.Call)
+
+    def test_shift_precedence(self):
+        expr = parse_expr("a >> 2 & 3")   # C: & below shift
+        assert expr.op == "&"
+        assert expr.left.op == ">>"
+
+    @pytest.mark.parametrize("src", [
+        "void main() { x = ; }",
+        "void main() { if 1 x = 2; }",
+        "void main() { while (1) ",
+        "void main() { break }",
+        "void main() { 1 +; }",
+    ])
+    def test_parse_errors(self, src):
+        with pytest.raises(ParseError):
+            parse(src)
+
+    def test_error_has_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("void main() {\n\n  x = ;\n}")
+        assert "line 3" in str(excinfo.value)

@@ -1,0 +1,78 @@
+"""Tests for the wrong-path-aware power model."""
+
+import pytest
+
+from repro import CoreConfig, compare_techniques
+from repro.analysis.power import (EnergyParams, PowerModel,
+                                  wrong_path_power_report)
+from repro.minicc import compile_to_program
+
+KERNEL = """
+int table[2048];
+void main() {
+    int seed = 7;
+    for (int i = 0; i < 2048; i += 1) {
+        seed = seed * 1103515245 + 12345;
+        table[i] = (seed >> 16) & 2047;
+    }
+    int acc = 0;
+    for (int i = 0; i < 2048; i += 1) {
+        if (table[table[i]] > 1024) {
+            acc += 1;
+        }
+    }
+    print_int(acc);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    program = compile_to_program(KERNEL)
+    return compare_techniques(program, config=CoreConfig.scaled(),
+                              name="power-kernel")
+
+
+class TestPowerModel:
+    def test_nowp_has_zero_wrong_path_energy(self, comparison):
+        estimate = PowerModel().estimate(comparison.results["nowp"])
+        assert estimate.wrong_path_pj == 0.0
+        assert estimate.wrong_path_fraction == 0.0
+        assert estimate.correct_path_pj > 0
+        assert estimate.leakage_pj > 0
+
+    def test_wp_models_report_wrong_path_energy(self, comparison):
+        for technique in ("instrec", "conv", "wpemul"):
+            estimate = PowerModel().estimate(comparison.results[technique])
+            assert estimate.wrong_path_pj > 0, technique
+            assert 0 < estimate.wrong_path_fraction < 1
+
+    def test_wpemul_wrong_path_energy_at_least_instrec(self, comparison):
+        """instrec sees no wrong-path data-cache accesses, so its
+        wrong-path energy underestimates wpemul's."""
+        instrec = PowerModel().estimate(comparison.results["instrec"])
+        wpemul = PowerModel().estimate(comparison.results["wpemul"])
+        assert wpemul.wrong_path_pj > instrec.wrong_path_pj * 0.8
+
+    def test_total_is_sum(self, comparison):
+        estimate = PowerModel().estimate(comparison.results["conv"])
+        assert estimate.total_pj == pytest.approx(
+            estimate.correct_path_pj + estimate.wrong_path_pj
+            + estimate.leakage_pj)
+
+    def test_custom_params_scale(self, comparison):
+        result = comparison.results["conv"]
+        base = PowerModel().estimate(result)
+        doubled = PowerModel(EnergyParams(
+            instruction_base=16.0, alu_op=4.0, load_op=8.0, store_op=8.0,
+            l1_access=20.0, l2_access=50.0, llc_access=120.0,
+            memory_access=1000.0, leakage_per_cycle=6.0)).estimate(result)
+        assert doubled.total_pj == pytest.approx(2 * base.total_pj,
+                                                 rel=1e-6)
+
+    def test_report_covers_all_techniques(self, comparison):
+        report = wrong_path_power_report(comparison.results)
+        assert set(report) == set(comparison.results)
+        assert report["nowp"]["wrong_path_fraction"] == 0.0
+        for row in report.values():
+            assert row["total_pj"] > 0

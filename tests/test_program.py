@@ -1,0 +1,62 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program, ProgramError, TEXT_BASE
+
+
+def make_program(n=4, **kwargs):
+    instrs = [Instruction("add", rd=1, rs1=2, rs2=3) for _ in range(n)]
+    return Program(instrs, **kwargs)
+
+
+class TestLayout:
+    def test_pcs_assigned_densely(self):
+        program = make_program(3)
+        pcs = [ins.pc for ins in program.instructions]
+        assert pcs == [TEXT_BASE, TEXT_BASE + 4, TEXT_BASE + 8]
+        assert program.text_end == TEXT_BASE + 12
+
+    def test_custom_text_base(self):
+        program = make_program(2, text_base=0x8000)
+        assert program.instructions[0].pc == 0x8000
+        assert program.entry == 0x8000
+
+    def test_misaligned_text_base_rejected(self):
+        with pytest.raises(ProgramError):
+            make_program(1, text_base=0x1002)
+
+    def test_instruction_at(self):
+        program = make_program(2)
+        assert program.instruction_at(TEXT_BASE + 4) is \
+            program.instructions[1]
+        assert program.instruction_at(TEXT_BASE + 2) is None
+        assert program.instruction_at(program.text_end) is None
+
+    def test_len(self):
+        assert len(make_program(7)) == 7
+
+
+class TestSymbolsAndData:
+    def test_symbol_lookup(self):
+        program = make_program(1, symbols={"foo": 0x2000})
+        assert program.symbol("foo") == 0x2000
+        with pytest.raises(ProgramError):
+            program.symbol("bar")
+
+    def test_add_data(self):
+        program = make_program(1)
+        program.add_data(0x100000, [1, 2, 3])
+        assert (0x100000, [1, 2, 3]) in program.data
+
+    def test_entry_defaults_to_text_base(self):
+        assert make_program(1).entry == TEXT_BASE
+
+    def test_explicit_entry(self):
+        program = make_program(3, entry=TEXT_BASE + 8)
+        assert program.entry == TEXT_BASE + 8
+
+    def test_repr_mentions_counts(self):
+        text = repr(make_program(5, symbols={"a": 1}))
+        assert "5 instrs" in text and "1 symbols" in text

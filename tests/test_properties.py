@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.predictors import (BimodalPredictor, GSharePredictor,
+                                     ReturnAddressStack)
+from repro.cache.cache import Cache, MainMemory
+from repro.core.resources import SlotAllocator, WindowBuffer
+from repro.frontend.queue import RunaheadQueue
+from repro.functional.memory import Memory
+from repro.isa.assembler import bits_to_float, float_to_bits
+
+addresses = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+word_addresses = addresses.map(lambda a: a & ~3)
+words = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.tuples(word_addresses, words), max_size=60))
+    def test_last_write_wins(self, writes):
+        mem = Memory()
+        last = {}
+        for addr, value in writes:
+            mem.store_word(addr, value)
+            last[addr] = value
+        for addr, value in last.items():
+            assert mem.load_word(addr) == value
+
+    @given(word_addresses, words)
+    def test_byte_decomposition_matches_word(self, addr, value):
+        mem = Memory()
+        mem.store_word(addr, value)
+        recomposed = sum(mem.load_byte(addr + i) << (8 * i)
+                         for i in range(4))
+        assert recomposed == value
+
+    @given(word_addresses, st.lists(words, min_size=1, max_size=16))
+    def test_bulk_roundtrip(self, addr, values):
+        if addr + 4 * len(values) > 0xFFFF_FFFF:
+            addr = 0
+        mem = Memory()
+        mem.write_words(addr, values)
+        assert mem.read_words(addr, len(values)) == values
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 14),
+                    min_size=1, max_size=200))
+    def test_occupancy_bounded_and_recent_resident(self, trace):
+        cache = Cache("c", size=1024, assoc=2, line_size=64, latency=1,
+                      parent=MainMemory(10))
+        for addr in trace:
+            cache.access(addr)
+        assert cache.occupancy <= 16  # 1024/64
+        assert cache.contains(trace[-1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 14),
+                    min_size=1, max_size=200),
+           st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, trace, is_write):
+        cache = Cache("c", size=512, assoc=4, line_size=64, latency=1,
+                      parent=MainMemory(10))
+        for addr, write in zip(trace, is_write):
+            cache.access(addr, write=write)
+        stats = cache.stats
+        assert stats.misses <= stats.accesses
+        assert stats.accesses == min(len(trace), len(is_write))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 12),
+                    min_size=1, max_size=100))
+    def test_immediate_rehit(self, trace):
+        cache = Cache("c", size=2048, assoc=2, line_size=64, latency=3,
+                      parent=MainMemory(50))
+        for addr in trace:
+            cache.access(addr)
+            assert cache.access(addr) == 3  # re-access is always a hit
+
+
+class TestPredictorProperties:
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=0xFFFF).map(lambda p: p * 4),
+        st.booleans()), max_size=300))
+    def test_bimodal_never_crashes_and_counters_saturate(self, trace):
+        predictor = BimodalPredictor(table_bits=6)
+        for pc, taken in trace:
+            predictor.predict(pc)
+            predictor.update(pc, taken)
+        assert all(0 <= c <= 3 for c in predictor.table)
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=0xFFFF).map(lambda p: p * 4),
+        st.booleans()), max_size=300))
+    def test_gshare_history_bounded(self, trace):
+        predictor = GSharePredictor(table_bits=8, history_bits=6)
+        for pc, taken in trace:
+            predictor.update(pc, taken)
+        assert 0 <= predictor.history < (1 << 6)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 30),
+                    max_size=64),
+           st.integers(min_value=1, max_value=8))
+    def test_ras_is_bounded_lifo_suffix(self, pushes, depth):
+        ras = ReturnAddressStack(depth=depth)
+        for addr in pushes:
+            ras.push(addr)
+        expected = pushes[-depth:]
+        popped = []
+        while True:
+            value = ras.pop()
+            if value is None:
+                break
+            popped.append(value)
+        assert popped == list(reversed(expected))
+
+
+class TestResourceProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=8))
+    def test_slot_allocator_monotonic_and_bounded(self, requests, width):
+        alloc = SlotAllocator(width)
+        grants = [alloc.allocate(at) for at in requests]
+        # Monotonic and never earlier than requested.
+        for request, grant in zip(requests, grants):
+            assert grant >= request
+        assert grants == sorted(grants)
+        # Bandwidth: no cycle appears more than `width` times.
+        from collections import Counter
+        assert max(Counter(grants).values()) <= width
+
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=1, max_size=100),
+           st.integers(min_value=1, max_value=8))
+    def test_window_buffer_never_exceeds_capacity(self, releases, cap):
+        window = WindowBuffer(cap)
+        time = 0
+        for extra in releases:
+            time = window.allocate(time)
+            window.commit(time + extra + 1)
+            assert len(window) <= cap
+
+
+class TestQueueProperties:
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=32))
+    def test_window_prefix_of_pops(self, count, depth, peek):
+        from repro.frontend.dyninstr import DynInstr
+        from repro.isa.instructions import Instruction
+
+        def items():
+            for i in range(count):
+                ins = Instruction("add", rd=1, rs1=2, rs2=3)
+                ins.pc = 0x1000 + 4 * i
+                yield DynInstr(i, ins, ins.pc, ins.pc + 4, False, None)
+
+        iterator = items()
+        queue = RunaheadQueue(lambda: next(iterator, None), depth=depth)
+        window = [d.seq for d in queue.window(peek)]
+        pops = []
+        while True:
+            di = queue.pop()
+            if di is None:
+                break
+            pops.append(di.seq)
+        assert pops == list(range(count))
+        assert window == pops[:len(window)]
+
+
+class TestFloatBitsProperties:
+    @given(st.floats(min_value=-1e30, max_value=1e30,
+                     allow_nan=False, allow_infinity=False))
+    def test_float_bits_roundtrip_is_f32_identity(self, value):
+        once = bits_to_float(float_to_bits(value))
+        twice = bits_to_float(float_to_bits(once))
+        assert once == twice  # idempotent after first f32 rounding
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.sampled_from(
+    ["add t0, t1, t2", "sub t3, t4, t5", "mul s2, s3, s4",
+     "lw a0, 0(sp)", "sw a1, 4(sp)", "nop", "li t6, 42"]),
+    min_size=1, max_size=40))
+def test_assembler_layout_property(lines):
+    """Any straight-line program lays out densely from the text base with
+    pcs increasing by 4."""
+    from repro.isa.assembler import assemble
+    program = assemble("\n".join(lines))
+    assert len(program) == len(lines)
+    pcs = [ins.pc for ins in program.instructions]
+    assert pcs == list(range(program.text_base,
+                             program.text_base + 4 * len(lines), 4))

@@ -1,0 +1,68 @@
+"""Unit tests for register naming and indices."""
+
+import pytest
+
+from repro.isa.registers import (NUM_INT_REGS, NUM_REGS, RegisterError,
+                                 is_fp_register, parse_register,
+                                 register_name)
+
+
+class TestParseRegister:
+    def test_raw_integer_names(self):
+        assert parse_register("x0") == 0
+        assert parse_register("x31") == 31
+
+    def test_raw_fp_names(self):
+        assert parse_register("f0") == 32
+        assert parse_register("f31") == 63
+
+    def test_abi_names(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("sp") == 2
+        assert parse_register("a0") == 10
+        assert parse_register("a7") == 17
+        assert parse_register("t0") == 5
+        assert parse_register("t6") == 31
+        assert parse_register("s0") == 8
+        assert parse_register("fp") == 8
+        assert parse_register("s11") == 27
+
+    def test_abi_fp_names(self):
+        assert parse_register("ft0") == 32
+        assert parse_register("fa0") == 42
+        assert parse_register("fs11") == 59
+        assert parse_register("ft11") == 63
+
+    def test_case_insensitive(self):
+        assert parse_register("A0") == 10
+        assert parse_register("X5") == 5
+
+    def test_whitespace_stripped(self):
+        assert parse_register("  t1 ") == 6
+
+    @pytest.mark.parametrize("bad", ["x32", "f32", "x-1", "q3", "", "x",
+                                     "a8", "t7", "s12"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(RegisterError):
+            parse_register(bad)
+
+
+class TestRegisterName:
+    def test_roundtrip_all(self):
+        for reg in range(NUM_REGS):
+            assert parse_register(register_name(reg)) == reg
+
+    def test_out_of_range(self):
+        with pytest.raises(RegisterError):
+            register_name(NUM_REGS)
+        with pytest.raises(RegisterError):
+            register_name(-1)
+
+
+class TestIsFp:
+    def test_boundaries(self):
+        assert not is_fp_register(0)
+        assert not is_fp_register(NUM_INT_REGS - 1)
+        assert is_fp_register(NUM_INT_REGS)
+        assert is_fp_register(NUM_REGS - 1)

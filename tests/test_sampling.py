@@ -1,0 +1,95 @@
+"""Tests for sampled (fast-forward + detailed interval) simulation."""
+
+import pytest
+
+from repro import CoreConfig, Simulator
+from repro.minicc import compile_to_program
+from repro.simulator.sampling import simulate_sampled
+
+SOURCE = """
+int table[4096];
+void main() {
+    int seed = 5;
+    for (int i = 0; i < 4096; i += 1) {
+        seed = seed * 1103515245 + 12345;
+        table[i] = (seed >> 16) & 4095;
+    }
+    int acc = 0;
+    for (int rep = 0; rep < 3; rep += 1) {
+        for (int i = 0; i < 4096; i += 1) {
+            if (table[table[i]] > 2048) {
+                acc += 1;
+            }
+        }
+    }
+    print_int(acc);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_to_program(SOURCE)
+
+
+class TestSampling:
+    def test_runs_and_partitions_stream(self, program):
+        result = simulate_sampled(program, technique="nowp",
+                                  config=CoreConfig.scaled(),
+                                  detail_length=5000,
+                                  fastforward_length=20_000)
+        assert result.intervals >= 2
+        assert result.detailed_instructions > 0
+        assert result.warmed_instructions > result.detailed_instructions
+        assert 0.1 < result.detail_fraction < 0.4
+        assert result.ipc > 0
+
+    def test_sampled_ipc_tracks_full_detail(self, program):
+        """Sampling must approximate the full-detail IPC (SMARTS-style)."""
+        cfg = CoreConfig.scaled()
+        full = Simulator(program, config=cfg, technique="nowp").run()
+        sampled = simulate_sampled(program, technique="nowp", config=cfg,
+                                   detail_length=8000,
+                                   fastforward_length=16_000)
+        assert sampled.ipc == pytest.approx(full.ipc, rel=0.35)
+
+    def test_zero_fastforward_equals_full_detail_count(self, program):
+        result = simulate_sampled(program, technique="nowp",
+                                  config=CoreConfig.scaled(),
+                                  detail_length=10_000,
+                                  fastforward_length=0,
+                                  max_instructions=30_000)
+        assert result.warmed_instructions == 0
+        assert result.detailed_instructions == 30_000
+
+    def test_wrong_path_techniques_work_in_samples(self, program):
+        cfg = CoreConfig.scaled()
+        result = simulate_sampled(program, technique="conv", config=cfg,
+                                  detail_length=6000,
+                                  fastforward_length=18_000)
+        assert result.stats.wp_fetched > 0
+        assert result.stats.conv_attempts > 0
+
+    def test_wpemul_in_samples(self, program):
+        result = simulate_sampled(program, technique="wpemul",
+                                  config=CoreConfig.scaled(),
+                                  detail_length=5000,
+                                  fastforward_length=20_000)
+        assert result.stats.wp_trace_missing == 0
+        assert result.stats.wp_executed > 0
+
+    def test_parameter_validation(self, program):
+        with pytest.raises(ValueError):
+            simulate_sampled(program, detail_length=0)
+        with pytest.raises(ValueError):
+            simulate_sampled(program, fastforward_length=-1)
+        with pytest.raises(ValueError):
+            simulate_sampled(program, technique="magic")
+
+    def test_max_instructions_cap(self, program):
+        result = simulate_sampled(program, technique="nowp",
+                                  config=CoreConfig.scaled(),
+                                  detail_length=1000,
+                                  fastforward_length=1000,
+                                  max_instructions=5000)
+        assert result.total_instructions <= 6000

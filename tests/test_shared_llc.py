@@ -1,0 +1,57 @@
+"""Unit tests for sharing an LLC/memory across hierarchies (the multicore
+building block)."""
+
+from repro.cache.cache import Cache, MainMemory
+from repro.cache.hierarchy import CacheHierarchy
+
+
+def make_pair():
+    memory = MainMemory(latency=100)
+    llc = Cache("LLC", 16 * 1024, 8, 64, 30, memory)
+    kwargs = dict(l1d_size=1024, l1d_assoc=2, l1d_latency=2,
+                  l1i_size=1024, l1i_assoc=2, l1i_latency=1,
+                  l2_size=4096, l2_assoc=4, l2_latency=8,
+                  dtlb_entries=8)
+    a = CacheHierarchy(shared_llc=llc, shared_memory=memory, **kwargs)
+    b = CacheHierarchy(shared_llc=llc, shared_memory=memory, **kwargs)
+    return a, b, llc, memory
+
+
+class TestSharedLLC:
+    def test_same_llc_object(self):
+        a, b, llc, memory = make_pair()
+        assert a.llc is llc and b.llc is llc
+        assert a.memory is memory and b.memory is memory
+
+    def test_private_l1_l2(self):
+        a, b, _, _ = make_pair()
+        assert a.l1d is not b.l1d
+        assert a.l2 is not b.l2
+
+    def test_cross_hierarchy_llc_warming(self):
+        """Core A's fill leaves the line in the shared LLC; core B then
+        misses only down to the LLC, not to memory."""
+        a, b, llc, memory = make_pair()
+        addr = 0x123400
+        a.access_data(addr)
+        accesses_before = memory.stats.accesses
+        latency = b.access_data(addr)
+        assert memory.stats.accesses == accesses_before  # LLC hit
+        assert latency < 100  # no memory round trip
+
+    def test_cross_hierarchy_eviction_interference(self):
+        """Core B thrashing the shared LLC evicts core A's line."""
+        a, b, llc, _ = make_pair()
+        victim = 0x200000
+        a.access_data(victim)
+        assert llc.contains(victim)
+        # B streams through > LLC capacity within the victim's set.
+        for i in range(1, 64):
+            b.access_data(victim + i * (llc.num_sets * 64))
+        assert not llc.contains(victim)
+
+    def test_wrong_path_visible_in_shared_stats(self):
+        a, _, llc, _ = make_pair()
+        a.access_data(0x900000, wrong_path=True)
+        assert llc.stats.wp_accesses == 1
+        assert llc.stats.wp_misses == 1

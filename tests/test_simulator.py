@@ -1,0 +1,110 @@
+"""Tests for the Simulator composition and the experiment runner."""
+
+import pytest
+
+from repro import (ALL_TECHNIQUES, CoreConfig, Simulator, assemble,
+                   compare_techniques, simulate)
+from repro.minicc import compile_to_program
+
+LOOP_SOURCE = """
+int data[512];
+void main() {
+    int acc = 0;
+    for (int i = 0; i < 512; i += 1) {
+        data[i] = i * 7 % 129;
+    }
+    for (int rep = 0; rep < 4; rep += 1) {
+        for (int i = 0; i < 512; i += 1) {
+            if (data[i] % 3 == 0) {
+                acc += data[i];
+            }
+        }
+    }
+    print_int(acc);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def loop_program():
+    return compile_to_program(LOOP_SOURCE)
+
+
+class TestSimulator:
+    def test_runs_to_completion(self, loop_program):
+        result = Simulator(loop_program, config=CoreConfig.scaled()).run()
+        assert result.exit_code is not None
+        assert result.instructions > 1000
+        assert result.cycles > 0
+        assert 0 < result.ipc < 8
+
+    def test_functional_output_preserved(self, loop_program):
+        result = simulate(loop_program, technique="conv",
+                          config=CoreConfig.scaled())
+        expected = sum(v for v in
+                       ((i * 7 % 129) for i in range(512))
+                       if v % 3 == 0) * 4
+        assert result.output == [expected]
+
+    def test_max_instructions_truncates(self, loop_program):
+        result = Simulator(loop_program, max_instructions=500).run()
+        assert result.instructions == 500
+
+    def test_unknown_technique_rejected(self, loop_program):
+        with pytest.raises(ValueError):
+            Simulator(loop_program, technique="magic")
+
+    def test_all_techniques_run(self, loop_program):
+        for technique in ALL_TECHNIQUES:
+            result = simulate(loop_program, technique=technique,
+                              config=CoreConfig.scaled(),
+                              max_instructions=4000)
+            assert result.technique == technique
+            assert result.instructions == 4000
+
+    def test_deterministic(self, loop_program):
+        a = simulate(loop_program, technique="conv",
+                     config=CoreConfig.scaled())
+        b = simulate(loop_program, technique="conv",
+                     config=CoreConfig.scaled())
+        assert a.cycles == b.cycles
+        assert a.stats.wp_fetched == b.stats.wp_fetched
+
+    def test_summary_mentions_key_metrics(self, loop_program):
+        result = simulate(loop_program, max_instructions=2000)
+        summary = result.summary()
+        assert "IPC" in summary and "instrs" in summary
+
+
+class TestComparison:
+    def test_errors_relative_to_wpemul(self, loop_program):
+        cmp = compare_techniques(loop_program,
+                                 config=CoreConfig.scaled(),
+                                 max_instructions=8000)
+        errors = cmp.errors()
+        assert errors["wpemul"] == 0.0
+        assert set(errors) == set(ALL_TECHNIQUES)
+
+    def test_reference_fallback_order(self, loop_program):
+        cmp = compare_techniques(loop_program,
+                                 config=CoreConfig.scaled(),
+                                 techniques=("nowp", "conv"),
+                                 max_instructions=4000)
+        assert cmp.reference.technique == "conv"
+        assert cmp.error("conv") == 0.0
+
+    def test_slowdowns_positive(self, loop_program):
+        cmp = compare_techniques(loop_program,
+                                 config=CoreConfig.scaled(),
+                                 max_instructions=8000)
+        for technique, slowdown in cmp.slowdowns().items():
+            assert slowdown > 0
+
+    def test_identical_functional_behaviour(self, loop_program):
+        """All four techniques must retire the same architectural stream."""
+        cmp = compare_techniques(loop_program,
+                                 config=CoreConfig.scaled())
+        outputs = {t: tuple(r.output) for t, r in cmp.results.items()}
+        assert len(set(outputs.values())) == 1
+        counts = {r.instructions for r in cmp.results.values()}
+        assert len(counts) == 1

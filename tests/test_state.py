@@ -1,0 +1,56 @@
+"""Unit tests for architectural state and checkpointing."""
+
+from repro.functional.state import ArchState
+from repro.isa.program import STACK_TOP
+
+
+class TestArchState:
+    def test_initial_state(self):
+        state = ArchState(entry=0x1000)
+        assert state.pc == 0x1000
+        assert state.x[0] == 0
+        assert state.x[2] == STACK_TOP  # sp
+        assert all(v == 0.0 for v in state.f)
+
+    def test_x0_writes_ignored(self):
+        state = ArchState()
+        state.write(0, 42)
+        assert state.read(0) == 0
+
+    def test_int_writes_mask(self):
+        state = ArchState()
+        state.write(5, -1)
+        assert state.read(5) == 0xFFFFFFFF
+
+    def test_fp_unified_indexing(self):
+        state = ArchState()
+        state.write(32, 2.5)
+        assert state.read(32) == 2.5
+        assert state.f[0] == 2.5
+
+    def test_fp_write_coerces_float(self):
+        state = ArchState()
+        state.write(40, 3)
+        assert state.read(40) == 3.0
+        assert isinstance(state.read(40), float)
+
+
+class TestCheckpoint:
+    def test_restore_registers_and_pc(self):
+        state = ArchState(entry=0x100)
+        state.write(5, 7)
+        state.write(33, 1.5)
+        snap = state.checkpoint()
+        state.write(5, 99)
+        state.write(33, -2.0)
+        state.pc = 0x999
+        state.restore(snap)
+        assert state.pc == 0x100
+        assert state.read(5) == 7
+        assert state.read(33) == 1.5
+
+    def test_checkpoint_is_deep_enough(self):
+        state = ArchState()
+        snap = state.checkpoint()
+        state.write(6, 123)
+        assert snap[1][6] == 0  # snapshot unaffected by later writes

@@ -1,0 +1,145 @@
+"""Tests for the TAGE-style predictor."""
+
+import random
+
+import pytest
+
+from repro.branch.predictors import BranchPredictorUnit
+from repro.branch.tage import TagePredictor, _fold
+
+
+class TestFold:
+    def test_fold_zero_bits(self):
+        assert _fold(0xFFFF, 16, 0) == 0
+
+    def test_fold_within_range(self):
+        for value in (0, 1, 0xDEADBEEF, (1 << 64) - 1):
+            assert 0 <= _fold(value, 64, 10) < (1 << 10)
+
+    def test_fold_identity_when_fits(self):
+        assert _fold(0x2A, 6, 6) == 0x2A
+
+    def test_fold_is_deterministic(self):
+        assert _fold(12345, 32, 8) == _fold(12345, 32, 8)
+
+
+class TestTage:
+    def test_construction_geometric_histories(self):
+        predictor = TagePredictor(num_tables=4, min_history=4,
+                                  max_history=64)
+        lengths = [t.history_length for t in predictor.tables]
+        assert lengths == sorted(lengths)
+        assert lengths[0] == 4 and lengths[-1] == 64
+        assert len(set(lengths)) == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TagePredictor(num_tables=0)
+        with pytest.raises(ValueError):
+            TagePredictor(min_history=8, max_history=4)
+
+    def test_learns_strong_bias(self):
+        predictor = TagePredictor(table_bits=8)
+        for _ in range(50):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000)
+        for _ in range(50):
+            predictor.update(0x1000, False)
+        assert not predictor.predict(0x1000)
+
+    def test_learns_history_pattern_better_than_bimodal(self):
+        """A short repeating pattern (TTN) defeats per-pc counters but is
+        capturable with global history."""
+        pattern = [True, True, False]
+
+        def run(predictor):
+            correct = 0
+            for i in range(1200):
+                taken = pattern[i % 3]
+                if i >= 600:
+                    correct += predictor.predict(0x4000) == taken
+                predictor.update(0x4000, taken)
+            return correct / 600
+
+        from repro.branch.predictors import BimodalPredictor
+        tage_acc = run(TagePredictor(table_bits=10))
+        bimodal = BimodalPredictor(table_bits=10)
+        bim_correct = 0
+        for i in range(1200):
+            taken = pattern[i % 3]
+            if i >= 600:
+                bim_correct += bimodal.predict(0x4000) == taken
+            bimodal.update(0x4000, taken)
+        assert tage_acc > 0.95
+        assert tage_acc > bim_correct / 600
+
+    def test_predict_does_not_mutate(self):
+        predictor = TagePredictor(table_bits=8)
+        rng = random.Random(5)
+        for _ in range(200):
+            predictor.update(rng.randrange(0, 1 << 14) * 4,
+                             rng.random() < 0.5)
+        snapshot = ([list(t.ctr) for t in predictor.tables],
+                    list(predictor.base), predictor.history)
+        for _ in range(50):
+            predictor.predict(rng.randrange(0, 1 << 14) * 4)
+            predictor.predict(0x1234, history=rng.getrandbits(16))
+        assert snapshot == ([list(t.ctr) for t in predictor.tables],
+                            list(predictor.base), predictor.history)
+
+    def test_history_bounded(self):
+        predictor = TagePredictor(max_history=32)
+        for i in range(100):
+            predictor.update(0x40 * i, i % 2 == 0)
+        assert predictor.history < (1 << 32)
+
+    def test_random_stream_no_crash_counters_bounded(self):
+        predictor = TagePredictor(table_bits=6, num_tables=3)
+        rng = random.Random(1)
+        for _ in range(5000):
+            predictor.update(rng.randrange(0, 1 << 12) * 4,
+                             rng.random() < 0.3)
+        for table in predictor.tables:
+            assert all(-4 <= c <= 3 for c in table.ctr)
+            assert all(0 <= u <= 3 for u in table.useful)
+
+
+class TestTageInUnit:
+    def test_unit_kind_tage(self):
+        unit = BranchPredictorUnit(kind="tage", table_bits=10)
+        from repro.isa.instructions import Instruction
+        ins = Instruction("beq", rs1=1, rs2=2, target=0x2000)
+        ins.pc = 0x1000
+        for _ in range(40):
+            unit.predict_and_update(ins, taken=True, next_pc=0x2000)
+        before = unit.cond_mispredicts
+        unit.predict_and_update(ins, taken=True, next_pc=0x2000)
+        assert unit.cond_mispredicts == before  # fully trained
+
+    def test_unit_peek_uses_spec_history(self):
+        unit = BranchPredictorUnit(kind="tage", table_bits=10)
+        from repro.isa.instructions import Instruction
+        ins = Instruction("beq", rs1=1, rs2=2, target=0x2000)
+        ins.pc = 0x1000
+        spec = unit.speculative_state()
+        first = unit.peek_next(ins, spec)
+        assert first in (0x2000, ins.fall_through)
+        # Peeking advanced the speculative history only.
+        assert unit.direction.history == 0
+
+    def test_two_tage_units_lockstep(self):
+        from repro.isa.instructions import Instruction
+        rng = random.Random(9)
+        a = BranchPredictorUnit(kind="tage", table_bits=8)
+        b = BranchPredictorUnit(kind="tage", table_bits=8)
+        branches = []
+        for i in range(4):
+            ins = Instruction("beq", rs1=1, rs2=2, target=0x8000 + 64 * i)
+            ins.pc = 0x1000 + 16 * i
+            branches.append(ins)
+        for _ in range(600):
+            ins = rng.choice(branches)
+            taken = rng.random() < 0.5
+            next_pc = ins.target if taken else ins.fall_through
+            assert a.predict_and_update(ins, taken, next_pc) == \
+                b.predict_and_update(ins, taken, next_pc)

@@ -1,0 +1,40 @@
+"""The simulator's timing self-validation suite must pass on both the
+full-scale and the downscaled configurations."""
+
+import pytest
+
+from repro import CoreConfig
+from repro.validation import ALL_CHECKS, CheckResult, validate
+
+
+@pytest.mark.parametrize("check", ALL_CHECKS,
+                         ids=lambda c: c.__name__)
+def test_full_scale_config(check):
+    result = check(CoreConfig())
+    assert result.passed, repr(result)
+
+
+@pytest.mark.parametrize(
+    "check",
+    [c for c in ALL_CHECKS
+     if c.__name__ != "check_independent_ipc"],
+    ids=lambda c: c.__name__)
+def test_scaled_config(check):
+    # The downscaled config has tiny caches, so the pure-ALU throughput
+    # check (which assumes code streams from a warm L1I) is the only one
+    # excluded from the cross-config sweep.
+    result = check(CoreConfig.scaled())
+    assert result.passed, repr(result)
+
+
+def test_validate_returns_all_checks():
+    results = validate()
+    assert len(results) == len(ALL_CHECKS)
+    assert all(isinstance(r, CheckResult) for r in results)
+
+
+def test_check_result_repr():
+    good = CheckResult("x", 1.0, 0.5, 1.5)
+    bad = CheckResult("x", 9.0, 0.5, 1.5)
+    assert good.passed and "[ok]" in repr(good)
+    assert not bad.passed and "FAIL" in repr(bad)

@@ -1,0 +1,32 @@
+"""Build-only checks across scales: every workload's source template must
+format, compile and lay out correctly at the scales the benches use (tiny
+is covered by the functional tests; the harness runs GAP at medium and
+SPEC at small)."""
+
+import pytest
+
+from repro.workloads import build_workload, gap_names, spec_fp_names, \
+    spec_int_names
+
+
+@pytest.mark.parametrize("name", gap_names())
+def test_gap_builds_at_medium(name):
+    wl = build_workload(name, scale="medium", check=False)
+    assert len(wl.program) > 50
+    assert wl.program.data  # graph arrays injected
+    assert wl.meta["scale"] == "medium"
+
+
+@pytest.mark.parametrize("name", spec_int_names() + spec_fp_names())
+def test_spec_builds_at_small(name):
+    wl = build_workload(name, scale="small", check=False)
+    assert len(wl.program) > 30
+    assert wl.expected_output is None  # check=False skips references
+
+
+def test_scales_change_footprint():
+    tiny = build_workload("gap.bfs", scale="tiny", check=False)
+    medium = build_workload("gap.bfs", scale="medium", check=False)
+    tiny_words = sum(len(words) for _, words in tiny.program.data)
+    medium_words = sum(len(words) for _, words in medium.program.data)
+    assert medium_words > 4 * tiny_words

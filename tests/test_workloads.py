@@ -1,0 +1,89 @@
+"""Functional-correctness tests for every workload: run the compiled
+program on the emulator and compare against the Python reference."""
+
+import pytest
+
+from repro.functional.emulator import Emulator
+from repro.workloads import (build_workload, gap_names, spec_fp_names,
+                             spec_int_names, workload_names)
+
+ALL = workload_names()
+
+
+def check_workload(name):
+    wl = build_workload(name, scale="tiny")
+    emu = Emulator(wl.program)
+    emu.run(max_instructions=5_000_000)
+    assert emu.halted, f"{name} did not finish"
+    assert wl.expected_output is not None
+    assert len(emu.output) == len(wl.expected_output)
+    tolerance = wl.meta.get("float_tolerance", 1e-6)
+    for got, want in zip(emu.output, wl.expected_output):
+        if isinstance(want, float):
+            assert got == pytest.approx(want, rel=tolerance, abs=1e-9), name
+        else:
+            assert got == want, name
+    return wl, emu
+
+
+class TestRegistry:
+    def test_suite_partition(self):
+        assert len(gap_names()) == 6
+        assert len(spec_int_names()) == 10
+        assert len(spec_fp_names()) == 8
+        assert set(ALL) == set(gap_names()) | set(spec_int_names()) \
+            | set(spec_fp_names())
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_workload("gap.nope")
+
+    def test_workload_metadata(self):
+        wl = build_workload("gap.bfs", scale="tiny")
+        assert wl.suite == "gap"
+        assert wl.meta["scale"] == "tiny"
+        assert wl.description
+
+
+@pytest.mark.parametrize("name", gap_names())
+def test_gap_kernel_correct(name):
+    check_workload(name)
+
+
+@pytest.mark.parametrize("name", spec_int_names())
+def test_spec_int_kernel_correct(name):
+    check_workload(name)
+
+
+@pytest.mark.parametrize("name", spec_fp_names())
+def test_spec_fp_kernel_correct(name):
+    check_workload(name)
+
+
+class TestWorkloadShape:
+    def test_gap_kernels_have_branch_misses(self):
+        """The GAP suite must stress branch prediction (the paper's
+        premise); pr is the designed exception."""
+        from repro import CoreConfig, Simulator
+        for name in ("gap.bfs", "gap.sssp"):
+            wl = build_workload(name, scale="tiny", check=False)
+            result = Simulator(wl.program, config=CoreConfig.scaled(),
+                               technique="nowp", name=name).run()
+            assert result.branch_mpki > 3, name
+
+    def test_fp_kernels_have_few_branch_misses(self):
+        from repro import CoreConfig, Simulator
+        for name in ("spec.fp.saxpy_like", "spec.fp.stencil_like"):
+            wl = build_workload(name, scale="tiny", check=False)
+            result = Simulator(wl.program, config=CoreConfig.scaled(),
+                               technique="nowp", name=name).run()
+            assert result.branch_mpki < 3, name
+
+    def test_seed_changes_data(self):
+        a = build_workload("gap.bfs", scale="tiny", seed=1, check=False)
+        b = build_workload("gap.bfs", scale="tiny", seed=2, check=False)
+        assert a.program.data != b.program.data
+
+    def test_check_false_skips_reference(self):
+        wl = build_workload("gap.tc", scale="tiny", check=False)
+        assert wl.expected_output is None

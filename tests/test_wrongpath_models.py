@@ -1,0 +1,204 @@
+"""Unit tests for the wrong-path models: reconstruction walking, the shared
+pipeline executor, and per-technique behaviour."""
+
+import pytest
+
+from repro.branch.predictors import BranchPredictorUnit
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.config import CoreConfig
+from repro.core.ooo import OoOCore, WrongPathWindow
+from repro.frontend.dyninstr import DynInstr
+from repro.isa.instructions import Instruction
+from repro.wrongpath.base import (WPItem, reconstruct_from_code_cache,
+                                  simulate_wrong_path_stream)
+from repro.wrongpath.instrec import InstructionReconstruction
+from repro.wrongpath.nowp import NoWrongPath
+
+
+def make_core(cfg=None, model=None):
+    cfg = cfg or CoreConfig()
+    return OoOCore(cfg, CacheHierarchy.from_config(cfg),
+                   BranchPredictorUnit(), model or NoWrongPath())
+
+
+def seed_code_cache(core, ops, base=0x1000):
+    """Insert a straight-line code region into the code cache."""
+    instrs = []
+    for i, op in enumerate(ops):
+        if op == "lw":
+            ins = Instruction("lw", rd=1, rs1=2, imm=0)
+        elif op == "beq":
+            ins = Instruction("beq", rs1=1, rs2=2, target=base)
+        else:
+            ins = Instruction(op, rd=1, rs1=2, rs2=3)
+        ins.pc = base + 4 * i
+        core.code_cache.insert(ins)
+        instrs.append(ins)
+    return instrs
+
+
+def branch_window(core, wrong_pc, start=10, resolution=400, limit=64):
+    ins = Instruction("beq", rs1=1, rs2=2, target=0x9000)
+    ins.pc = 0x900
+    di = DynInstr(0, ins, 0x900, 0x904, False, None)
+    return WrongPathWindow(core, di, wrong_pc, start, resolution, limit)
+
+
+class TestReconstruction:
+    def test_walks_straight_line(self):
+        core = make_core()
+        seed_code_cache(core, ["add"] * 8)
+        items = reconstruct_from_code_cache(core, 0x1000, 8)
+        assert [it.pc for it in items] == [0x1000 + 4 * i
+                                           for i in range(8)]
+        assert all(it.mem_addr is None for it in items)
+
+    def test_stops_at_code_cache_miss(self):
+        core = make_core()
+        seed_code_cache(core, ["add"] * 4)
+        items = reconstruct_from_code_cache(core, 0x1000, 100)
+        assert len(items) == 4
+        assert core.stats.wp_stop_code_cache == 1
+
+    def test_respects_limit(self):
+        core = make_core()
+        seed_code_cache(core, ["add"] * 32)
+        assert len(reconstruct_from_code_cache(core, 0x1000, 5)) == 5
+
+    def test_follows_predicted_branch(self):
+        core = make_core()
+        # beq at 0x1000 targeting 0x1000 (self-loop); fresh predictor is
+        # weakly taken, so the walk loops at 0x1000.
+        seed_code_cache(core, ["beq"])
+        items = reconstruct_from_code_cache(core, 0x1000, 6)
+        assert [it.pc for it in items] == [0x1000] * 6
+
+    def test_stops_on_unpredictable_indirect(self):
+        core = make_core()
+        jalr = Instruction("jalr", rd=0, rs1=5, imm=0)
+        jalr.pc = 0x1000
+        core.code_cache.insert(jalr)
+        items = reconstruct_from_code_cache(core, 0x1000, 10)
+        assert len(items) == 1
+        assert core.stats.wp_stop_prediction == 1
+
+
+class TestExecutor:
+    def test_counts_fetched_and_executed(self):
+        core = make_core()
+        instrs = seed_code_cache(core, ["add"] * 16)
+        window = branch_window(core, 0x1000, resolution=1000)
+        items = [WPItem(ins, ins.pc) for ins in instrs]
+        simulate_wrong_path_stream(window, items)
+        assert core.stats.wp_fetched == 16
+        assert core.stats.wp_executed == 16  # huge window: all complete
+
+    def test_short_window_executes_fewer(self):
+        core = make_core()
+        instrs = seed_code_cache(core, ["add"] * 64)
+        window = branch_window(core, 0x1000, start=10, resolution=14,
+                               limit=64)
+        items = [WPItem(ins, ins.pc) for ins in instrs]
+        simulate_wrong_path_stream(window, items)
+        assert core.stats.wp_fetched < 64
+        assert core.stats.wp_executed == 0  # frontend depth > window
+
+    def test_known_address_loads_touch_cache(self):
+        core = make_core()
+        instrs = seed_code_cache(core, ["lw"] * 4)
+        window = branch_window(core, 0x1000, resolution=5000)
+        items = [WPItem(ins, ins.pc, 0x40000 + 64 * i)
+                 for i, ins in enumerate(instrs)]
+        simulate_wrong_path_stream(window, items)
+        assert core.hierarchy.l1d.stats.wp_accesses == 4
+        assert core.hierarchy.l1d.contains(0x40000)
+        assert core.stats.wp_loads_with_addr == 4
+
+    def test_unknown_address_loads_skip_cache(self):
+        core = make_core()
+        instrs = seed_code_cache(core, ["lw"] * 4)
+        window = branch_window(core, 0x1000, resolution=5000)
+        simulate_wrong_path_stream(
+            window, [WPItem(ins, ins.pc) for ins in instrs])
+        assert core.hierarchy.l1d.stats.wp_accesses == 0
+        assert core.stats.wp_loads == 4
+
+    def test_ports_restored_after_window(self):
+        core = make_core()
+        instrs = seed_code_cache(core, ["add"] * 32)
+        before = core.ports.snapshot()
+        window = branch_window(core, 0x1000, resolution=5000)
+        simulate_wrong_path_stream(
+            window, [WPItem(ins, ins.pc) for ins in instrs])
+        assert core.ports.snapshot() == before
+
+    def test_wp_stores_never_touch_cache(self):
+        core = make_core()
+        store = Instruction("sw", rs1=2, rs2=3, imm=0)
+        store.pc = 0x1000
+        core.code_cache.insert(store)
+        window = branch_window(core, 0x1000, resolution=5000)
+        simulate_wrong_path_stream(window,
+                                   [WPItem(store, 0x1000, 0x40000)])
+        assert core.hierarchy.l1d.stats.wp_accesses == 0
+        assert core.stats.wp_stores == 1
+
+    def test_rob_limit_caps_fetch(self):
+        core = make_core()
+        instrs = seed_code_cache(core, ["add"] * 64)
+        window = branch_window(core, 0x1000, resolution=5000, limit=10)
+        simulate_wrong_path_stream(
+            window, [WPItem(ins, ins.pc) for ins in instrs])
+        assert core.stats.wp_fetched == 10
+
+    def test_icache_touched_by_wp_fetch(self):
+        core = make_core()
+        instrs = seed_code_cache(core, ["add"] * 4, base=0x40000)
+        window = branch_window(core, 0x40000, resolution=5000)
+        simulate_wrong_path_stream(
+            window, [WPItem(ins, ins.pc) for ins in instrs])
+        assert core.hierarchy.l1i.stats.wp_accesses >= 1
+
+    def test_dependence_chain_delays_execution(self):
+        """Chained wrong-path loads deeper than the window never touch the
+        cache (the runahead-depth bound)."""
+        cfg = CoreConfig()
+        core = make_core(cfg)
+        # Loads where each depends on the previous result (rs1 = rd).
+        items = []
+        for i in range(8):
+            ins = Instruction("lw", rd=1, rs1=1, imm=0)
+            ins.pc = 0x1000 + 4 * i
+            items.append(WPItem(ins, ins.pc, 0x800000 + 8192 * i))
+        window = branch_window(core, 0x1000, start=10,
+                               resolution=10 + 2 * cfg.mem_latency)
+        simulate_wrong_path_stream(window, items)
+        # First loads issue; deep ones (5+ memory latencies in) cannot.
+        touched = core.hierarchy.l1d.stats.wp_accesses
+        assert 1 <= touched < 8
+
+
+class TestNoWrongPath:
+    def test_does_nothing(self):
+        core = make_core()
+        window = branch_window(core, 0x1000)
+        NoWrongPath().on_mispredict(window)
+        assert core.stats.wp_fetched == 0
+
+
+class TestInstrecModel:
+    def test_reconstructs_and_simulates(self):
+        model = InstructionReconstruction()
+        core = make_core(model=model)
+        seed_code_cache(core, ["add"] * 8)
+        window = branch_window(core, 0x1000, resolution=2000)
+        model.on_mispredict(window)
+        assert core.stats.wp_fetched == 8
+
+    def test_cold_code_cache_falls_back(self):
+        model = InstructionReconstruction()
+        core = make_core(model=model)
+        window = branch_window(core, 0xDEAD000)
+        model.on_mispredict(window)
+        assert core.stats.wp_fetched == 0
+        assert core.stats.wp_stop_code_cache == 1

@@ -1,0 +1,120 @@
+"""Focused tests for the wrong-path executor's depth bounds: the MSHR
+(fill-buffer) limit and the issue-before-resolution gate, which together
+keep wrong-path prefetching at hardware-plausible depth."""
+
+from repro.branch.predictors import BranchPredictorUnit
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.config import CoreConfig
+from repro.core.ooo import OoOCore, WrongPathWindow
+from repro.frontend.dyninstr import DynInstr
+from repro.isa.instructions import Instruction
+from repro.wrongpath.base import WPItem, simulate_wrong_path_stream
+from repro.wrongpath.nowp import NoWrongPath
+
+
+def make_core(**overrides):
+    cfg = CoreConfig(**overrides) if overrides else CoreConfig()
+    return OoOCore(cfg, CacheHierarchy.from_config(cfg),
+                   BranchPredictorUnit(), NoWrongPath())
+
+
+def window(core, resolution, limit=512):
+    ins = Instruction("beq", rs1=1, rs2=2, target=0x9000)
+    ins.pc = 0x900
+    di = DynInstr(0, ins, 0x900, 0x904, False, None)
+    return WrongPathWindow(core, di, 0x1000, 10, resolution, limit)
+
+
+def independent_loads(n, base_addr=0x800000, spacing=8192):
+    """n loads with distinct source/dest regs: no dependences at all."""
+    items = []
+    for i in range(n):
+        ins = Instruction("lw", rd=0, rs1=2, imm=0)
+        ins.pc = 0x1000 + 4 * i
+        items.append(WPItem(ins, ins.pc, base_addr + i * spacing))
+    return items
+
+
+class TestMshrBound:
+    def test_small_mshr_limits_overlapping_fills(self):
+        """With only 2 MSHRs and a short window, few of the 40 independent
+        missing loads can start their fills before the squash."""
+        cfg_small = dict(mshr_entries=2)
+        core = make_core(**cfg_small)
+        items = independent_loads(40)
+        simulate_wrong_path_stream(window(core, resolution=10 + 300),
+                                   items)
+        small_touched = core.hierarchy.l1d.stats.wp_accesses
+
+        core_big = make_core(mshr_entries=64)
+        simulate_wrong_path_stream(window(core_big, resolution=10 + 300),
+                                   independent_loads(40))
+        big_touched = core_big.hierarchy.l1d.stats.wp_accesses
+        assert small_touched < big_touched
+
+    def test_hits_bypass_mshrs(self):
+        """L1-resident wrong-path loads don't consume fill buffers."""
+        core = make_core(mshr_entries=1)
+        # Warm one line, then access it 20 times on the wrong path.
+        core.hierarchy.access_data(0x700000)
+        items = []
+        for i in range(20):
+            ins = Instruction("lw", rd=0, rs1=2, imm=0)
+            ins.pc = 0x1000 + 4 * i
+            items.append(WPItem(ins, ins.pc, 0x700000))
+        simulate_wrong_path_stream(window(core, resolution=5000), items)
+        assert core.hierarchy.l1d.stats.wp_accesses == 20
+
+    def test_dropped_fill_does_not_mutate_cache(self):
+        core = make_core(mshr_entries=1)
+        items = independent_loads(30)
+        simulate_wrong_path_stream(window(core, resolution=10 + 250),
+                                   items)
+        # Loads whose fill never started must not be resident.
+        resident = sum(core.hierarchy.l1d.contains(it.mem_addr)
+                       for it in items)
+        touched = core.hierarchy.l1d.stats.wp_accesses
+        assert resident == touched < 30
+
+
+class TestIssueGate:
+    def test_chain_beyond_window_never_touches_cache(self):
+        """A dependence chain of misses reaches only ~window/latency deep."""
+        cfg = CoreConfig()
+        core = make_core()
+        items = []
+        for i in range(10):
+            ins = Instruction("lw", rd=1, rs1=1, imm=0)
+            ins.pc = 0x1000 + 4 * i
+            items.append(WPItem(ins, ins.pc, 0x900000 + 8192 * i))
+        # Window of ~2 memory latencies: at most ~2-3 chain hops fit.
+        resolution = 10 + 2 * cfg.mem_latency
+        simulate_wrong_path_stream(window(core, resolution), items)
+        touched = core.hierarchy.l1d.stats.wp_accesses
+        assert 1 <= touched <= 4
+
+    def test_huge_window_lets_chain_complete(self):
+        core = make_core()
+        items = []
+        for i in range(10):
+            ins = Instruction("lw", rd=1, rs1=1, imm=0)
+            ins.pc = 0x1000 + 4 * i
+            items.append(WPItem(ins, ins.pc, 0x900000 + 8192 * i))
+        simulate_wrong_path_stream(window(core, resolution=50_000), items)
+        assert core.hierarchy.l1d.stats.wp_accesses == 10
+
+    def test_executed_counts_only_pre_resolution_completions(self):
+        core = make_core()
+        items = independent_loads(8, base_addr=0xA00000)
+        # Warm the I-cache so wrong-path fetch is not stalled by cold
+        # instruction misses inside the short window.
+        for item in items:
+            core.hierarchy.access_instr(item.pc)
+        # Resolution shorter than a memory round trip: fills start but
+        # cannot complete -> fetched > 0, executed == 0.
+        simulate_wrong_path_stream(window(core, resolution=10 + 60),
+                                   items)
+        assert core.stats.wp_fetched > 0
+        assert core.stats.wp_executed == 0
+        # The fills did start (cache state mutated) even though squashed.
+        assert core.hierarchy.l1d.stats.wp_accesses > 0
