@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Parallel design-space sweep through the experiment engine.
+
+Re-examines the paper's Section VI-B question — does wrong-path
+simulation matter more or less as memory latency grows? (Cain et al. saw
+positive effects, Mutlu et al. negative) — as a (workload × technique ×
+mem_latency) grid.  The engine fans the grid out over worker processes
+and caches every result content-addressed under ``.repro-cache/``, so a
+re-run of this script (or of ``python -m repro sweep`` / the benchmark
+harness over the same jobs) only re-simulates what changed.
+
+Run:  PYTHONPATH=src python examples/parallel_sweep.py
+"""
+
+from repro.analysis.report import percent, render_table
+from repro.engine import ExperimentEngine, ResultStore, expand_grid
+
+MEM_LATENCIES = (100, 300, 600)
+
+grid = expand_grid(
+    ["gap.bfs", "spec.int.sort_like"],
+    ["nowp", "wpemul"],
+    config_points=[{"mem_latency": lat} for lat in MEM_LATENCIES],
+    scale="tiny", max_instructions=30_000)
+
+engine = ExperimentEngine(store=ResultStore(), jobs=4)
+outcomes = engine.run(grid)
+
+by_key = {(o.job.workload, o.job.technique,
+           o.job.config_overrides["mem_latency"]): o.result
+          for o in outcomes if o.ok}
+
+rows = []
+for workload in ("gap.bfs", "spec.int.sort_like"):
+    for lat in MEM_LATENCIES:
+        nowp = by_key[(workload, "nowp", lat)]
+        wpemul = by_key[(workload, "wpemul", lat)]
+        rows.append((workload, lat, f"{nowp.ipc:.4f}",
+                     f"{wpemul.ipc:.4f}",
+                     percent(nowp.error_vs(wpemul), 2)))
+
+print(render_table(
+    "nowp error vs wpemul as memory latency grows (Sec. VI-B)",
+    ["workload", "mem latency", "nowp IPC", "wpemul IPC", "nowp error"],
+    rows))
+
+summary = ExperimentEngine.summarize(outcomes)
+print(f"\n{summary['total']} jobs: {summary['hits']} cache hits, "
+      f"{summary['simulated']} simulated "
+      f"(cache: {engine.store.root}, journal: {engine.journal.path})")

@@ -23,14 +23,28 @@ Quickstart::
 from repro.core.config import CoreConfig
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
-from repro.simulator.runner import TechniqueComparison, compare_techniques
+from repro.simulator.runner import (TechniqueComparison, compare_techniques,
+                                    compare_workload)
 from repro.simulator.simulation import (ALL_TECHNIQUES, SimulationResult,
                                         Simulator, TECHNIQUES, simulate)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Engine symbols resolved lazily (PEP 562) so ``import repro`` stays
+#: light and free of the workload-registry import.
+_ENGINE_EXPORTS = ("ExperimentEngine", "JobOutcome", "SimJob",
+                   "ResultStore", "RunJournal", "expand_grid")
 
 __all__ = [
     "CoreConfig", "assemble", "Program", "TechniqueComparison",
-    "compare_techniques", "ALL_TECHNIQUES", "SimulationResult", "Simulator",
-    "TECHNIQUES", "simulate", "__version__",
+    "compare_techniques", "compare_workload", "ALL_TECHNIQUES",
+    "SimulationResult", "Simulator", "TECHNIQUES", "simulate",
+    "__version__", *_ENGINE_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _ENGINE_EXPORTS:
+        import repro.engine
+        return getattr(repro.engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,4 +5,10 @@ import sys
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; exit quietly the
+        # way POSIX tools do.
+        sys.stderr.close()
+        sys.exit(141)

@@ -5,7 +5,16 @@
     python -m repro list                         # available workloads
     python -m repro run gap.bfs --technique conv --scale small
     python -m repro compare gap.sssp --max-instructions 100000
+    python -m repro compare gap.sssp --jobs 4    # engine-backed, cached
+    python -m repro sweep --workloads bfs,pr --techniques nowp,conv \
+        --jobs 4                                 # parallel grid sweep
     python -m repro compile kernel.c -o kernel.s # minicc to assembly
+
+``sweep`` and ``compare --jobs`` run through the experiment engine
+(:mod:`repro.engine`): jobs fan out over worker processes and finished
+results are cached content-addressed under ``.repro-cache/`` (override
+with ``--cache-dir`` or ``REPRO_CACHE_DIR``), so re-running a grid only
+simulates jobs whose inputs — or the repro source tree — changed.
 
 Exit status is non-zero on simulation/compilation errors so the CLI can
 be scripted.
@@ -15,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro import CoreConfig, Simulator, compare_techniques
@@ -34,6 +44,32 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--full-config", action="store_true",
                         help="use the full-scale Table I configuration "
                              "instead of the downscaled one")
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the experiment engine "
+                             "(default: os.cpu_count(); 1 = serial "
+                             "in-process)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job timeout in seconds (pool mode only)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="extra attempts per failed job (default: 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache root (default: $REPRO_CACHE_DIR "
+                             "or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result store entirely")
+    parser.add_argument("--refresh", action="store_true",
+                        help="ignore cached results (still writes fresh "
+                             "ones back)")
+
+
+def _make_engine(args):
+    from repro.engine import ExperimentEngine, ResultStore
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    return ExperimentEngine(store=store, jobs=args.jobs,
+                            timeout=args.timeout, retries=args.retries)
 
 
 def _build(args) -> tuple:
@@ -92,10 +128,20 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    workload, config = _build(args)
-    cmp = compare_techniques(workload.program, config=config,
-                             max_instructions=args.max_instructions,
-                             name=workload.name)
+    if args.jobs is not None:
+        from repro import compare_workload
+        cmp = compare_workload(
+            args.workload, scale=args.scale, seed=args.seed,
+            max_instructions=args.max_instructions,
+            base_config="full" if args.full_config else "scaled",
+            engine=_make_engine(args), fresh=args.refresh)
+        name = cmp.name
+    else:
+        workload, config = _build(args)
+        cmp = compare_techniques(workload.program, config=config,
+                                 max_instructions=args.max_instructions,
+                                 name=workload.name)
+        name = workload.name
     rows = []
     for technique in ALL_TECHNIQUES:
         result = cmp.results[technique]
@@ -104,9 +150,75 @@ def cmd_compare(args) -> int:
                      f"{cmp.slowdown(technique):.2f}x",
                      result.stats.wp_executed))
     print(render_table(
-        f"{workload.name}: technique comparison (error vs wpemul)",
+        f"{name}: technique comparison (error vs wpemul)",
         ["technique", "IPC", "error", "slowdown", "WP executed"], rows))
     return 0
+
+
+def _overrides_label(overrides: dict) -> str:
+    if not overrides:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+
+
+def cmd_sweep(args) -> int:
+    from repro.engine import ExperimentEngine, expand_grid, parse_overrides
+
+    points = [parse_overrides(text) for text in (args.set or [])] or None
+    grid = expand_grid(
+        args.workloads.split(","), args.techniques.split(","),
+        config_points=points, scale=args.scale, seed=args.seed,
+        max_instructions=args.max_instructions,
+        base_config="full" if args.full_config else "scaled")
+    engine = _make_engine(args)
+
+    start = time.perf_counter()
+    outcomes = engine.run(grid, fresh=args.refresh)
+    wall = time.perf_counter() - start
+
+    # wpemul is the error reference wherever the grid includes it.
+    references = {}
+    for outcome in outcomes:
+        job = outcome.job
+        if outcome.ok and job.technique == "wpemul":
+            references[(job.workload,
+                        _overrides_label(job.config_overrides))] = \
+                outcome.result
+
+    rows = []
+    for outcome in outcomes:
+        job = outcome.job
+        over = _overrides_label(job.config_overrides)
+        if not outcome.ok:
+            rows.append((job.workload, job.technique, over, "-", "-", "-",
+                         "-", f"FAILED: {outcome.error}"))
+            continue
+        result = outcome.result
+        reference = references.get((job.workload, over))
+        error = (percent(result.error_vs(reference), 2)
+                 if reference is not None else "-")
+        rows.append((job.workload, job.technique, over,
+                     f"{result.ipc:.4f}", error,
+                     f"{result.branch_mpki:.2f}",
+                     f"{result.wall_seconds:.2f}s",
+                     "hit" if outcome.cached else "run"))
+    print(render_table(
+        f"sweep: {len(outcomes)} jobs "
+        f"(scale={args.scale}, cap={args.max_instructions})",
+        ["workload", "technique", "config", "IPC", "error", "bMPKI",
+         "sim wall", "cache"], rows))
+
+    summary = ExperimentEngine.summarize(outcomes)
+    hit_pct = (100.0 * summary["hits"] / summary["total"]
+               if summary["total"] else 0.0)
+    print(f"\n{summary['total']} jobs: {summary['hits']} cache hits "
+          f"({hit_pct:.0f}%), {summary['simulated']} simulated, "
+          f"{summary['failed']} failed; "
+          f"wall {wall:.2f}s, sim time {summary['sim_wall_seconds']:.2f}s")
+    if engine.store is not None:
+        print(f"cache: {engine.store.root} ({len(engine.store)} entries); "
+              f"journal: {engine.journal.path}")
+    return 1 if summary["failed"] else 0
 
 
 def cmd_compile(args) -> int:
@@ -146,9 +258,45 @@ def make_parser() -> argparse.ArgumentParser:
     _add_common(run)
 
     cmp = sub.add_parser("compare",
-                         help="simulate under all four techniques")
+                         help="simulate under all four techniques "
+                              "(--jobs N runs them through the parallel, "
+                              "cached experiment engine)")
     cmp.add_argument("workload")
     _add_common(cmp)
+    _add_engine(cmp)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (workloads x techniques x config) grid through the "
+             "experiment engine",
+        description="Expand a grid of simulations and execute it with "
+                    "worker-process fan-out and a content-addressed "
+                    "result cache. Re-running an identical sweep only "
+                    "re-simulates jobs whose inputs (or the repro source "
+                    "tree) changed; everything else is a cache hit.")
+    sweep.add_argument("--workloads", default="gap",
+                       help="comma list of workload names, short names "
+                            "(bfs -> gap.bfs) or groups "
+                            "(gap, spec, spec.int, spec.fp, all); "
+                            "default: gap")
+    sweep.add_argument("--techniques", default="all",
+                       help="comma list of techniques or 'all' "
+                            "(default: all)")
+    sweep.add_argument("--scale", default="medium",
+                       choices=("tiny", "small", "medium"),
+                       help="workload input scale (default: medium)")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="workload data seed")
+    sweep.add_argument("--max-instructions", type=int, default=500_000,
+                       help="per-job instruction cap (default: 500000; "
+                            "0 = uncapped)")
+    sweep.add_argument("--full-config", action="store_true",
+                       help="use the full-scale Table I configuration")
+    sweep.add_argument("--set", action="append", metavar="K=V[,K=V...]",
+                       help="one CoreConfig override point per flag; "
+                            "repeat to add a config axis to the grid "
+                            "(e.g. --set rob_size=128 --set rob_size=512)")
+    _add_engine(sweep)
 
     compile_ = sub.add_parser("compile",
                               help="compile minicc source to assembly")
@@ -160,12 +308,17 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "max_instructions", None) == 0:
+        args.max_instructions = None    # sweep: 0 means uncapped
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "compile": cmd_compile}
+                "sweep": cmd_sweep, "compile": cmd_compile}
     handler = handlers[args.command]
     try:
         return handler(args)
-    except KeyError as exc:  # unknown workload name
+    except KeyError as exc:  # unknown workload/technique name
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # bad --set override, bad config value
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -71,9 +71,23 @@ class CoreStats:
         return self.wp_addr_recovered / self.wp_mem_ops
 
     def as_dict(self) -> dict:
-        data = {field: getattr(self, field) for field in self.__slots__}
+        data = self.counters()
         data.update(ipc=self.ipc, wp_fraction=self.wp_fraction,
                     conv_fraction=self.conv_fraction,
                     conv_distance=self.conv_distance,
                     addr_recover_fraction=self.addr_recover_fraction)
         return data
+
+    def counters(self) -> dict:
+        """Raw counters only (no derived metrics) — the serialized form."""
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    @classmethod
+    def from_counters(cls, data: dict) -> "CoreStats":
+        """Rebuild a stats bag from :meth:`counters` output.  Unknown keys
+        (from an older/newer schema) are ignored; missing counters stay 0."""
+        stats = cls()
+        for field in cls.__slots__:
+            if field in data:
+                setattr(stats, field, data[field])
+        return stats

@@ -1,0 +1,39 @@
+"""repro.engine — parallel experiment engine with a content-addressed
+result cache.
+
+Every paper artifact is a grid of (workload × technique × config)
+simulations; this package turns that grid into data and executes it
+fast:
+
+* :class:`SimJob` — one simulation as a hashable spec (job.py),
+* :class:`ExperimentEngine` — process-pool fan-out with timeout, retry
+  and serial fallback (executor.py),
+* :class:`ResultStore` — ``.repro-cache/`` content-addressed JSON blobs,
+  so unchanged jobs are never re-simulated (store.py),
+* :class:`RunJournal` — JSONL per-job observability (journal.py),
+* :func:`expand_grid` — sweep vocabulary (grid.py).
+
+Quickstart::
+
+    from repro.engine import ExperimentEngine, ResultStore, expand_grid
+
+    jobs = expand_grid(["gap.bfs", "gap.pr"], ["nowp", "conv"],
+                       scale="medium", max_instructions=250_000)
+    engine = ExperimentEngine(store=ResultStore(), jobs=4)
+    for outcome in engine.run(jobs):
+        print(outcome.job.label, outcome.status, outcome.result.ipc)
+"""
+
+from repro.engine.executor import ExperimentEngine, JobOutcome
+from repro.engine.grid import (expand_grid, parse_overrides,
+                               resolve_techniques, resolve_workload,
+                               resolve_workloads)
+from repro.engine.job import SimJob, code_fingerprint
+from repro.engine.journal import RunJournal
+from repro.engine.store import ResultStore
+
+__all__ = [
+    "ExperimentEngine", "JobOutcome", "SimJob", "code_fingerprint",
+    "ResultStore", "RunJournal", "expand_grid", "parse_overrides",
+    "resolve_techniques", "resolve_workload", "resolve_workloads",
+]

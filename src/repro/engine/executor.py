@@ -1,0 +1,267 @@
+"""Parallel executor: fan a list of :class:`SimJob` out over processes.
+
+The engine resolves each job against the content-addressed store first
+(hits cost one JSON read), then fans the misses out over a
+``ProcessPoolExecutor``.  Jobs cross the process boundary as plain dicts
+and results come back as :meth:`SimulationResult.to_dict` blobs — the
+same serialized form the store uses, so parallel execution and caching
+exercise one code path and one determinism contract.
+
+Failure handling:
+
+* per-job timeout (``timeout=`` seconds per attempt; expired jobs are
+  abandoned and retried or failed — only enforceable in pool mode,
+  since a serial in-process simulation cannot be interrupted),
+* bounded retry (``retries=`` extra attempts per job, default 1) for
+  transient worker failures,
+* graceful degradation — if the pool cannot be created or dies
+  (``BrokenProcessPool``: OOM-killed worker, interpreter crash), the
+  unfinished jobs fall back to serial in-process execution rather than
+  failing the run.
+
+Every outcome — hit, fresh run, or failure — is journaled (JSONL) with
+wall time and host instructions/sec; see :mod:`repro.engine.journal`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence
+
+from repro.engine.job import SimJob
+from repro.engine.journal import RunJournal
+from repro.engine.store import ResultStore
+from repro.simulator.simulation import SimulationResult
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Worker-side entry point (module-level so it pickles)."""
+    return SimJob.from_dict(payload).run().to_dict()
+
+
+class JobOutcome:
+    """What happened to one job: result + provenance."""
+
+    __slots__ = ("job", "result", "status", "wall_seconds", "attempts",
+                 "error")
+
+    def __init__(self, job: SimJob, result: Optional[SimulationResult],
+                 status: str, wall_seconds: float, attempts: int,
+                 error: Optional[str] = None):
+        self.job = job
+        self.result = result
+        self.status = status            # "hit" | "ok" | "failed"
+        self.wall_seconds = wall_seconds
+        self.attempts = attempts
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def cached(self) -> bool:
+        return self.status == "hit"
+
+    def __repr__(self) -> str:
+        return (f"<JobOutcome {self.job.label} {self.status} "
+                f"{self.wall_seconds:.2f}s>")
+
+
+class ExperimentEngine:
+    """Runs job lists against a result store with process-level
+    parallelism.
+
+    ``jobs`` is the worker-process count (default ``os.cpu_count()``);
+    ``jobs=1`` runs everything serially in-process.  ``timeout`` bounds
+    each attempt's wall time in pool mode; ``retries`` bounds extra
+    attempts after a failure or timeout.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 journal: Optional[RunJournal] = None,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 1):
+        self.store = store
+        if journal is None and store is not None:
+            journal = RunJournal(store.journal_path)
+        self.journal = journal
+        self.max_workers = max(1, jobs if jobs else (os.cpu_count() or 1))
+        self.timeout = timeout
+        self.retries = max(0, retries)
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, jobs: Sequence[SimJob],
+            fresh: bool = False) -> List[JobOutcome]:
+        """Execute ``jobs``; outcomes come back in input order.
+
+        ``fresh=True`` skips cache *reads* (every job simulates) but
+        still records results to the store, so a fresh run refreshes the
+        cache rather than forking from it.
+        """
+        jobs = list(jobs)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        pending: List[tuple] = []
+        for idx, job in enumerate(jobs):
+            start = time.perf_counter()
+            result = None
+            if not fresh and self.store is not None:
+                result = self.store.get(job)
+            if result is not None:
+                outcomes[idx] = JobOutcome(
+                    job, result, "hit", time.perf_counter() - start, 0)
+            else:
+                pending.append((idx, job))
+
+        if pending:
+            if self.max_workers > 1 and len(pending) > 1:
+                leftover = self._run_pool(pending, outcomes)
+            else:
+                leftover = pending
+            for idx, job in leftover:
+                outcomes[idx] = self._run_serial(job)
+
+        for outcome in outcomes:
+            self._journal(outcome)
+        return outcomes  # type: ignore[return-value]
+
+    def run_one(self, job: SimJob, fresh: bool = False) -> JobOutcome:
+        return self.run([job], fresh=fresh)[0]
+
+    @staticmethod
+    def summarize(outcomes: Sequence[JobOutcome]) -> dict:
+        """Aggregate counts the CLI and benches report."""
+        hits = sum(1 for o in outcomes if o.status == "hit")
+        simulated = sum(1 for o in outcomes if o.status == "ok")
+        failed = sum(1 for o in outcomes if o.status == "failed")
+        sim_wall = sum(o.result.wall_seconds for o in outcomes
+                       if o.status == "ok")
+        return {"total": len(outcomes), "hits": hits,
+                "simulated": simulated, "failed": failed,
+                "sim_wall_seconds": sim_wall}
+
+    # -- serial path -------------------------------------------------------------
+
+    def _run_serial(self, job: SimJob) -> JobOutcome:
+        start = time.perf_counter()
+        error = None
+        for attempt in range(1, self.retries + 2):
+            try:
+                result = job.run()
+            except Exception as exc:  # noqa: BLE001 — job is the fault unit
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            self._store(job, result)
+            return JobOutcome(job, result, "ok",
+                              time.perf_counter() - start, attempt)
+        return JobOutcome(job, None, "failed",
+                          time.perf_counter() - start, self.retries + 1,
+                          error)
+
+    # -- pool path ---------------------------------------------------------------
+
+    def _run_pool(self, pending: List[tuple],
+                  outcomes: List[Optional[JobOutcome]]) -> List[tuple]:
+        """Run ``(idx, job)`` pairs in a process pool, filling
+        ``outcomes``.  Returns pairs that should fall back to serial
+        execution (pool creation failed or the pool broke)."""
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(pending)))
+        except OSError:
+            return pending
+
+        batch_start = time.perf_counter()
+        in_flight = {}
+        try:
+            for idx, job in pending:
+                future = pool.submit(_execute_payload, job.to_dict())
+                in_flight[future] = (idx, job, 1, time.perf_counter())
+            while in_flight:
+                self._collect(pool, in_flight, outcomes, batch_start)
+        except (BrokenProcessPool, OSError):
+            leftover = [(idx, job) for idx, job, _, _ in
+                        in_flight.values()]
+            pool.shutdown(wait=False, cancel_futures=True)
+            return leftover
+        pool.shutdown(wait=False, cancel_futures=True)
+        return []
+
+    def _collect(self, pool, in_flight, outcomes, batch_start) -> None:
+        """One wait cycle: harvest finished futures, expire overdue
+        ones, resubmit retryable failures."""
+        wait_timeout = None
+        if self.timeout is not None:
+            soonest = min(start for _, _, _, start in in_flight.values())
+            wait_timeout = max(0.0,
+                               soonest + self.timeout - time.perf_counter())
+        done, _ = wait(set(in_flight), timeout=wait_timeout,
+                       return_when=FIRST_COMPLETED)
+
+        now = time.perf_counter()
+        if not done:
+            for future in list(in_flight):
+                idx, job, attempt, start = in_flight[future]
+                if now - start < (self.timeout or float("inf")):
+                    continue
+                future.cancel()     # running attempts are abandoned
+                del in_flight[future]
+                self._retry_or_fail(
+                    pool, in_flight, outcomes, idx, job, attempt,
+                    batch_start, f"timeout after {self.timeout:.1f}s")
+            return
+
+        for future in done:
+            idx, job, attempt, start = in_flight.pop(future)
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                in_flight[future] = (idx, job, attempt, start)
+                raise
+            except Exception as exc:  # noqa: BLE001 — worker-side failure
+                self._retry_or_fail(pool, in_flight, outcomes, idx, job,
+                                    attempt, batch_start,
+                                    f"{type(exc).__name__}: {exc}")
+                continue
+            result = SimulationResult.from_dict(payload)
+            self._store(job, result)
+            outcomes[idx] = JobOutcome(job, result, "ok",
+                                       now - batch_start, attempt)
+
+    def _retry_or_fail(self, pool, in_flight, outcomes, idx, job,
+                       attempt, batch_start, error) -> None:
+        if attempt <= self.retries:
+            future = pool.submit(_execute_payload, job.to_dict())
+            in_flight[future] = (idx, job, attempt + 1,
+                                 time.perf_counter())
+        else:
+            outcomes[idx] = JobOutcome(
+                job, None, "failed",
+                time.perf_counter() - batch_start, attempt, error)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _store(self, job: SimJob, result: SimulationResult) -> None:
+        if self.store is not None:
+            self.store.put(job, result)
+
+    def _journal(self, outcome: JobOutcome) -> None:
+        if self.journal is None:
+            return
+        result = outcome.result
+        self.journal.record(
+            key=outcome.job.key,
+            job=outcome.job.label,
+            status=outcome.status,
+            cached=outcome.cached,
+            attempts=outcome.attempts,
+            wall_seconds=outcome.wall_seconds,
+            sim_wall_seconds=result.wall_seconds if result else None,
+            instructions=result.instructions if result else None,
+            error=outcome.error)

@@ -1,0 +1,125 @@
+"""Grid expansion: (workloads × techniques × config points) → SimJobs.
+
+This is the vocabulary layer of ``python -m repro sweep``: short
+workload names (``bfs`` → ``gap.bfs``), suite groups (``gap``, ``spec``,
+``all``) and ``key=value`` config-override axes all normalize here, so
+the executor only ever sees fully resolved :class:`SimJob` specs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.engine.job import SimJob
+from repro.simulator.simulation import ALL_TECHNIQUES, TECHNIQUES
+from repro.workloads import (gap_names, spec_fp_names, spec_int_names,
+                             workload_names)
+
+#: Suite groups accepted wherever a workload name is.
+GROUPS = {
+    "gap": gap_names,
+    "spec": lambda: spec_int_names() + spec_fp_names(),
+    "spec.int": spec_int_names,
+    "spec.fp": spec_fp_names,
+    "all": workload_names,
+}
+
+
+def resolve_workload(name: str) -> str:
+    """Resolve a possibly short workload name to its registry name.
+
+    ``bfs`` → ``gap.bfs``; ``xz_like`` → ``spec.int.xz_like``.  Exact
+    registry names pass through; ambiguity can't arise because the
+    suites share no kernel names.
+    """
+    known = workload_names()
+    if name in known:
+        return name
+    for prefix in ("gap.", "spec.int.", "spec.fp."):
+        candidate = prefix + name
+        if candidate in known:
+            return candidate
+    raise KeyError(f"unknown workload {name!r}; "
+                   f"known: {', '.join(known)}")
+
+
+def resolve_workloads(spec: Iterable[str]) -> List[str]:
+    """Expand a mix of names, short names and group names, preserving
+    order and dropping duplicates."""
+    out: List[str] = []
+    for token in spec:
+        token = token.strip()
+        if not token:
+            continue
+        names = (GROUPS[token]() if token in GROUPS
+                 else [resolve_workload(token)])
+        for name in names:
+            if name not in out:
+                out.append(name)
+    return out
+
+
+def resolve_techniques(spec: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for token in spec:
+        token = token.strip()
+        if not token:
+            continue
+        candidates = list(ALL_TECHNIQUES) if token == "all" else [token]
+        for technique in candidates:
+            if technique not in TECHNIQUES:
+                raise KeyError(f"unknown technique {technique!r}; "
+                               f"choose from {sorted(TECHNIQUES)}")
+            if technique not in out:
+                out.append(technique)
+    return out
+
+
+def parse_overrides(text: str) -> Dict:
+    """Parse one ``key=value[,key=value…]`` config-override point.
+    Values are coerced int → float → str; ``none`` means ``None``."""
+    point: Dict = {}
+    for pair in text.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        if "=" not in pair:
+            raise ValueError(f"expected key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        point[key.strip()] = _coerce(value.strip())
+    return point
+
+
+def _coerce(value: str):
+    if value.lower() in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            pass
+    return value
+
+
+def expand_grid(workloads: Sequence[str],
+                techniques: Sequence[str] = ALL_TECHNIQUES,
+                config_points: Optional[Sequence[Dict]] = None,
+                scale: str = "small",
+                seed: Optional[int] = None,
+                max_instructions: Optional[int] = None,
+                base_config: str = "scaled") -> List[SimJob]:
+    """The full cross product as jobs, ordered workload-major (all
+    techniques of one workload are adjacent, as in the paper's tables)."""
+    workloads = resolve_workloads(workloads)
+    techniques = resolve_techniques(techniques)
+    points = list(config_points) if config_points else [{}]
+    jobs = []
+    for workload in workloads:
+        for point in points:
+            for technique in techniques:
+                jobs.append(SimJob(
+                    workload=workload, technique=technique, scale=scale,
+                    seed=seed, max_instructions=max_instructions,
+                    base_config=base_config,
+                    config_overrides=dict(point)))
+    return jobs

@@ -1,0 +1,151 @@
+"""Job specification: one simulation as content-addressed data.
+
+A :class:`SimJob` names everything that determines a simulation's outcome
+— workload (registry name, scale, data seed), technique, instruction cap
+and the resolved :class:`~repro.core.config.CoreConfig` — and derives a
+stable SHA-256 identity from it plus a fingerprint of the ``repro``
+source tree.  Two jobs with the same hash are guaranteed to produce
+bit-identical stats (a tested invariant, see ``tests/test_engine.py``),
+which is what lets the result store skip re-simulation and the executor
+ship jobs to worker processes as plain dicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from repro.core.config import CoreConfig
+
+#: Base-configuration presets a job can start from before overrides.
+BASE_CONFIGS = ("scaled", "full")
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Folding the code version into job hashes means any source change —
+    a timing-model fix, a new default — invalidates the on-disk result
+    cache automatically, so stale results can never masquerade as fresh
+    ones.  Set ``REPRO_CODE_FINGERPRINT`` to pin a value (e.g. a release
+    tag) and skip the tree walk.
+    """
+    global _CODE_FINGERPRINT
+    pinned = os.environ.get("REPRO_CODE_FINGERPRINT")
+    if pinned:
+        return pinned
+    if _CODE_FINGERPRINT is None:
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                digest.update(b"\0")
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+                digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+@dataclasses.dataclass
+class SimJob:
+    """One (workload × technique × config) simulation, as plain data."""
+
+    workload: str                       # full registry name, e.g. "gap.bfs"
+    technique: str = "conv"
+    scale: str = "small"
+    seed: Optional[int] = None          # workload data seed (None = default)
+    max_instructions: Optional[int] = None
+    base_config: str = "scaled"         # one of BASE_CONFIGS
+    config_overrides: Dict = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.base_config not in BASE_CONFIGS:
+            raise ValueError(
+                f"unknown base_config {self.base_config!r}; "
+                f"choose from {BASE_CONFIGS}")
+        self.config_overrides = dict(self.config_overrides)
+
+    # -- identity ----------------------------------------------------------------
+
+    def config(self) -> CoreConfig:
+        """The fully resolved core configuration this job simulates."""
+        if self.base_config == "full":
+            return CoreConfig().copy(**self.config_overrides)
+        return CoreConfig.scaled(**self.config_overrides)
+
+    def spec(self) -> dict:
+        """The job's input parameters (hash basis, minus code version)."""
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "scale": self.scale,
+            "seed": self.seed,
+            "max_instructions": self.max_instructions,
+            "base_config": self.base_config,
+            "config": dataclasses.asdict(self.config()),
+        }
+
+    @property
+    def key(self) -> str:
+        """Content hash: SHA-256 of the canonical spec + code version."""
+        payload = {"spec": self.spec(), "code": code_fingerprint()}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def label(self) -> str:
+        parts = [self.workload, self.technique]
+        if self.config_overrides:
+            parts.append(",".join(f"{k}={v}" for k, v in
+                                  sorted(self.config_overrides.items())))
+        return "/".join(parts)
+
+    # -- transport ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "scale": self.scale,
+            "seed": self.seed,
+            "max_instructions": self.max_instructions,
+            "base_config": self.base_config,
+            "config_overrides": dict(self.config_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimJob":
+        return cls(**data)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self):
+        """Build the workload and simulate it; returns a live
+        :class:`~repro.simulator.simulation.SimulationResult`."""
+        from repro.simulator.simulation import Simulator
+        from repro.workloads import build_workload
+        config = self.config()
+        config.validate()
+        kwargs = {"scale": self.scale, "check": False}
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        workload = build_workload(self.workload, **kwargs)
+        return Simulator(workload.program, config=config,
+                         technique=self.technique,
+                         max_instructions=self.max_instructions,
+                         name=workload.name).run()
+
+    def __repr__(self) -> str:
+        return f"<SimJob {self.label} scale={self.scale} [{self.key[:12]}]>"

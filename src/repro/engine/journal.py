@@ -1,0 +1,77 @@
+"""Run journal: append-only JSONL observability for the engine.
+
+Every job the executor finishes — cache hit, fresh simulation, or
+failure — appends one record to ``<cache>/journal.jsonl``::
+
+    {"ts": 1754500000.0, "key": "ab34…", "job": "gap.bfs/conv",
+     "status": "ok", "cached": false, "attempts": 1,
+     "wall_seconds": 3.1, "sim_wall_seconds": 3.0,
+     "instructions": 309583, "host_ips": 99865.5, "error": null}
+
+``wall_seconds`` is the engine's end-to-end time for the job (queueing,
+transport, cache I/O included); ``sim_wall_seconds`` is the simulator's
+own wall clock; ``host_ips`` is simulated instructions per host second —
+the throughput number the paper's speed section (V-B) is about.  The
+journal is the audit trail for sweep regressions ("which job got slow /
+started missing the cache / started failing"), cheap enough to leave on
+always.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import List, Optional
+
+
+class RunJournal:
+    """Appends one JSON line per finished job."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(path)
+
+    def record(self, *, key: str, job: str, status: str, cached: bool,
+               attempts: int, wall_seconds: float,
+               sim_wall_seconds: Optional[float] = None,
+               instructions: Optional[int] = None,
+               error: Optional[str] = None) -> dict:
+        host_ips = None
+        if instructions and sim_wall_seconds and sim_wall_seconds > 0:
+            host_ips = instructions / sim_wall_seconds
+        entry = {
+            "ts": time.time(),
+            "key": key,
+            "job": job,
+            "status": status,
+            "cached": cached,
+            "attempts": attempts,
+            "wall_seconds": wall_seconds,
+            "sim_wall_seconds": sim_wall_seconds,
+            "instructions": instructions,
+            "host_ips": host_ips,
+            "error": error,
+        }
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
+
+    def entries(self) -> List[dict]:
+        """All readable journal records (corrupt lines are skipped)."""
+        if not os.path.exists(self.path):
+            return []
+        out = []
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except ValueError:
+                    continue
+        return out
+
+    def __repr__(self) -> str:
+        return f"<RunJournal {self.path}>"

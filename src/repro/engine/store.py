@@ -1,0 +1,131 @@
+"""Content-addressed on-disk result store.
+
+Results live under ``.repro-cache/`` (override with ``REPRO_CACHE_DIR``
+or the ``root`` argument) as one JSON blob per job, sharded by the first
+two hex digits of the job hash::
+
+    .repro-cache/
+        ab/ab34f0...e1.json     {"key": ..., "job": ..., "result": ...}
+        journal.jsonl           run journal (see journal.py)
+
+The job hash covers workload parameters, resolved config and the repro
+code fingerprint, so a hit is only possible when re-simulating would
+reproduce the stored result exactly.  Writes are atomic
+(temp-file + ``os.replace``) so a crashed or parallel run never leaves a
+truncated blob; unreadable blobs are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Optional
+
+from repro.engine.job import SimJob
+from repro.simulator.simulation import SimulationResult
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_ROOT = ".repro-cache"
+
+
+class ResultStore:
+    """Content-addressed map from :class:`SimJob` to stored results."""
+
+    def __init__(self, root: Optional[str] = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_ROOT
+        self.root = os.path.abspath(root)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.root, "journal.jsonl")
+
+    # -- read --------------------------------------------------------------------
+
+    def contains(self, job: SimJob) -> bool:
+        return os.path.exists(self.path_for(job.key))
+
+    def get_blob(self, job: SimJob) -> Optional[dict]:
+        """The raw stored blob for ``job``, or None on miss/corruption."""
+        try:
+            with open(self.path_for(job.key)) as fh:
+                blob = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if blob.get("key") != job.key:
+            return None
+        return blob
+
+    def get(self, job: SimJob) -> Optional[SimulationResult]:
+        """The cached result for ``job``, or None.  Corrupt or
+        schema-mismatched blobs read as misses, never as errors."""
+        blob = self.get_blob(job)
+        if blob is None:
+            return None
+        try:
+            return SimulationResult.from_dict(blob["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- write -------------------------------------------------------------------
+
+    def put(self, job: SimJob, result: SimulationResult) -> str:
+        """Store ``result`` under ``job``'s content hash; returns the
+        blob path.  Atomic: readers never observe a partial write."""
+        path = self.path_for(job.key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        blob = {"key": job.key, "job": job.to_dict(),
+                "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(blob, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    # -- maintenance -------------------------------------------------------------
+
+    def invalidate(self, job: SimJob) -> bool:
+        """Drop one entry; True if it existed."""
+        try:
+            os.unlink(self.path_for(job.key))
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[:-len(".json")]
+
+    def clear(self) -> int:
+        """Drop every entry (the journal is kept); returns count."""
+        dropped = 0
+        for key in list(self.keys()):
+            try:
+                os.unlink(self.path_for(key))
+                dropped += 1
+            except OSError:
+                pass
+        return dropped
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self) -> str:
+        return f"<ResultStore {self.root} ({len(self)} entries)>"

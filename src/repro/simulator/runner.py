@@ -1,6 +1,11 @@
 """Experiment runner: simulate one workload under several techniques and
 compute the paper's comparison metrics (error vs. wpemul, slowdown vs.
 nowp, wrong-path fractions, convergence metrics).
+
+:func:`compare_techniques` runs serially in-process against an
+already-built program; :func:`compare_workload` is the engine-backed
+variant that takes a registry name and fans the per-technique runs out
+over worker processes with result caching (see :mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -67,3 +72,40 @@ def compare_techniques(program: Program,
                         max_instructions=max_instructions, name=name)
         results[technique] = sim.run()
     return TechniqueComparison(name, results)
+
+
+def compare_workload(workload: str,
+                     techniques: Iterable[str] = ALL_TECHNIQUES,
+                     scale: str = "small",
+                     seed: Optional[int] = None,
+                     max_instructions: Optional[int] = None,
+                     base_config: str = "scaled",
+                     config_overrides: Optional[dict] = None,
+                     engine=None, jobs: Optional[int] = None,
+                     fresh: bool = False) -> TechniqueComparison:
+    """Engine-backed :func:`compare_techniques`: the per-technique runs
+    of one registry workload fan out over an
+    :class:`~repro.engine.executor.ExperimentEngine` (``jobs`` worker
+    processes, cache-aware when the engine has a store).  This is what
+    ``python -m repro compare --jobs N`` uses.
+    """
+    # Imported lazily: repro.engine depends on this module's siblings.
+    from repro.engine import ExperimentEngine, SimJob, resolve_workload
+
+    if engine is None:
+        engine = ExperimentEngine(jobs=jobs)
+    workload = resolve_workload(workload)
+    sim_jobs = [SimJob(workload=workload, technique=technique,
+                       scale=scale, seed=seed,
+                       max_instructions=max_instructions,
+                       base_config=base_config,
+                       config_overrides=dict(config_overrides or {}))
+                for technique in techniques]
+    results: Dict[str, SimulationResult] = {}
+    for outcome in engine.run(sim_jobs, fresh=fresh):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"simulation failed for {outcome.job.label}: "
+                f"{outcome.error}")
+        results[outcome.job.technique] = outcome.result
+    return TechniqueComparison(workload, results)

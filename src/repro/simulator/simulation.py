@@ -18,6 +18,7 @@ and one of the four wrong-path models, runs the workload, and returns a
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Dict, Optional, Type
 
@@ -49,7 +50,20 @@ ALL_TECHNIQUES = ("nowp", "instrec", "conv", "wpemul")
 
 
 class SimulationResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    Everything the benches and the experiment engine consume is plain
+    data (counter dicts, the config dataclass, the output list), so a
+    result round-trips losslessly through :meth:`to_dict` /
+    :meth:`from_dict` — the invariant the engine's content-addressed
+    cache and cross-process executor rely on.  A deserialized result is
+    *detached*: ``bpu`` is ``None`` but every stat and derived metric is
+    identical to the live run's.
+    """
+
+    #: Bump when the serialized shape changes; ``from_dict`` rejects
+    #: blobs from other schema versions so stale caches read as misses.
+    SCHEMA = 1
 
     def __init__(self, name: str, technique: str, config: CoreConfig,
                  stats: CoreStats, hierarchy: CacheHierarchy,
@@ -62,6 +76,13 @@ class SimulationResult:
         self.stats = stats
         self.cache_stats = hierarchy.stats()
         self.bpu = bpu
+        self.bpu_stats = {
+            "kind": bpu.kind,
+            "cond_count": bpu.cond_count,
+            "cond_mispredicts": bpu.cond_mispredicts,
+            "indirect_count": bpu.indirect_count,
+            "indirect_mispredicts": bpu.indirect_mispredicts,
+        }
         self.output = output
         self.exit_code = exit_code
         self.wall_seconds = wall_seconds
@@ -81,7 +102,49 @@ class SimulationResult:
 
     @property
     def branch_mpki(self) -> float:
-        return self.bpu.mpki(self.stats.instructions)
+        if not self.stats.instructions:
+            return 0.0
+        mispredicts = (self.bpu_stats["cond_mispredicts"]
+                       + self.bpu_stats["indirect_mispredicts"])
+        return 1000.0 * mispredicts / self.stats.instructions
+
+    # -- serialization (engine cache / cross-process transport) ------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form: JSON-safe and deterministic for a given run."""
+        return {
+            "schema": self.SCHEMA,
+            "name": self.name,
+            "technique": self.technique,
+            "config": dataclasses.asdict(self.config),
+            "stats": self.stats.counters(),
+            "cache_stats": self.cache_stats,
+            "bpu": dict(self.bpu_stats),
+            "output": list(self.output),
+            "exit_code": self.exit_code,
+            "wall_seconds": self.wall_seconds,
+            "wp_emulations": self.wp_emulations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a detached result from :meth:`to_dict` output."""
+        if data.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"result schema {data.get('schema')!r} != {cls.SCHEMA}")
+        result = cls.__new__(cls)
+        result.name = data["name"]
+        result.technique = data["technique"]
+        result.config = CoreConfig(**data["config"])
+        result.stats = CoreStats.from_counters(data["stats"])
+        result.cache_stats = data["cache_stats"]
+        result.bpu = None
+        result.bpu_stats = dict(data["bpu"])
+        result.output = list(data["output"])
+        result.exit_code = data["exit_code"]
+        result.wall_seconds = data["wall_seconds"]
+        result.wp_emulations = data["wp_emulations"]
+        return result
 
     def error_vs(self, reference: "SimulationResult") -> float:
         """Relative IPC error against a reference run (the paper's error

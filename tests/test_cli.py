@@ -56,6 +56,70 @@ class TestCommands:
                      "--max-instructions", "10"]) == 1
         assert "unknown workload" in capsys.readouterr().err
 
+    def test_compare_jobs_flag(self, tmp_path, capsys):
+        rc = main(["compare", "gap.bfs", "--scale", "tiny",
+                   "--max-instructions", "6000",
+                   "--jobs", "2", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for technique in ("nowp", "instrec", "conv", "wpemul"):
+            assert technique in out
+        # Short names resolve through the engine path too.
+        assert main(["compare", "bfs", "--scale", "tiny",
+                     "--max-instructions", "6000",
+                     "--jobs", "1", "--cache-dir", str(tmp_path)]) == 0
+        assert "gap.bfs" in capsys.readouterr().out
+
+
+class TestSweep:
+    ARGS = ["sweep", "--workloads", "bfs,pr",
+            "--techniques", "nowp,conv", "--scale", "tiny",
+            "--max-instructions", "5000"]
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(self.ARGS + cache + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hits" in cold and "4 simulated" in cold
+        assert (tmp_path / "journal.jsonl").exists()
+
+        assert main(self.ARGS + cache + ["--jobs", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert "4 cache hits (100%)" in warm and "0 simulated" in warm
+
+        # Parallel and serial runs render identical result tables.
+        assert main(self.ARGS + cache + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        table = lambda text: text.split("\n\n")[0]  # noqa: E731
+        assert table(serial) == table(warm)
+
+    def test_failed_job_sets_exit_code(self, tmp_path, capsys):
+        rc = main(["sweep", "--workloads", "bfs", "--techniques", "conv",
+                   "--scale", "tiny", "--max-instructions", "1000",
+                   "--set", "rob_size=-5", "--jobs", "1", "--retries", "0",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_config_axis_expands_grid(self, tmp_path, capsys):
+        rc = main(["sweep", "--workloads", "bfs", "--techniques", "nowp",
+                   "--scale", "tiny", "--max-instructions", "2000",
+                   "--set", "rob_size=32", "--set", "rob_size=64",
+                   "--jobs", "1", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rob_size=32" in out and "rob_size=64" in out
+        assert "2 jobs" in out
+
+    def test_no_cache_disables_store(self, tmp_path, capsys):
+        rc = main(["sweep", "--workloads", "bfs", "--techniques", "nowp",
+                   "--scale", "tiny", "--max-instructions", "2000",
+                   "--jobs", "1", "--no-cache",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert not (tmp_path / "journal.jsonl").exists()
+        assert "cache:" not in capsys.readouterr().out.splitlines()[-1]
+
 
 class TestCompile:
     def test_compile_to_stdout(self, tmp_path, capsys):
