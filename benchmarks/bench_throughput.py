@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Host-throughput tracker: simulated instructions per host second.
+
+The paper's Section V-B argues the techniques by their simulation-speed
+cost; everything in this repo rides on the per-instruction hot path
+(batch pipeline, memoized code-cache blocks, flat handlers).  This
+script measures end-to-end instructions/sec per ``workload/technique``
+and maintains the committed baseline ``BENCH_throughput.json`` at the
+repo root:
+
+    # refresh the baseline (commit the file alongside hot-path changes)
+    PYTHONPATH=src python benchmarks/bench_throughput.py --record
+
+    # smoke-check against the committed baseline (CI): fail when any
+    # config drops more than --tolerance (default 30%) below it
+    PYTHONPATH=src python benchmarks/bench_throughput.py --check-baseline
+
+Throughput is taken as the **best of ``--repeat`` runs** — host timing
+noise (scheduler, cache warmth, turbo) is one-sided, so the minimum
+wall time is the most stable estimator of what the code can do.  The
+workload is built once outside the timed region; each run constructs a
+fresh ``Simulator`` so predictor/cache state never leaks between
+repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.simulator.simulation import ALL_TECHNIQUES, Simulator  # noqa: E402
+from repro.workloads import build_workload  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..",
+                                "BENCH_throughput.json")
+DEFAULT_WORKLOADS = "gap.bfs,spec.int.xz_like"
+
+
+def measure(workload_name: str, technique: str, scale: str,
+            max_instructions: int, repeat: int) -> dict:
+    workload = build_workload(workload_name, scale=scale, check=False)
+    best_wall, instructions = float("inf"), 0
+    for _ in range(repeat):
+        sim = Simulator(workload.program, technique=technique,
+                        max_instructions=max_instructions,
+                        name=workload.name)
+        start = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - start
+        if wall < best_wall:
+            best_wall = wall
+        instructions = result.instructions
+    return {"instructions": instructions,
+            "best_wall_seconds": round(best_wall, 6),
+            "ips": round(instructions / best_wall, 1)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=DEFAULT_WORKLOADS,
+                        help="comma-separated workload names")
+    parser.add_argument("--techniques",
+                        default=",".join(ALL_TECHNIQUES),
+                        help="comma-separated technique names")
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--max-instructions", type=int, default=30000)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per config; best (minimum wall) wins")
+    parser.add_argument("--record", action="store_true",
+                        help="write the measured throughput as the new "
+                             "baseline")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="exit non-zero if any config is more than "
+                             "--tolerance below the recorded baseline")
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="allowed fractional drop vs baseline")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    args = parser.parse_args(argv)
+
+    workloads = [w for w in args.workloads.split(",") if w]
+    techniques = [t for t in args.techniques.split(",") if t]
+
+    results = {}
+    for workload in workloads:
+        for technique in techniques:
+            key = f"{workload}/{technique}"
+            entry = measure(workload, technique, args.scale,
+                            args.max_instructions, args.repeat)
+            results[key] = entry
+            print(f"{key}: {entry['ips']:>10.0f} instr/s "
+                  f"({entry['instructions']} instrs, best of "
+                  f"{args.repeat}: {entry['best_wall_seconds']:.3f}s)")
+
+    if args.record:
+        payload = {
+            "meta": {
+                "scale": args.scale,
+                "max_instructions": args.max_instructions,
+                "repeat": args.repeat,
+                "python": platform.python_version(),
+                "recorded_unix": round(time.time(), 1),
+            },
+            "results": results,
+        }
+        with open(args.baseline, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"recorded baseline -> {os.path.abspath(args.baseline)}")
+
+    if args.check_baseline:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; run with --record "
+                  "first", file=sys.stderr)
+            return 2
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)["results"]
+        failures = []
+        for key, entry in results.items():
+            base = baseline.get(key)
+            if base is None:
+                print(f"{key}: no baseline entry (skipped)")
+                continue
+            floor = base["ips"] * (1.0 - args.tolerance)
+            verdict = "ok" if entry["ips"] >= floor else "REGRESSION"
+            print(f"{key}: {entry['ips']:.0f} vs baseline "
+                  f"{base['ips']:.0f} instr/s "
+                  f"(floor {floor:.0f}) {verdict}")
+            if entry["ips"] < floor:
+                failures.append(key)
+        if failures:
+            print(f"throughput regression (> {args.tolerance:.0%} below "
+                  f"baseline): {', '.join(failures)}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

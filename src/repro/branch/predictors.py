@@ -39,7 +39,9 @@ class BimodalPredictor:
     def _index(self, pc: int) -> int:
         return (pc >> 2) & self.mask
 
-    def predict(self, pc: int) -> bool:
+    def predict(self, pc: int, history: Optional[int] = None) -> bool:
+        """History-blind; the optional ``history`` keeps the call signature
+        uniform across direction predictors so callers need no dispatch."""
         return self.table[self._index(pc)] >= 2
 
     def update(self, pc: int, taken: bool) -> None:
@@ -95,25 +97,50 @@ class TournamentPredictor:
     def history(self) -> int:
         return self.gshare.history
 
+    # Both components are table reads, so predict/update inline them
+    # rather than paying four component-method calls per trained branch —
+    # this predictor runs for every conditional in every technique.
+
     def predict(self, pc: int, history: Optional[int] = None) -> bool:
-        use_gshare = self.chooser[(pc >> 2) & self.chooser_mask] >= 2
-        if use_gshare:
-            return self.gshare.predict(pc, history)
-        return self.bimodal.predict(pc)
+        key = pc >> 2
+        if self.chooser[key & self.chooser_mask] >= 2:
+            gshare = self.gshare
+            h = gshare.history if history is None else history
+            return gshare.table[(key ^ h) & gshare.mask] >= 2
+        bimodal = self.bimodal
+        return bimodal.table[key & bimodal.mask] >= 2
 
     def update(self, pc: int, taken: bool) -> None:
-        bim = self.bimodal.predict(pc)
-        gsh = self.gshare.predict(pc)
+        key = pc >> 2
+        bimodal = self.bimodal
+        gshare = self.gshare
+        bim_idx = key & bimodal.mask
+        bim = bimodal.table[bim_idx] >= 2
+        history = gshare.history
+        gsh_idx = (key ^ history) & gshare.mask
+        gsh = gshare.table[gsh_idx] >= 2
         if bim != gsh:
-            idx = (pc >> 2) & self.chooser_mask
+            idx = key & self.chooser_mask
             ctr = self.chooser[idx]
             if gsh == taken:
                 if ctr < 3:
                     self.chooser[idx] = ctr + 1
             elif ctr > 0:
                 self.chooser[idx] = ctr - 1
-        self.bimodal.update(pc, taken)
-        self.gshare.update(pc, taken)
+        ctr = bimodal.table[bim_idx]
+        if taken:
+            if ctr < 3:
+                bimodal.table[bim_idx] = ctr + 1
+        elif ctr > 0:
+            bimodal.table[bim_idx] = ctr - 1
+        ctr = gshare.table[gsh_idx]
+        if taken:
+            if ctr < 3:
+                gshare.table[gsh_idx] = ctr + 1
+        elif ctr > 0:
+            gshare.table[gsh_idx] = ctr - 1
+        gshare.history = ((history << 1) | int(taken)) \
+            & gshare.history_mask
 
 
 class ReturnAddressStack:
@@ -195,6 +222,18 @@ class BranchPredictorUnit:
         self.kind = kind
         self.ras = ReturnAddressStack(ras_depth)
         self.indirect = IndirectPredictor(indirect_bits)
+        # Hot-path bindings, resolved once: every direction predictor
+        # shares the ``predict(pc, history=None)`` signature, and the mask
+        # used to shift speculative history during wrong-path peeks is
+        # fixed by the predictor kind.
+        self._predict_direction = self.direction.predict
+        self._has_history = hasattr(self.direction, "history")
+        if hasattr(self.direction, "history_mask"):
+            self._spec_history_mask = self.direction.history_mask
+        elif hasattr(self.direction, "gshare"):
+            self._spec_history_mask = self.direction.gshare.history_mask
+        else:
+            self._spec_history_mask = None
         # Stats.
         self.cond_count = 0
         self.cond_mispredicts = 0
@@ -205,15 +244,7 @@ class BranchPredictorUnit:
 
     @property
     def _history(self) -> int:
-        direction = self.direction
-        return direction.history if hasattr(direction, "history") else 0
-
-    def _predict_direction(self, pc: int,
-                           history: Optional[int] = None) -> bool:
-        direction = self.direction
-        if isinstance(direction, BimodalPredictor):
-            return direction.predict(pc)
-        return direction.predict(pc, history)
+        return self.direction.history if self._has_history else 0
 
     # -- correct-path interface -------------------------------------------------
 
@@ -231,7 +262,8 @@ class BranchPredictorUnit:
         if instr.is_branch:
             self.cond_count += 1
             pred_taken = self._predict_direction(pc)
-            prediction = instr.target if pred_taken else instr.fall_through
+            prediction = instr.target if pred_taken \
+                else pc + INSTRUCTION_SIZE
             self.direction.update(pc, taken)
             if prediction != next_pc:
                 self.cond_mispredicts += 1
@@ -243,7 +275,7 @@ class BranchPredictorUnit:
             else:
                 prediction = self.indirect.predict(pc, self._history)
             if prediction is None:
-                prediction = instr.fall_through  # no prediction: stall-like
+                prediction = pc + INSTRUCTION_SIZE  # no prediction: stall
             if instr.is_call:
                 self.ras.push(pc + INSTRUCTION_SIZE)
             self.indirect.update(pc, self._history, next_pc)
@@ -269,16 +301,13 @@ class BranchPredictorUnit:
         empty speculative RAS) — reconstruction must stop there.
         """
         pc = instr.pc
-        direction = self.direction
         if instr.is_branch:
             pred_taken = self._predict_direction(pc, spec.history)
-            if hasattr(direction, "history_mask"):
+            mask = self._spec_history_mask
+            if mask is not None:
                 spec.history = ((spec.history << 1) | int(pred_taken)) \
-                    & direction.history_mask
-            elif hasattr(direction, "gshare"):
-                spec.history = ((spec.history << 1) | int(pred_taken)) \
-                    & direction.gshare.history_mask
-            return instr.target if pred_taken else instr.fall_through
+                    & mask
+            return instr.target if pred_taken else pc + INSTRUCTION_SIZE
         if instr.is_indirect:
             if instr.is_return:
                 target = spec.ras.pop() if spec.ras else None

@@ -88,15 +88,19 @@ class CacheHierarchy:
     def access_data(self, addr: int, write: bool = False, pc: int = 0,
                     wrong_path: bool = False) -> int:
         """Access data at ``addr``; returns latency including TLB penalty."""
+        prefetcher = self._l2_prefetcher
+        if prefetcher is None:
+            # No prefetcher: skip the pre-access residency probe entirely
+            # (it exists only to classify the access for the prefetcher).
+            return (self.dtlb.access(addr, wrong_path)
+                    + self.l1d.access(addr, write, wrong_path))
         latency = self.dtlb.access(addr, wrong_path)
         was_resident = self.l1d.contains(addr)
         latency += self.l1d.access(addr, write, wrong_path)
-        prefetcher = self._l2_prefetcher
-        if prefetcher is not None:
-            if self._l2_prefetcher_kind == "next_line":
-                prefetcher.on_access(addr, not was_resident, wrong_path)
-            else:
-                prefetcher.on_access(pc, addr, wrong_path)
+        if self._l2_prefetcher_kind == "next_line":
+            prefetcher.on_access(addr, not was_resident, wrong_path)
+        else:
+            prefetcher.on_access(pc, addr, wrong_path)
         return latency
 
     # -- reporting ------------------------------------------------------------------

@@ -35,6 +35,7 @@ from repro.core.resources import SlotAllocator, WindowBuffer
 from repro.core.stats import CoreStats
 from repro.frontend.code_cache import CodeCache
 from repro.frontend.dyninstr import DynInstr
+from repro.isa.instructions import INSTRUCTION_SIZE
 
 
 class OoOCore:
@@ -71,35 +72,89 @@ class OoOCore:
         # word address -> cycle at which the store drains from the buffer
         self._store_buffer = {}
 
+        # Hot-path bindings: :meth:`process` runs once per simulated
+        # instruction, so the resource objects' internals are bound here
+        # once instead of being re-resolved through two attribute hops per
+        # instruction.  The deques and dicts below are the *same* objects
+        # the public ``rob``/``lq``/``sq``/``ports`` expose — state stays
+        # authoritative for ``restart_at``/``occupancy_at``/snapshotting.
+        self._port_bind = self.ports.bind
+        self._rob_rel = self.rob._releases
+        self._lq_rel = self.lq._releases
+        self._sq_rel = self.sq._releases
+        self._cc_entries = self.code_cache._entries
+
     # -- main per-instruction path -------------------------------------------------
 
     def process(self, di: DynInstr) -> None:
-        """Simulate one correct-path instruction."""
+        """Simulate one correct-path instruction.
+
+        This is the simulator's hottest function (one call per simulated
+        instruction), so the slot-allocator and window-buffer steps are
+        inlined: the code below manipulates ``fetch``/``dispatch``/
+        ``commit``/``rob``/``lq``/``sq`` state directly, cycle-for-cycle
+        equivalent to the ``allocate``/``commit`` methods in
+        :mod:`repro.core.resources` (which remain the readable reference
+        semantics and are still used by the wrong-path executor).
+        """
         cfg = self.cfg
         stats = self.stats
         instr = di.instr
-        self.code_cache.insert(instr)
+        pc = di.pc
+        if instr.pc not in self._cc_entries:   # inlined CodeCache.insert
+            self.code_cache.insert(instr)
 
         # ---- fetch: I-cache + fetch bandwidth
-        line = di.pc >> self._line_shift
+        fetch = self.fetch
+        line = pc >> self._line_shift
         if line != self._cur_fetch_line:
             self._cur_fetch_line = line
-            latency = self.hierarchy.access_instr(di.pc)
+            latency = self.hierarchy.access_instr(pc)
             penalty = latency - cfg.l1i_latency
             if penalty > 0:
-                self.fetch.restart_at(self.fetch.cycle + penalty)
-        fetch_c = self.fetch.allocate(0)
+                fetch.cycle += penalty   # restart_at(cycle + penalty)
+                fetch.used = 0
+        # fetch.allocate(0): the cycle is monotonic, so 0 never restarts it.
+        fetch_c = fetch.cycle
+        used = fetch.used + 1
+        if used >= fetch.width:
+            fetch.cycle = fetch_c + 1
+            fetch.used = 0
+        else:
+            fetch.used = used
 
         # ---- dispatch: frontend depth, ROB/LQ/SQ, dispatch bandwidth
         dispatch_req = fetch_c + cfg.frontend_depth
-        dispatch_req = self.rob.allocate(dispatch_req)
+        rob_rel = self._rob_rel
+        if len(rob_rel) >= cfg.rob_size:       # rob.allocate(dispatch_req)
+            oldest = rob_rel.popleft()
+            if oldest > dispatch_req:
+                dispatch_req = oldest
         is_load = instr.is_load
         is_store = instr.is_store
         if is_load:
-            dispatch_req = self.lq.allocate(dispatch_req)
+            lq_rel = self._lq_rel
+            if len(lq_rel) >= cfg.load_queue:  # lq.allocate(dispatch_req)
+                oldest = lq_rel.popleft()
+                if oldest > dispatch_req:
+                    dispatch_req = oldest
         elif is_store:
-            dispatch_req = self.sq.allocate(dispatch_req)
-        dispatch_c = self.dispatch.allocate(dispatch_req)
+            sq_rel = self._sq_rel
+            if len(sq_rel) >= cfg.store_queue:  # sq.allocate(dispatch_req)
+                oldest = sq_rel.popleft()
+                if oldest > dispatch_req:
+                    dispatch_req = oldest
+        dispatch = self.dispatch               # dispatch.allocate(...)
+        if dispatch_req > dispatch.cycle:
+            dispatch.cycle = dispatch_req
+            dispatch.used = 0
+        dispatch_c = dispatch.cycle
+        used = dispatch.used + 1
+        if used >= dispatch.width:
+            dispatch.cycle = dispatch_c + 1
+            dispatch.used = 0
+        else:
+            dispatch.used = used
 
         # ---- ready + issue
         ready = dispatch_c + 1
@@ -108,7 +163,8 @@ class OoOCore:
             t = regready[reg]
             if t > ready:
                 ready = t
-        issue_c = self.ports.issue(instr.fu, ready)
+        issue, fu_latency = self._port_bind[instr.fu]
+        issue_c = issue(ready)
 
         # ---- execute / complete
         if is_load:
@@ -120,7 +176,7 @@ class OoOCore:
                 stats.store_forwards += 1
                 latency = cfg.forward_latency
             else:
-                latency = self.hierarchy.access_data(addr, False, pc=di.pc)
+                latency = self.hierarchy.access_data(addr, False, pc=pc)
             complete = issue_c + latency
         elif is_store:
             stats.stores += 1
@@ -129,7 +185,7 @@ class OoOCore:
             stats.syscalls += 1
             complete = issue_c + cfg.syscall_latency
         else:
-            complete = issue_c + self.ports.latency[instr.fu]
+            complete = issue_c + fu_latency
 
         for reg in instr.writes:
             regready[reg] = complete
@@ -138,30 +194,272 @@ class OoOCore:
         retire_req = complete + 1
         if retire_req < self.last_retire:
             retire_req = self.last_retire
-        retire_c = self.commit.allocate(retire_req)
+        commit = self.commit                   # commit.allocate(retire_req)
+        if retire_req > commit.cycle:
+            commit.cycle = retire_req
+            commit.used = 0
+        retire_c = commit.cycle
+        used = commit.used + 1
+        if used >= commit.width:
+            commit.cycle = retire_c + 1
+            commit.used = 0
+        else:
+            commit.used = used
         self.last_retire = retire_c
-        self.rob.commit(retire_c)
+        rob_rel.append(retire_c)               # rob.commit(retire_c)
         if is_load:
-            self.lq.commit(complete)
+            self._lq_rel.append(complete)      # lq.commit(complete)
         elif is_store:
-            self.sq.commit(retire_c)
+            self._sq_rel.append(retire_c)      # sq.commit(retire_c)
             # Drain to the memory hierarchy post-retirement.
             addr = di.mem_addr
-            self.hierarchy.access_data(addr, True, pc=di.pc)
+            self.hierarchy.access_data(addr, True, pc=pc)
             self._store_buffer[addr & ~3] = retire_c + 1
 
         stats.instructions += 1
 
         # ---- control flow: prediction, redirects, wrong-path window
         if instr.is_control:
+            next_pc = di.next_pc
             prediction = self.bpu.predict_and_update(instr, di.taken,
-                                                     di.next_pc)
-            if prediction != di.next_pc:
+                                                     next_pc)
+            if prediction != next_pc:
                 self._handle_mispredict(di, prediction, fetch_c, complete)
-            elif di.next_pc != instr.fall_through:
+            elif next_pc != instr.pc + INSTRUCTION_SIZE:  # fall-through?
                 stats.taken_redirects += 1
-                self.fetch.restart_at(fetch_c + cfg.taken_redirect_bubble)
+                at = fetch_c + cfg.taken_redirect_bubble  # fetch.restart_at
+                if at > fetch.cycle or (at == fetch.cycle and fetch.used):
+                    fetch.cycle = at
+                    fetch.used = 0
                 self._cur_fetch_line = -1
+
+    def process_batch(self, queue, count: int) -> int:
+        """Consume and simulate ``count`` instructions directly from the
+        runahead queue's buffer; returns the number processed.
+
+        This is the batched form of :meth:`process` used by
+        ``Simulator.run``: all mutable core state (slot allocators, stat
+        counters, the fetch line) lives in locals for the duration of the
+        batch and is flushed back to the live objects at batch end — and,
+        crucially, *before* every mispredict, so the wrong-path models and
+        the queue's ``window()`` peeks observe exactly the state the
+        per-instruction path would show them.  Cycle-for-cycle and
+        stat-for-stat identical to ``count`` ``process(queue.pop())``
+        calls; :meth:`process` remains the readable reference semantics
+        (and the entry point for single-instruction callers).
+        """
+        buf = queue._buf
+        i = queue._head
+        end = i + count
+        cfg = self.cfg
+        stats = self.stats
+        hierarchy = self.hierarchy
+        l1i_access = hierarchy.l1i.access   # access_instr minus the hop
+        access_data = hierarchy.access_data
+        bpu_predict = self.bpu.predict_and_update
+        cc_entries = self._cc_entries
+        cc_insert = self.code_cache.insert
+        port_hot = self.ports.hot
+        rob_rel = self._rob_rel
+        rob_append = rob_rel.append
+        rob_popleft = rob_rel.popleft
+        lq_rel = self._lq_rel
+        sq_rel = self._sq_rel
+        regready = self.regready
+        store_buffer = self._store_buffer
+        sb_get = store_buffer.get
+        fetch = self.fetch
+        dispatch = self.dispatch
+        commit = self.commit
+        fetch_cycle = fetch.cycle
+        fetch_used = fetch.used
+        fetch_width = fetch.width
+        disp_cycle = dispatch.cycle
+        disp_used = dispatch.used
+        disp_width = dispatch.width
+        com_cycle = commit.cycle
+        com_used = commit.used
+        com_width = commit.width
+        cur_line = self._cur_fetch_line
+        last_retire = self.last_retire
+        line_shift = self._line_shift
+        isize = INSTRUCTION_SIZE
+        l1i_latency = cfg.l1i_latency
+        frontend_depth = cfg.frontend_depth
+        rob_size = cfg.rob_size
+        load_queue = cfg.load_queue
+        store_queue = cfg.store_queue
+        store_latency = cfg.store_latency
+        syscall_latency = cfg.syscall_latency
+        forward_latency = cfg.forward_latency
+        taken_bubble = cfg.taken_redirect_bubble
+        n_instr = n_loads = n_stores = n_sysc = n_fwd = n_redir = 0
+
+        while i < end:
+            di = buf[i]
+            i += 1
+            instr = di.instr
+            pc = di.pc
+            if pc not in cc_entries:
+                cc_insert(instr)
+
+            # ---- fetch: I-cache + fetch bandwidth
+            line = pc >> line_shift
+            if line != cur_line:
+                cur_line = line
+                penalty = l1i_access(pc, False, False) - l1i_latency
+                if penalty > 0:
+                    fetch_cycle += penalty
+                    fetch_used = 0
+            fetch_c = fetch_cycle
+            fetch_used += 1
+            if fetch_used >= fetch_width:
+                fetch_cycle = fetch_c + 1
+                fetch_used = 0
+
+            # ---- dispatch: frontend depth, ROB/LQ/SQ, dispatch bandwidth
+            dispatch_req = fetch_c + frontend_depth
+            if len(rob_rel) >= rob_size:
+                oldest = rob_popleft()
+                if oldest > dispatch_req:
+                    dispatch_req = oldest
+            is_load = instr.is_load
+            is_store = instr.is_store
+            if is_load:
+                if len(lq_rel) >= load_queue:
+                    oldest = lq_rel.popleft()
+                    if oldest > dispatch_req:
+                        dispatch_req = oldest
+            elif is_store:
+                if len(sq_rel) >= store_queue:
+                    oldest = sq_rel.popleft()
+                    if oldest > dispatch_req:
+                        dispatch_req = oldest
+            if dispatch_req > disp_cycle:
+                disp_cycle = dispatch_req
+                disp_used = 0
+            dispatch_c = disp_cycle
+            disp_used += 1
+            if disp_used >= disp_width:
+                disp_cycle = dispatch_c + 1
+                disp_used = 0
+
+            # ---- ready + issue (inlined PortGroup.issue)
+            ready = dispatch_c + 1
+            for reg in instr.reads:
+                t = regready[reg]
+                if t > ready:
+                    ready = t
+            free, busy, single, fu_latency = port_hot[instr.fu]
+            if single:
+                best_cycle = free[0]
+                issue_c = ready if ready >= best_cycle else best_cycle
+                free[0] = issue_c + busy
+            else:
+                best_cycle = min(free)
+                issue_c = ready if ready >= best_cycle else best_cycle
+                free[free.index(best_cycle)] = issue_c + busy
+
+            # ---- execute / complete
+            if is_load:
+                n_loads += 1
+                addr = di.mem_addr
+                drain = sb_get(addr & ~3)
+                if drain is not None and drain > issue_c:
+                    n_fwd += 1
+                    complete = issue_c + forward_latency
+                else:
+                    complete = issue_c + access_data(addr, False, pc)
+            elif is_store:
+                n_stores += 1
+                complete = issue_c + store_latency
+            elif instr.is_syscall:
+                n_sysc += 1
+                complete = issue_c + syscall_latency
+            else:
+                complete = issue_c + fu_latency
+
+            for reg in instr.writes:
+                regready[reg] = complete
+
+            # ---- retire (in order, commit bandwidth)
+            retire_req = complete + 1
+            if retire_req < last_retire:
+                retire_req = last_retire
+            if retire_req > com_cycle:
+                com_cycle = retire_req
+                com_used = 0
+            retire_c = com_cycle
+            com_used += 1
+            if com_used >= com_width:
+                com_cycle = retire_c + 1
+                com_used = 0
+            last_retire = retire_c
+            rob_append(retire_c)
+            if is_load:
+                lq_rel.append(complete)
+            elif is_store:
+                sq_rel.append(retire_c)
+                addr = di.mem_addr
+                access_data(addr, True, pc)
+                store_buffer[addr & ~3] = retire_c + 1
+
+            n_instr += 1
+
+            # ---- control flow: prediction, redirects, wrong-path window
+            if instr.is_control:
+                next_pc = di.next_pc
+                prediction = bpu_predict(instr, di.taken, next_pc)
+                if prediction != next_pc:
+                    # Flush local state to the live objects: the wrong-path
+                    # models read the core and peek the queue.
+                    queue._head = i
+                    fetch.cycle = fetch_cycle
+                    fetch.used = fetch_used
+                    dispatch.cycle = disp_cycle
+                    dispatch.used = disp_used
+                    commit.cycle = com_cycle
+                    commit.used = com_used
+                    self._cur_fetch_line = cur_line
+                    self.last_retire = last_retire
+                    stats.instructions += n_instr
+                    stats.loads += n_loads
+                    stats.stores += n_stores
+                    stats.syscalls += n_sysc
+                    stats.store_forwards += n_fwd
+                    stats.taken_redirects += n_redir
+                    n_instr = n_loads = n_stores = n_sysc = 0
+                    n_fwd = n_redir = 0
+                    self._handle_mispredict(di, prediction, fetch_c,
+                                            complete)
+                    fetch_cycle = fetch.cycle
+                    fetch_used = fetch.used
+                    cur_line = self._cur_fetch_line
+                elif next_pc != pc + isize:  # taken, correctly predicted
+                    n_redir += 1
+                    at = fetch_c + taken_bubble
+                    if at > fetch_cycle or (at == fetch_cycle and
+                                            fetch_used):
+                        fetch_cycle = at
+                        fetch_used = 0
+                    cur_line = -1
+
+        queue._head = end
+        fetch.cycle = fetch_cycle
+        fetch.used = fetch_used
+        dispatch.cycle = disp_cycle
+        dispatch.used = disp_used
+        commit.cycle = com_cycle
+        commit.used = com_used
+        self._cur_fetch_line = cur_line
+        self.last_retire = last_retire
+        stats.instructions += n_instr
+        stats.loads += n_loads
+        stats.stores += n_stores
+        stats.syscalls += n_sysc
+        stats.store_forwards += n_fwd
+        stats.taken_redirects += n_redir
+        return count
 
     def _handle_mispredict(self, di: DynInstr, predicted_pc: int,
                            fetch_c: int, resolution: int) -> None:

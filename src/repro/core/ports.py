@@ -18,9 +18,15 @@ from typing import Dict, List, Tuple
 
 
 class PortGroup:
-    """Ports of one FU group."""
+    """Ports of one FU group.
 
-    __slots__ = ("name", "latency", "pipelined", "free_at")
+    ``busy`` is the number of cycles an issue occupies the port (1 for
+    pipelined units, the full latency otherwise); it is precomputed so the
+    per-issue path does no branching on ``pipelined``.
+    """
+
+    __slots__ = ("name", "latency", "pipelined", "free_at", "busy",
+                 "_single")
 
     def __init__(self, name: str, count: int, latency: int,
                  pipelined: bool = True):
@@ -32,19 +38,23 @@ class PortGroup:
         self.latency = latency
         self.pipelined = pipelined
         self.free_at: List[int] = [0] * count
+        self.busy = 1 if pipelined else latency
+        self._single = count == 1
 
     def issue(self, ready: int) -> int:
         """Issue at the earliest cycle >= ``ready`` with a free port;
         returns the issue cycle."""
         free = self.free_at
-        best = 0
-        best_cycle = free[0]
-        for i in range(1, len(free)):
-            if free[i] < best_cycle:
-                best_cycle = free[i]
-                best = i
+        if self._single:
+            best = 0
+            best_cycle = free[0]
+        else:
+            # min()/index() pick the first of equal earliest-free ports,
+            # matching the original linear scan's tie-break.
+            best_cycle = min(free)
+            best = free.index(best_cycle)
         start = ready if ready >= best_cycle else best_cycle
-        free[best] = start + (self.latency if not self.pipelined else 1)
+        free[best] = start + self.busy
         return start
 
 
@@ -70,6 +80,22 @@ class PortFile:
             "div": cfg.div_latency, "fp": cfg.fp_latency,
             "fp_div": cfg.fp_div_latency, "load": 0,
             "store": cfg.store_latency, "branch": cfg.branch_latency,
+        }
+        # fu name -> (bound issue method, result latency): one dict lookup
+        # per issued instruction on the hot path instead of two plus a
+        # method-dispatch hop.
+        self.bind: Dict[str, tuple] = {
+            name: (group.issue, self.latency[name])
+            for name, group in self.groups.items()
+        }
+        # fu name -> (free_at list, busy, single-port?, result latency):
+        # lets the batched core loop inline the issue scan with no call at
+        # all.  ``free_at`` is aliased, never replaced (snapshot/restore
+        # assign through ``free_at[:]``), so the aliases stay live.
+        self.hot: Dict[str, tuple] = {
+            name: (group.free_at, group.busy, group._single,
+                   self.latency[name])
+            for name, group in self.groups.items()
         }
 
     def issue(self, group: str, ready: int) -> int:

@@ -12,6 +12,7 @@ allocation cycle is pushed to ``max(request, oldest_release)``.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 
 
@@ -72,9 +73,12 @@ class WindowBuffer:
         self._releases.append(release_cycle)
 
     def occupancy_at(self, cycle: int) -> int:
-        """Entries still live at ``cycle`` (linear; used per-mispredict to
-        size the wrong-path window, not per instruction)."""
-        return sum(1 for r in self._releases if r > cycle)
+        """Entries still live at ``cycle`` (used per-mispredict to size the
+        wrong-path window, not per instruction).  Release cycles are
+        FIFO-ordered (non-decreasing, as the class contract states), so the
+        released prefix is found by binary search instead of a scan."""
+        releases = self._releases
+        return len(releases) - bisect_right(releases, cycle)
 
     def __len__(self) -> int:
         return len(self._releases)

@@ -9,11 +9,16 @@ exercise one code path and one determinism contract.
 
 Failure handling:
 
-* per-job timeout (``timeout=`` seconds per attempt; expired jobs are
-  abandoned and retried or failed — only enforceable in pool mode,
-  since a serial in-process simulation cannot be interrupted),
+* per-job timeout (``timeout=`` seconds per attempt, measured from the
+  attempt's actual submission; expired jobs are abandoned and retried
+  or failed — only enforceable in pool mode, since a serial in-process
+  simulation cannot be interrupted).  ``Future.cancel()`` cannot stop
+  an attempt that is already *running*, so expiring one replaces the
+  whole pool (journaled as ``status="abandoned"``) and re-submits the
+  surviving in-flight jobs with their attempt counts intact,
 * bounded retry (``retries=`` extra attempts per job, default 1) for
-  transient worker failures,
+  transient worker failures; the budget is shared with the serial
+  fallback path — attempts consumed in the pool are not granted again,
 * graceful degradation — if the pool cannot be created or dies
   (``BrokenProcessPool``: OOM-killed worker, interpreter crash), the
   unfinished jobs fall back to serial in-process execution rather than
@@ -123,9 +128,9 @@ class ExperimentEngine:
             if self.max_workers > 1 and len(pending) > 1:
                 leftover = self._run_pool(pending, outcomes)
             else:
-                leftover = pending
-            for idx, job in leftover:
-                outcomes[idx] = self._run_serial(job)
+                leftover = [(idx, job, 0) for idx, job in pending]
+            for idx, job, consumed in leftover:
+                outcomes[idx] = self._run_serial(job, consumed)
 
         for outcome in outcomes:
             self._journal(outcome)
@@ -148,10 +153,16 @@ class ExperimentEngine:
 
     # -- serial path -------------------------------------------------------------
 
-    def _run_serial(self, job: SimJob) -> JobOutcome:
+    def _run_serial(self, job: SimJob, consumed: int = 0) -> JobOutcome:
+        """Run ``job`` in-process.  ``consumed`` is the number of attempts
+        the job already burned in pool mode (e.g. an attempt that died with
+        a broken pool) — the retry budget is shared across both paths, so
+        serial fallback continues the count instead of restarting it."""
         start = time.perf_counter()
-        error = None
-        for attempt in range(1, self.retries + 2):
+        error = "process pool failed before any serial attempt" \
+            if consumed else None
+        attempt = consumed
+        for attempt in range(consumed + 1, self.retries + 2):
             try:
                 result = job.run()
             except Exception as exc:  # noqa: BLE001 — job is the fault unit
@@ -161,41 +172,47 @@ class ExperimentEngine:
             return JobOutcome(job, result, "ok",
                               time.perf_counter() - start, attempt)
         return JobOutcome(job, None, "failed",
-                          time.perf_counter() - start, self.retries + 1,
-                          error)
+                          time.perf_counter() - start,
+                          max(attempt, consumed), error)
 
     # -- pool path ---------------------------------------------------------------
+
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        """Pool factory; a seam for tests to substitute fakes."""
+        return ProcessPoolExecutor(max_workers=workers)
 
     def _run_pool(self, pending: List[tuple],
                   outcomes: List[Optional[JobOutcome]]) -> List[tuple]:
         """Run ``(idx, job)`` pairs in a process pool, filling
-        ``outcomes``.  Returns pairs that should fall back to serial
-        execution (pool creation failed or the pool broke)."""
+        ``outcomes``.  Returns ``(idx, job, consumed_attempts)`` triples
+        that should fall back to serial execution (pool creation failed
+        or the pool broke)."""
         try:
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(pending)))
+            pool = self._make_pool(min(self.max_workers, len(pending)))
         except OSError:
-            return pending
+            return [(idx, job, 0) for idx, job in pending]
 
-        batch_start = time.perf_counter()
         in_flight = {}
         try:
             for idx, job in pending:
                 future = pool.submit(_execute_payload, job.to_dict())
                 in_flight[future] = (idx, job, 1, time.perf_counter())
             while in_flight:
-                self._collect(pool, in_flight, outcomes, batch_start)
+                pool = self._collect(pool, in_flight, outcomes)
         except (BrokenProcessPool, OSError):
-            leftover = [(idx, job) for idx, job, _, _ in
+            # The in-flight attempts died with the pool: they count
+            # against each job's retry budget in the serial fallback.
+            leftover = [(idx, job, attempt) for idx, job, attempt, _ in
                         in_flight.values()]
             pool.shutdown(wait=False, cancel_futures=True)
             return leftover
         pool.shutdown(wait=False, cancel_futures=True)
         return []
 
-    def _collect(self, pool, in_flight, outcomes, batch_start) -> None:
-        """One wait cycle: harvest finished futures, expire overdue
-        ones, resubmit retryable failures."""
+    def _collect(self, pool, in_flight, outcomes):
+        """One wait cycle: harvest finished futures, expire overdue ones,
+        resubmit retryable failures.  Returns the pool to keep using —
+        a *new* pool when expiry had to abandon running workers."""
         wait_timeout = None
         if self.timeout is not None:
             soonest = min(start for _, _, _, start in in_flight.values())
@@ -206,16 +223,25 @@ class ExperimentEngine:
 
         now = time.perf_counter()
         if not done:
+            expired = []
             for future in list(in_flight):
-                idx, job, attempt, start = in_flight[future]
-                if now - start < (self.timeout or float("inf")):
-                    continue
-                future.cancel()     # running attempts are abandoned
-                del in_flight[future]
+                start = in_flight[future][3]
+                if now - start >= (self.timeout or float("inf")):
+                    expired.append((future, in_flight.pop(future)))
+            abandoned = []
+            for future, entry in expired:
+                if not future.cancel():
+                    # cancel() is a no-op on a *running* future: the
+                    # worker is still executing the expired attempt and
+                    # would keep its slot indefinitely.  Replace the pool.
+                    abandoned.append(entry)
+            if abandoned:
+                pool = self._replace_pool(pool, in_flight, abandoned)
+            for _, (idx, job, attempt, start) in expired:
                 self._retry_or_fail(
-                    pool, in_flight, outcomes, idx, job, attempt,
-                    batch_start, f"timeout after {self.timeout:.1f}s")
-            return
+                    pool, in_flight, outcomes, idx, job, attempt, start,
+                    f"timeout after {self.timeout:.1f}s")
+            return pool
 
         for future in done:
             idx, job, attempt, start = in_flight.pop(future)
@@ -226,16 +252,39 @@ class ExperimentEngine:
                 raise
             except Exception as exc:  # noqa: BLE001 — worker-side failure
                 self._retry_or_fail(pool, in_flight, outcomes, idx, job,
-                                    attempt, batch_start,
+                                    attempt, start,
                                     f"{type(exc).__name__}: {exc}")
                 continue
             result = SimulationResult.from_dict(payload)
             self._store(job, result)
             outcomes[idx] = JobOutcome(job, result, "ok",
-                                       now - batch_start, attempt)
+                                       now - start, attempt)
+        return pool
+
+    def _replace_pool(self, pool, in_flight, abandoned):
+        """Tear down ``pool`` (some workers are stuck on expired attempts
+        that ``cancel()`` could not stop) and move the surviving in-flight
+        jobs onto a fresh pool with their attempt counts intact."""
+        for idx, job, attempt, start in abandoned:
+            if self.journal is not None:
+                self.journal.record(
+                    key=job.key, job=job.label, status="abandoned",
+                    cached=False, attempts=attempt,
+                    wall_seconds=time.perf_counter() - start,
+                    error=f"attempt abandoned: still running after "
+                          f"{self.timeout:.1f}s timeout")
+        survivors = list(in_flight.values())
+        in_flight.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        new_pool = self._make_pool(
+            min(self.max_workers, max(1, len(survivors) + len(abandoned))))
+        for idx, job, attempt, _ in survivors:
+            future = new_pool.submit(_execute_payload, job.to_dict())
+            in_flight[future] = (idx, job, attempt, time.perf_counter())
+        return new_pool
 
     def _retry_or_fail(self, pool, in_flight, outcomes, idx, job,
-                       attempt, batch_start, error) -> None:
+                       attempt, start, error) -> None:
         if attempt <= self.retries:
             future = pool.submit(_execute_payload, job.to_dict())
             in_flight[future] = (idx, job, attempt + 1,
@@ -243,7 +292,7 @@ class ExperimentEngine:
         else:
             outcomes[idx] = JobOutcome(
                 job, None, "failed",
-                time.perf_counter() - batch_start, attempt, error)
+                time.perf_counter() - start, attempt, error)
 
     # -- plumbing ----------------------------------------------------------------
 

@@ -13,14 +13,28 @@ The cache is unbounded by default — the paper's code cache is as large as the
 set of static instructions seen so far, which is tiny compared to data.  A
 bounded mode (``capacity``) with FIFO eviction is provided for studying
 cold-start sensitivity.
+
+Reconstruction walks the same straight-line runs of code over and over (every
+mispredict window re-reads the loop bodies around the branch), so the cache
+additionally memoizes *blocks*: maximal single-entry instruction runs ending
+at the first control instruction, syscall, or missing address.  A block is a
+pure function of the cache contents, so the memo is flushed whenever an
+insert changes them (new pc, or a FIFO eviction) — which keeps block replay
+bit-identical to an instruction-by-instruction walk while skipping the
+per-pc lookups.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.isa.instructions import Instruction
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+
+#: Why a memoized block ended (see :meth:`CodeCache.block`).
+BLOCK_CONTROL = "control"
+BLOCK_SYSCALL = "syscall"
+BLOCK_MISS = "miss"
 
 
 class CodeCache:
@@ -31,6 +45,8 @@ class CodeCache:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.capacity = capacity
         self._entries: "OrderedDict[int, Instruction]" = OrderedDict()
+        # start pc -> (instructions, stop reason); flushed on any mutation.
+        self._blocks: dict = {}
         self.lookups = 0
         self.misses = 0
 
@@ -42,6 +58,9 @@ class CodeCache:
         entries[instr.pc] = instr
         if self.capacity is not None and len(entries) > self.capacity:
             entries.popitem(last=False)
+        # Contents changed: every memoized block is suspect (a former miss
+        # may now continue; an evicted pc may now stop a run short).
+        self._blocks.clear()
 
     def lookup(self, pc: int) -> Optional[Instruction]:
         """Decode info for ``pc``, or None (reconstruction must stop)."""
@@ -50,6 +69,43 @@ class CodeCache:
         if entry is None:
             self.misses += 1
         return entry
+
+    def block(self, start_pc: int) -> Tuple[tuple, str]:
+        """The memoized block starting at ``start_pc``.
+
+        Returns ``(instructions, stop)`` where ``instructions`` is the run
+        of cached instructions from ``start_pc`` up to and including the
+        first control or syscall instruction, and ``stop`` says why the run
+        ended (:data:`BLOCK_CONTROL` / :data:`BLOCK_SYSCALL` /
+        :data:`BLOCK_MISS` — a miss block excludes the missing address).
+        The ``lookups``/``misses`` counters are charged as if each covered
+        pc had been :meth:`lookup`-ed individually, so memoization is
+        invisible to cache-statistics consumers.
+        """
+        blk = self._blocks.get(start_pc)
+        if blk is None:
+            instrs = []
+            entries = self._entries
+            pc = start_pc
+            while True:
+                instr = entries.get(pc)
+                if instr is None:
+                    blk = (tuple(instrs), BLOCK_MISS)
+                    break
+                instrs.append(instr)
+                if instr.is_control:
+                    blk = (tuple(instrs), BLOCK_CONTROL)
+                    break
+                if instr.is_syscall:
+                    blk = (tuple(instrs), BLOCK_SYSCALL)
+                    break
+                pc += INSTRUCTION_SIZE
+            self._blocks[start_pc] = blk
+        self.lookups += len(blk[0])
+        if blk[1] is BLOCK_MISS:
+            self.lookups += 1
+            self.misses += 1
+        return blk
 
     def __contains__(self, pc: int) -> bool:
         return pc in self._entries

@@ -14,69 +14,103 @@ The queue provides:
   enough instructions (program about to exit), the window is simply shorter,
   matching the paper's note that convergence checking is skipped when not
   enough instructions are queued.
+
+Storage is a plain list plus a head index rather than a deque: ``window``
+becomes a slice, and the batched simulator loop
+(:meth:`repro.core.ooo.OoOCore.process_batch`) can walk ``_buf`` directly and
+advance ``_head`` itself — consuming the queue without one ``pop()`` call per
+instruction.  ``prepare()`` compacts the consumed prefix and refills between
+batches.  An optional ``batch_producer`` (``n -> list``) refills the buffer
+in one call instead of one producer call per instruction.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, List, Optional
 
 from repro.frontend.dyninstr import DynInstr
 
 Producer = Callable[[], Optional[DynInstr]]
+BatchProducer = Callable[[int], List[DynInstr]]
 
 
 class RunaheadQueue:
     """Decoupling queue with peek-ahead."""
 
-    def __init__(self, producer: Producer, depth: int = 2048):
+    def __init__(self, producer: Producer, depth: int = 2048,
+                 batch_producer: Optional[BatchProducer] = None):
         if depth < 1:
             raise ValueError("queue depth must be >= 1")
         self._producer = producer
+        self._batch_producer = batch_producer
         self.depth = depth
-        self._queue: deque = deque()
+        self._buf: List[DynInstr] = []
+        self._head = 0
         self._exhausted = False
         self.max_occupancy = 0
 
     def _fill(self, target: int) -> None:
-        while not self._exhausted and len(self._queue) < target:
-            item = self._producer()
-            if item is None:
-                self._exhausted = True
-                break
-            self._queue.append(item)
-        if len(self._queue) > self.max_occupancy:
-            self.max_occupancy = len(self._queue)
+        """Refill until occupancy reaches ``target`` (or the producer runs
+        dry).  Appends only — never compacts — so batch consumers holding
+        buffer indices stay valid across mid-batch peeks."""
+        need = target - (len(self._buf) - self._head)
+        if need > 0 and not self._exhausted:
+            batch = self._batch_producer
+            if batch is not None:
+                items = batch(need)
+                self._buf.extend(items)
+                if len(items) < need:
+                    self._exhausted = True
+            else:
+                buf = self._buf
+                producer = self._producer
+                while need > 0:
+                    item = producer()
+                    if item is None:
+                        self._exhausted = True
+                        break
+                    buf.append(item)
+                    need -= 1
+        occupancy = len(self._buf) - self._head
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
 
     def pop(self) -> Optional[DynInstr]:
         """Next correct-path instruction, or None when the program ended."""
-        if not self._queue:
+        head = self._head
+        if head >= len(self._buf):
+            self._buf.clear()
+            self._head = head = 0
             self._fill(self.depth)
-            if not self._queue:
+            if not self._buf:
                 return None
-        return self._queue.popleft()
+        item = self._buf[head]
+        self._head = head + 1
+        return item
 
     def window(self, n: int) -> List[DynInstr]:
         """Peek at up to ``n`` future instructions (index 0 = next pop).
 
         May return fewer than ``n`` near program exit.
         """
-        if len(self._queue) < n:
+        if len(self._buf) - self._head < n:
             self._fill(max(n, self.depth))
-        if n >= len(self._queue):
-            return list(self._queue)
-        # islice-free slicing: deque indexing is O(k) from the nearest end,
-        # and windows are read from the front, so direct iteration is fine.
-        result = []
-        for i, item in enumerate(self._queue):
-            if i >= n:
-                break
-            result.append(item)
-        return result
+        head = self._head
+        return self._buf[head:head + n]
+
+    def prepare(self) -> int:
+        """Compact consumed entries and refill; returns the number of
+        instructions available for direct batch consumption."""
+        if self._head:
+            del self._buf[:self._head]
+            self._head = 0
+        if len(self._buf) < self.depth:
+            self._fill(self.depth)
+        return len(self._buf)
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._buf) - self._head
 
     @property
     def exhausted(self) -> bool:
-        return self._exhausted and not self._queue
+        return self._exhausted and self._head >= len(self._buf)

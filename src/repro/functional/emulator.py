@@ -78,11 +78,19 @@ class Emulator:
         self.program = program
         self.memory = memory if memory is not None else Memory()
         self.state = ArchState(entry=program.entry)
+        # ``restore`` writes registers in place (``x[:] = ...``), so the
+        # register lists' identity is stable for the whole run and handlers
+        # can reach them through one attribute hop instead of two.
+        self.x = self.state.x
+        self.f = self.state.f
         self.halted = False
         self.exit_code: Optional[int] = None
         self.instret = 0
         self.output: List = []
         self._suppress_side_effects = False
+        # Bound pc -> instruction map lookup (Program.instruction_at minus
+        # the method hop — step() runs once per simulated instruction).
+        self._instr_at = program.pc_index.get
         # Initialised data segments.
         for address, words in program.data:
             self.memory.write_words(address, words)
@@ -99,17 +107,21 @@ class Emulator:
         """
         if self.halted:
             return None
-        pc = self.state.pc
-        instr = self.program.instruction_at(pc)
+        state = self.state
+        pc = state.pc
+        instr = self._instr_at(pc)
         if instr is None:
             raise EmulationFault(pc, "pc outside text segment")
         self._mem_addr = None
         self._taken = False
-        handler = _HANDLERS.get(instr.op)
+        handler = instr.handler
         if handler is None:
-            raise EmulationFault(pc, f"unimplemented opcode {instr.op}")
+            handler = _HANDLERS.get(instr.op)
+            if handler is None:
+                raise EmulationFault(pc, f"unimplemented opcode {instr.op}")
+            instr.handler = handler   # cached for every later execution
         next_pc = handler(self, instr)
-        self.state.pc = next_pc
+        state.pc = next_pc
         self.instret += 1
         return instr, pc, next_pc, self._taken, self._mem_addr
 
@@ -138,15 +150,19 @@ class Emulator:
         records: List[WrongPathRecord] = []
         try:
             pc = start_pc
+            instr_at = self._instr_at
             for _ in range(max_instructions):
-                instr = self.program.instruction_at(pc)
+                instr = instr_at(pc)
                 if instr is None:
                     break  # fetched into a hole: wild wrong path, stop
                 if instr.is_syscall:
                     break  # kernel code cannot be instrumented
-                handler = _HANDLERS.get(instr.op)
+                handler = instr.handler
                 if handler is None:
-                    break
+                    handler = _HANDLERS.get(instr.op)
+                    if handler is None:
+                        break
+                    instr.handler = handler
                 self._mem_addr = None
                 self._taken = False
                 try:
@@ -185,94 +201,106 @@ class Emulator:
         return instr.pc + INSTRUCTION_SIZE
 
 
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return MASK
+    sa, sb = _s32(a), _s32(b)
+    if sa == -INT_MIN and sb == -1:
+        return INT_MIN
+    q = abs(sa) // abs(sb)
+    return q if (sa < 0) == (sb < 0) else -q
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = _s32(a), _s32(b)
+    if sa == -INT_MIN and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    return r if sa >= 0 else -r
+
+
 def _build_handlers() -> Dict[str, Callable]:
-    """Construct the opcode -> handler table."""
+    """Construct the opcode -> handler table.
+
+    The integer ALU and branch handlers — the bulk of any dynamic
+    instruction mix — are generated from source templates with the operator
+    expression inlined, so executing one costs a single flat function call
+    (no wrapper-around-lambda double dispatch).
+    """
     h: Dict[str, Callable] = {}
+    ns = {"MASK": MASK, "INT_MIN": INT_MIN, "_s32": _s32,
+          "_div": _div, "_rem": _rem,
+          "INSTRUCTION_SIZE": INSTRUCTION_SIZE}
 
-    def alu(op):
-        def deco(fn):
-            def run(emu, ins):
-                x = emu.state.x
-                value = fn(x[ins.rs1], x[ins.rs2]) & MASK
-                if ins.rd:
-                    x[ins.rd] = value
-                return ins.pc + INSTRUCTION_SIZE
-            h[op] = run
-            return fn
-        return deco
+    def gen(op, template, **subst):
+        code = template.format(**subst)
+        exec(compile(code, f"<handler:{op}>", "exec"), ns)
+        h[op] = ns.pop("run")
 
-    def alui(op):
-        def deco(fn):
-            def run(emu, ins):
-                x = emu.state.x
-                value = fn(x[ins.rs1], ins.imm) & MASK
-                if ins.rd:
-                    x[ins.rd] = value
-                return ins.pc + INSTRUCTION_SIZE
-            h[op] = run
-            return fn
-        return deco
+    ALU = ("def run(emu, ins):\n"
+           "    x = emu.x\n"
+           "    a = x[ins.rs1]; b = x[ins.rs2]\n"
+           "    value = ({expr}) & MASK\n"
+           "    if ins.rd:\n"
+           "        x[ins.rd] = value\n"
+           "    return ins.pc + INSTRUCTION_SIZE\n")
+    ALUI = ("def run(emu, ins):\n"
+            "    x = emu.x\n"
+            "    a = x[ins.rs1]; i = ins.imm\n"
+            "    value = ({expr}) & MASK\n"
+            "    if ins.rd:\n"
+            "        x[ins.rd] = value\n"
+            "    return ins.pc + INSTRUCTION_SIZE\n")
+
+    def alu(op, expr):
+        gen(op, ALU, expr=expr)
+
+    def alui(op, expr):
+        gen(op, ALUI, expr=expr)
 
     # Register-register ALU.
-    alu("add")(lambda a, b: a + b)
-    alu("sub")(lambda a, b: a - b)
-    alu("and")(lambda a, b: a & b)
-    alu("or")(lambda a, b: a | b)
-    alu("xor")(lambda a, b: a ^ b)
-    alu("sll")(lambda a, b: a << (b & 31))
-    alu("srl")(lambda a, b: a >> (b & 31))
-    alu("sra")(lambda a, b: _s32(a) >> (b & 31))
-    alu("slt")(lambda a, b: int(_s32(a) < _s32(b)))
-    alu("sltu")(lambda a, b: int(a < b))
-    alu("min")(lambda a, b: a if _s32(a) < _s32(b) else b)
-    alu("max")(lambda a, b: a if _s32(a) > _s32(b) else b)
-    alu("mul")(lambda a, b: a * b)
-    alu("mulh")(lambda a, b: (_s32(a) * _s32(b)) >> 32)
-
-    def _div(a, b):
-        if b == 0:
-            return MASK
-        sa, sb = _s32(a), _s32(b)
-        if sa == -INT_MIN and sb == -1:
-            return INT_MIN
-        q = abs(sa) // abs(sb)
-        return q if (sa < 0) == (sb < 0) else -q
-
-    def _rem(a, b):
-        if b == 0:
-            return a
-        sa, sb = _s32(a), _s32(b)
-        if sa == -INT_MIN and sb == -1:
-            return 0
-        r = abs(sa) % abs(sb)
-        return r if sa >= 0 else -r
-
-    alu("div")(_div)
-    alu("rem")(_rem)
-    alu("divu")(lambda a, b: MASK if b == 0 else a // b)
-    alu("remu")(lambda a, b: a if b == 0 else a % b)
+    alu("add", "a + b")
+    alu("sub", "a - b")
+    alu("and", "a & b")
+    alu("or", "a | b")
+    alu("xor", "a ^ b")
+    alu("sll", "a << (b & 31)")
+    alu("srl", "a >> (b & 31)")
+    alu("sra", "_s32(a) >> (b & 31)")
+    alu("slt", "int(_s32(a) < _s32(b))")
+    alu("sltu", "int(a < b)")
+    alu("min", "a if _s32(a) < _s32(b) else b")
+    alu("max", "a if _s32(a) > _s32(b) else b")
+    alu("mul", "a * b")
+    alu("mulh", "(_s32(a) * _s32(b)) >> 32")
+    alu("div", "_div(a, b)")
+    alu("rem", "_rem(a, b)")
+    alu("divu", "MASK if b == 0 else a // b")
+    alu("remu", "a if b == 0 else a % b")
 
     # Immediate ALU.
-    alui("addi")(lambda a, i: a + i)
-    alui("andi")(lambda a, i: a & (i & MASK))
-    alui("ori")(lambda a, i: a | (i & MASK))
-    alui("xori")(lambda a, i: a ^ (i & MASK))
-    alui("slli")(lambda a, i: a << (i & 31))
-    alui("srli")(lambda a, i: a >> (i & 31))
-    alui("srai")(lambda a, i: _s32(a) >> (i & 31))
-    alui("slti")(lambda a, i: int(_s32(a) < i))
-    alui("sltiu")(lambda a, i: int(a < (i & MASK)))
+    alui("addi", "a + i")
+    alui("andi", "a & (i & MASK)")
+    alui("ori", "a | (i & MASK)")
+    alui("xori", "a ^ (i & MASK)")
+    alui("slli", "a << (i & 31)")
+    alui("srli", "a >> (i & 31)")
+    alui("srai", "_s32(a) >> (i & 31)")
+    alui("slti", "int(_s32(a) < i)")
+    alui("sltiu", "int(a < (i & MASK))")
 
     def _li(emu, ins):
         if ins.rd:
-            emu.state.x[ins.rd] = ins.imm & MASK
+            emu.x[ins.rd] = ins.imm & MASK
         return ins.pc + INSTRUCTION_SIZE
     h["li"] = _li
 
     # Floating point (internal FP indices are rs-32 within state.f).
     def fp(op, fn):
         def run(emu, ins):
-            f = emu.state.f
+            f = emu.f
             f[ins.rd - 32] = fn(f[ins.rs1 - 32], f[ins.rs2 - 32])
             return ins.pc + INSTRUCTION_SIZE
         h[op] = run
@@ -284,14 +312,14 @@ def _build_handlers() -> Dict[str, Callable]:
     fp("fmax", max)
 
     def _fdiv(emu, ins):
-        f = emu.state.f
+        f = emu.f
         b = f[ins.rs2 - 32]
         f[ins.rd - 32] = f[ins.rs1 - 32] / b if b != 0.0 else float("inf")
         return ins.pc + INSTRUCTION_SIZE
     h["fdiv"] = _fdiv
 
     def _fsqrt(emu, ins):
-        f = emu.state.f
+        f = emu.f
         value = f[ins.rs1 - 32]
         f[ins.rd - 32] = value ** 0.5 if value >= 0.0 else float("nan")
         return ins.pc + INSTRUCTION_SIZE
@@ -299,13 +327,13 @@ def _build_handlers() -> Dict[str, Callable]:
 
     def fp2(op, fn):
         def run(emu, ins):
-            f = emu.state.f
+            f = emu.f
             f[ins.rd - 32] = fn(f[ins.rs1 - 32])
             return ins.pc + INSTRUCTION_SIZE
         h[op] = run
 
     def _fli(emu, ins):
-        emu.state.f[ins.rd - 32] = _f32(ins.imm)
+        emu.f[ins.rd - 32] = _f32(ins.imm)
         return ins.pc + INSTRUCTION_SIZE
     h["fli"] = _fli
 
@@ -314,26 +342,26 @@ def _build_handlers() -> Dict[str, Callable]:
     fp2("fabs", abs)
 
     def _fcvt_s_w(emu, ins):
-        emu.state.f[ins.rd - 32] = float(_s32(emu.state.x[ins.rs1]))
+        emu.f[ins.rd - 32] = float(_s32(emu.x[ins.rs1]))
         return ins.pc + INSTRUCTION_SIZE
     h["fcvt.s.w"] = _fcvt_s_w
 
     def _fcvt_w_s(emu, ins):
-        value = emu.state.f[ins.rs1 - 32]
+        value = emu.f[ins.rs1 - 32]
         if value != value or value in (float("inf"), float("-inf")):
             result = 0
         else:
             result = int(value)
         if ins.rd:
-            emu.state.x[ins.rd] = result & MASK
+            emu.x[ins.rd] = result & MASK
         return ins.pc + INSTRUCTION_SIZE
     h["fcvt.w.s"] = _fcvt_w_s
 
     def fcmp(op, fn):
         def run(emu, ins):
-            f = emu.state.f
+            f = emu.f
             if ins.rd:
-                emu.state.x[ins.rd] = int(fn(f[ins.rs1 - 32],
+                emu.x[ins.rd] = int(fn(f[ins.rs1 - 32],
                                              f[ins.rs2 - 32]))
             return ins.pc + INSTRUCTION_SIZE
         h[op] = run
@@ -344,103 +372,105 @@ def _build_handlers() -> Dict[str, Callable]:
 
     # Memory.
     def _lw(emu, ins):
-        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        addr = (emu.x[ins.rs1] + ins.imm) & MASK
         emu._mem_addr = addr
         if ins.rd:
-            emu.state.x[ins.rd] = emu.memory.load_word(addr)
+            emu.x[ins.rd] = emu.memory.load_word(addr)
         else:
             emu.memory.load_word(addr)
         return ins.pc + INSTRUCTION_SIZE
     h["lw"] = _lw
 
     def _lb(emu, ins):
-        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        addr = (emu.x[ins.rs1] + ins.imm) & MASK
         emu._mem_addr = addr
         value = emu.memory.load_byte(addr)
         if value & 0x80:
             value |= 0xFFFFFF00
         if ins.rd:
-            emu.state.x[ins.rd] = value
+            emu.x[ins.rd] = value
         return ins.pc + INSTRUCTION_SIZE
     h["lb"] = _lb
 
     def _lbu(emu, ins):
-        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        addr = (emu.x[ins.rs1] + ins.imm) & MASK
         emu._mem_addr = addr
         if ins.rd:
-            emu.state.x[ins.rd] = emu.memory.load_byte(addr)
+            emu.x[ins.rd] = emu.memory.load_byte(addr)
         return ins.pc + INSTRUCTION_SIZE
     h["lbu"] = _lbu
 
     def _flw(emu, ins):
-        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        addr = (emu.x[ins.rs1] + ins.imm) & MASK
         emu._mem_addr = addr
         bits = emu.memory.load_word(addr)
-        emu.state.f[ins.rd - 32] = struct.unpack(
+        emu.f[ins.rd - 32] = struct.unpack(
             "<f", struct.pack("<I", bits))[0]
         return ins.pc + INSTRUCTION_SIZE
     h["flw"] = _flw
 
     def _sw(emu, ins):
-        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        addr = (emu.x[ins.rs1] + ins.imm) & MASK
         emu._mem_addr = addr
         if emu._suppress_side_effects:
             if addr & 3:
                 raise MemoryFault(addr)
         else:
-            emu.memory.store_word(addr, emu.state.x[ins.rs2])
+            emu.memory.store_word(addr, emu.x[ins.rs2])
         return ins.pc + INSTRUCTION_SIZE
     h["sw"] = _sw
 
     def _sb(emu, ins):
-        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        addr = (emu.x[ins.rs1] + ins.imm) & MASK
         emu._mem_addr = addr
         if not emu._suppress_side_effects:
-            emu.memory.store_byte(addr, emu.state.x[ins.rs2])
+            emu.memory.store_byte(addr, emu.x[ins.rs2])
         return ins.pc + INSTRUCTION_SIZE
     h["sb"] = _sb
 
     def _fsw(emu, ins):
-        addr = (emu.state.x[ins.rs1] + ins.imm) & MASK
+        addr = (emu.x[ins.rs1] + ins.imm) & MASK
         emu._mem_addr = addr
         if emu._suppress_side_effects:
             if addr & 3:
                 raise MemoryFault(addr)
         else:
             bits = struct.unpack(
-                "<I", struct.pack("<f", _f32(emu.state.f[ins.rs2 - 32])))[0]
+                "<I", struct.pack("<f", _f32(emu.f[ins.rs2 - 32])))[0]
             emu.memory.store_word(addr, bits)
         return ins.pc + INSTRUCTION_SIZE
     h["fsw"] = _fsw
 
     # Control flow.
-    def branch(op, fn):
-        def run(emu, ins):
-            x = emu.state.x
-            if fn(x[ins.rs1], x[ins.rs2]):
-                emu._taken = True
-                return ins.target
-            return ins.pc + INSTRUCTION_SIZE
-        h[op] = run
+    BRANCH = ("def run(emu, ins):\n"
+              "    x = emu.x\n"
+              "    a = x[ins.rs1]; b = x[ins.rs2]\n"
+              "    if {test}:\n"
+              "        emu._taken = True\n"
+              "        return ins.target\n"
+              "    return ins.pc + INSTRUCTION_SIZE\n")
 
-    branch("beq", lambda a, b: a == b)
-    branch("bne", lambda a, b: a != b)
-    branch("blt", lambda a, b: _s32(a) < _s32(b))
-    branch("bge", lambda a, b: _s32(a) >= _s32(b))
-    branch("bltu", lambda a, b: a < b)
-    branch("bgeu", lambda a, b: a >= b)
+    def branch(op, test):
+        gen(op, BRANCH, test=test)
+
+    branch("beq", "a == b")
+    branch("bne", "a != b")
+    branch("blt", "_s32(a) < _s32(b)")
+    branch("bge", "_s32(a) >= _s32(b)")
+    branch("bltu", "a < b")
+    branch("bgeu", "a >= b")
 
     def _jal(emu, ins):
         if ins.rd:
-            emu.state.x[ins.rd] = (ins.pc + INSTRUCTION_SIZE) & MASK
+            emu.x[ins.rd] = (ins.pc + INSTRUCTION_SIZE) & MASK
         emu._taken = True
         return ins.target
     h["jal"] = _jal
 
     def _jalr(emu, ins):
-        target = (emu.state.x[ins.rs1] + ins.imm) & MASK & ~1
+        target = (emu.x[ins.rs1] + ins.imm) & MASK & ~1
         if ins.rd:
-            emu.state.x[ins.rd] = (ins.pc + INSTRUCTION_SIZE) & MASK
+            emu.x[ins.rd] = (ins.pc + INSTRUCTION_SIZE) & MASK
         emu._taken = True
         return target
     h["jalr"] = _jalr

@@ -14,11 +14,11 @@ attaches the recorded trace to the branch's DynInstr.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.branch.predictors import BranchPredictorUnit
 from repro.frontend.dyninstr import DynInstr
-from repro.functional.emulator import Emulator
+from repro.functional.emulator import (_HANDLERS, EmulationFault, Emulator)
 from repro.functional.memory import Memory
 from repro.isa.program import Program
 
@@ -62,6 +62,75 @@ class FunctionalFrontend:
                       wp_trace)
         self._seq += 1
         return di
+
+    def produce_batch(self, n: int) -> List[DynInstr]:
+        """Up to ``n`` correct-path instructions in one call.
+
+        This is :meth:`produce` with the emulator's fetch/dispatch loop
+        (:meth:`Emulator.step`) unrolled into one frame — no per-instruction
+        call pair and no intermediate result tuple.  The queue uses it to
+        refill; a short return means the program exited.  Instruction
+        semantics, wrong-path emulation triggering and the produced
+        :class:`DynInstr` stream are identical to repeated ``produce()``
+        calls (the determinism goldens pin this down).
+        """
+        out: List[DynInstr] = []
+        emu = self.emulator
+        if n <= 0 or emu.halted:
+            return out
+        append = out.append
+        state = emu.state
+        instr_at = emu._instr_at
+        handlers_get = _HANDLERS.get
+        emulate_wp = self.emulate_wrong_path
+        predictor = self.predictor
+        wp_limit = self.wp_limit
+        new_di = DynInstr.__new__
+        di_cls = DynInstr
+        seq = self._seq
+        for _ in range(n):
+            pc = state.pc
+            instr = instr_at(pc)
+            if instr is None:
+                raise EmulationFault(pc, "pc outside text segment")
+            emu._mem_addr = None
+            emu._taken = False
+            handler = instr.handler
+            if handler is None:
+                handler = handlers_get(instr.op)
+                if handler is None:
+                    raise EmulationFault(
+                        pc, f"unimplemented opcode {instr.op}")
+                instr.handler = handler
+            next_pc = handler(emu, instr)
+            state.pc = next_pc
+            taken = emu._taken
+            wp_trace = None
+            if emulate_wp and instr.is_control:
+                prediction = predictor.predict_and_update(instr, taken,
+                                                          next_pc)
+                if prediction != next_pc:
+                    wp_trace = emu.emulate_wrong_path(prediction, wp_limit)
+                    self.wp_emulations += 1
+                    self.wp_instructions_emulated += len(wp_trace)
+            # DynInstr built via __new__ + slot stores: same record as
+            # DynInstr(...), minus one Python-level __init__ frame per
+            # simulated instruction.
+            di = new_di(di_cls)
+            di.seq = seq
+            di.instr = instr
+            di.pc = pc
+            di.next_pc = next_pc
+            di.taken = taken
+            di.mem_addr = emu._mem_addr
+            di.wp_trace = wp_trace
+            append(di)
+            seq += 1
+            if emu.halted:
+                break
+        emu.instret += seq - self._seq
+        self._seq = seq
+        return out
 
     @property
     def instructions_produced(self) -> int:

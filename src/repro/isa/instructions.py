@@ -152,10 +152,21 @@ class Instruction:
     can treat every listed register as a true dependence.
     ``target`` is the resolved static target address for direct control flow
     (branches and ``jal``); ``None`` for everything else.
+
+    Classification (``is_load``, ``is_control``, ...) is fixed by the opcode
+    and operands, so it is computed once here and stored as plain attributes:
+    the timing model and the wrong-path reconstructors consult these flags
+    several times per dynamic instruction, where a property call per query
+    dominates the simulator's hot path.  ``handler`` caches the functional
+    emulator's semantic function for the opcode (filled in lazily by
+    :mod:`repro.functional.emulator`; ``None`` until first execution).
     """
 
     __slots__ = ("op", "cls", "rd", "rs1", "rs2", "imm", "target", "pc",
-                 "reads", "writes", "fu")
+                 "reads", "writes", "fu",
+                 "is_load", "is_store", "is_mem", "is_branch", "is_control",
+                 "is_indirect", "is_syscall", "is_return", "is_call",
+                 "handler")
 
     def __init__(self, op: str, rd: int = ZERO, rs1: int = ZERO,
                  rs2: int = ZERO, imm: int = 0,
@@ -164,7 +175,8 @@ class Instruction:
         if spec is None:
             raise ValueError(f"unknown opcode: {op!r}")
         self.op = op
-        self.cls = spec.cls
+        cls = spec.cls
+        self.cls = cls
         self.rd = rd
         self.rs1 = rs1
         self.rs2 = rs2
@@ -172,52 +184,17 @@ class Instruction:
         self.target = target
         self.pc = 0  # assigned at program layout
         self.reads, self.writes = _reg_sets(spec, rd, rs1, rs2)
-        self.fu = _FU_BY_CLASS[spec.cls]
-
-    # -- classification helpers used throughout the simulator --------------
-
-    @property
-    def is_load(self) -> bool:
-        return self.cls is InstrClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.cls is InstrClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.cls is InstrClass.LOAD or self.cls is InstrClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        """Conditional branch (direction-predicted)."""
-        return self.cls is InstrClass.BRANCH
-
-    @property
-    def is_control(self) -> bool:
-        """Any instruction that can redirect fetch."""
-        return self.cls in (InstrClass.BRANCH, InstrClass.JUMP,
-                            InstrClass.JUMP_IND)
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.cls is InstrClass.JUMP_IND
-
-    @property
-    def is_syscall(self) -> bool:
-        return self.cls is InstrClass.SYSCALL
-
-    @property
-    def is_return(self) -> bool:
-        """``jalr x0, ra, 0`` — the return idiom, steered by the RAS."""
-        return (self.cls is InstrClass.JUMP_IND and self.rd == ZERO
-                and self.rs1 == 1 and self.imm == 0)
-
-    @property
-    def is_call(self) -> bool:
-        """``jal ra, ...`` or ``jalr ra, ...`` — pushes the RAS."""
-        return self.cls in (InstrClass.JUMP, InstrClass.JUMP_IND) \
-            and self.rd == 1
+        self.fu = _FU_BY_CLASS[cls]
+        (self.is_load, self.is_store, self.is_mem, self.is_branch,
+         self.is_control, self.is_indirect, self.is_syscall) = \
+            _CLASS_FLAGS[cls]
+        # ``jalr x0, ra, 0`` is the return idiom (steered by the RAS);
+        # ``jal ra, ...`` / ``jalr ra, ...`` are calls (push the RAS).
+        is_indirect = self.is_indirect
+        self.is_return = (is_indirect and rd == ZERO and rs1 == 1
+                          and imm == 0)
+        self.is_call = rd == 1 and (is_indirect or cls is InstrClass.JUMP)
+        self.handler = None
 
     @property
     def fall_through(self) -> int:
@@ -262,6 +239,20 @@ def _reg_sets(spec: OpSpec, rd: int, rs1: int,
     writes = tuple(w for w in writes if w != ZERO)
     return reads, writes
 
+
+#: Per-class classification flags, in ``(is_load, is_store, is_mem,
+#: is_branch, is_control, is_indirect, is_syscall)`` order — unpacked once
+#: per decoded instruction instead of being recomputed per query.
+_CLASS_FLAGS = {
+    cls: (cls is InstrClass.LOAD,
+          cls is InstrClass.STORE,
+          cls in (InstrClass.LOAD, InstrClass.STORE),
+          cls is InstrClass.BRANCH,
+          cls in (InstrClass.BRANCH, InstrClass.JUMP, InstrClass.JUMP_IND),
+          cls is InstrClass.JUMP_IND,
+          cls is InstrClass.SYSCALL)
+    for cls in InstrClass
+}
 
 #: Functional-unit group per instruction class (syscalls use an ALU port).
 _FU_BY_CLASS = {

@@ -57,7 +57,9 @@ class Program:
         self.symbols = dict(symbols or {})
         self.data = list(data or [])
         self.entry = entry if entry is not None else text_base
-        self._by_pc = {instr.pc: instr for instr in instructions}
+        #: pc -> instruction map; exposed so per-instruction consumers
+        #: (the functional emulator) can bind ``pc_index.get`` directly.
+        self.pc_index = {instr.pc: instr for instr in instructions}
 
     @property
     def text_end(self) -> int:
@@ -66,7 +68,7 @@ class Program:
     def instruction_at(self, pc: int) -> Optional[Instruction]:
         """The static instruction at byte address ``pc`` (None if outside
         the text segment)."""
-        return self._by_pc.get(pc)
+        return self.pc_index.get(pc)
 
     def symbol(self, name: str) -> int:
         try:

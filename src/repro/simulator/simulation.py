@@ -200,18 +200,25 @@ class Simulator:
             emulate_wrong_path=emulate_wp,
             predictor=self._make_bpu() if emulate_wp else None,
             wp_limit=cfg.rob_size + cfg.wp_frontend_buffer)
-        queue = RunaheadQueue(frontend.produce, depth=self.queue_depth)
+        queue = RunaheadQueue(frontend.produce, depth=self.queue_depth,
+                              batch_producer=frontend.produce_batch)
         hierarchy = CacheHierarchy.from_config(cfg)
         core = OoOCore(cfg, hierarchy, timing_bpu, wp_model, queue=queue)
 
+        # Consume the queue in refill-sized batches: ``prepare()`` compacts
+        # and refills, ``process_batch`` walks the buffer directly.  Same
+        # instruction-by-instruction semantics as pop()/process(), without
+        # two function calls per simulated instruction.
         processed = 0
         limit = self.max_instructions
+        process_batch = core.process_batch
         while limit is None or processed < limit:
-            di = queue.pop()
-            if di is None:
+            available = queue.prepare()
+            if available == 0:
                 break
-            core.process(di)
-            processed += 1
+            if limit is not None and available > limit - processed:
+                available = limit - processed
+            processed += process_batch(queue, available)
         stats = core.finalize()
 
         wall = time.perf_counter() - start

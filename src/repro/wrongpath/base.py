@@ -17,6 +17,16 @@ stream and its memory addresses:
 * ``instrec``   — code-cache reconstruction, no addresses,
 * ``conv``      — code-cache reconstruction + convergence-recovered addresses,
 * ``wpemul``    — the functionally emulated trace with all addresses.
+
+Wrong-path replay is the simulator's dominant cost for branchy workloads
+(every mispredict window re-walks hundreds of instructions), so both
+functions here are written for the hot path: reconstruction stitches
+memoized straight-line blocks out of the code cache (see
+:meth:`repro.frontend.code_cache.CodeCache.block`) instead of looking up
+pc-by-pc, and the stream executor keeps its counters and the window-local
+fetch allocator in locals, flushing to :class:`CoreStats` once per window.
+Both are cycle- and stat-identical to the straightforward per-instruction
+formulation they replaced.
 """
 
 from __future__ import annotations
@@ -25,12 +35,19 @@ import abc
 from typing import Iterable, List, Optional
 
 from repro.core.ooo import OoOCore, WrongPathWindow
-from repro.core.resources import SlotAllocator
-from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+from repro.frontend.code_cache import (BLOCK_CONTROL, BLOCK_MISS,
+                                       BLOCK_SYSCALL)
+from repro.isa.instructions import Instruction
 
 
 class WPItem:
-    """One wrong-path instruction as fed to the pipeline executor."""
+    """One wrong-path instruction as fed to the pipeline executor.
+
+    Any object with ``instr``/``pc``/``mem_addr`` attributes works (the
+    wpemul model feeds :class:`~repro.functional.emulator.WrongPathRecord`
+    directly); this class is the minimal carrier the reconstruction
+    techniques use.
+    """
 
     __slots__ = ("instr", "pc", "mem_addr")
 
@@ -68,33 +85,49 @@ def reconstruct_from_code_cache(core: OoOCore, start_pc: int,
 
     Stops at the first address missing from the code cache, when an
     indirect target cannot be predicted, or after ``limit`` instructions.
+    The walk consumes memoized straight-line blocks; stop-condition stats
+    are charged exactly as the per-pc walk would charge them (a miss or a
+    failed peek only counts when it falls inside ``limit``).
     """
     items: List[WPItem] = []
-    pc = start_pc
-    lookup = core.code_cache.lookup
-    spec = core.bpu.speculative_state()
+    append = items.append
+    block = core.code_cache.block
+    bpu = core.bpu
+    peek = bpu.peek_next
+    spec = bpu.speculative_state()
     stats = core.stats
-    for _ in range(limit):
-        instr = lookup(pc)
-        if instr is None:
-            stats.wp_stop_code_cache += 1
-            break
-        items.append(WPItem(instr, pc))
-        if instr.is_control:
-            next_pc = core.bpu.peek_next(instr, spec)
+    pc = start_pc
+    n = 0
+    while n < limit:
+        instrs, stop = block(pc)
+        room = limit - n
+        if len(instrs) > room:
+            for instr in instrs[:room]:
+                append(WPItem(instr, instr.pc))
+            break  # window budget exhausted mid-block
+        for instr in instrs:
+            append(WPItem(instr, instr.pc))
+        n += len(instrs)
+        if stop is BLOCK_CONTROL:
+            # The peek runs even when the budget is now exhausted — the
+            # per-pc walk peeked in the same iteration it fetched the
+            # control instruction, and may record a prediction stop.
+            next_pc = peek(instrs[-1], spec)
             if next_pc is None:
                 stats.wp_stop_prediction += 1
                 break
             pc = next_pc
-        elif instr.is_syscall:
+        elif stop is BLOCK_SYSCALL:
             break
-        else:
-            pc += INSTRUCTION_SIZE
+        else:  # BLOCK_MISS
+            if n < limit:
+                stats.wp_stop_code_cache += 1
+            break
     return items
 
 
 def simulate_wrong_path_stream(window: WrongPathWindow,
-                               items: Iterable[WPItem]) -> int:
+                               items: Iterable) -> int:
     """Run wrong-path instructions through the pipeline inside the window.
 
     Returns the number of wrong-path instructions *fetched*; updates the
@@ -108,56 +141,76 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
     cfg = core.cfg
     stats = core.stats
     hierarchy = core.hierarchy
+    l1i_access = hierarchy.l1i.access   # access_instr minus the hop
+    access_data = hierarchy.access_data
+    l1d_contains = hierarchy.l1d.contains
     ports = core.ports
+    port_bind = ports.bind
     resolution = window.resolution
+    max_instructions = window.max_instructions
+    regready = core.regready
+    line_shift = core._line_shift
+    fetch_width = cfg.fetch_width
+    frontend_depth_1 = cfg.frontend_depth + 1
+    l1i_latency = cfg.l1i_latency
+    l1d_latency = cfg.l1d_latency
+    store_latency = cfg.store_latency
 
     snapshot = ports.snapshot()
-    fetch = SlotAllocator(cfg.fetch_width)
-    fetch.restart_at(window.start)
+    # Window-local fetch allocator (SlotAllocator semantics, kept in
+    # locals: restart at window.start, then allocate(0) per instruction).
+    fetch_cycle = window.start if window.start > 0 else 0
+    fetch_used = 0
     wp_ready = {}
+    wp_get = wp_ready.get
     cur_line = -1
-    line_shift = core._line_shift
     fetched = 0
     executed = 0
+    wp_loads = wp_stores = wp_mem_ops = 0
+    wp_loads_with_addr = wp_addr_recovered = 0
     # Outstanding wrong-path fills (completion cycles); bounded by the L1D
     # fill buffers so the wrong path cannot prefetch arbitrarily deep.
     mshrs = []
     mshr_cap = cfg.mshr_entries
 
     for item in items:
-        if fetched >= window.max_instructions:
+        if fetched >= max_instructions:
             break
         pc = item.pc
         line = pc >> line_shift
         if line != cur_line:
             cur_line = line
-            latency = hierarchy.access_instr(pc, wrong_path=True)
-            penalty = latency - cfg.l1i_latency
+            penalty = l1i_access(pc, False, True) - l1i_latency
             if penalty > 0:
-                fetch.restart_at(fetch.cycle + penalty)
-        fetch_c = fetch.allocate(0)
+                fetch_cycle += penalty   # restart_at(cycle + penalty)
+                fetch_used = 0
+        fetch_c = fetch_cycle            # allocate(0)
+        fetch_used += 1
+        if fetch_used >= fetch_width:
+            fetch_cycle = fetch_c + 1
+            fetch_used = 0
         if fetch_c >= resolution:
             break  # squashed before it could be fetched
         fetched += 1
 
         instr = item.instr
-        ready = fetch_c + cfg.frontend_depth + 1
-        regready = core.regready
+        ready = fetch_c + frontend_depth_1
         for reg in instr.reads:
-            t = wp_ready.get(reg)
+            t = wp_get(reg)
             if t is None:
                 t = regready[reg]
             if t > ready:
                 ready = t
-        issue_c = ports.issue(instr.fu, ready)
+        issue, fu_latency = port_bind[instr.fu]
+        issue_c = issue(ready)
 
         if instr.is_load:
-            stats.wp_loads += 1
-            stats.wp_mem_ops += 1
-            if item.mem_addr is not None:
-                stats.wp_loads_with_addr += 1
-                stats.wp_addr_recovered += 1
-                addr = item.mem_addr
+            wp_loads += 1
+            wp_mem_ops += 1
+            addr = item.mem_addr
+            if addr is not None:
+                wp_loads_with_addr += 1
+                wp_addr_recovered += 1
                 if issue_c >= resolution:
                     # Operands became ready only after the squash: the load
                     # never issues, so it must not touch the cache.  This is
@@ -166,9 +219,8 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
                     for reg in instr.writes:
                         wp_ready[reg] = resolution + 1
                     continue
-                if hierarchy.l1d.contains(addr):
-                    latency = hierarchy.access_data(addr, False, pc=pc,
-                                                    wrong_path=True)
+                if l1d_contains(addr):
+                    latency = access_data(addr, False, pc, True)
                 else:
                     # A fill needs an MSHR; recycle the earliest one once
                     # the buffer is full, or drop the access if no MSHR
@@ -184,21 +236,20 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
                         mshrs.remove(earliest)
                         if earliest > issue_c:
                             issue_c = earliest
-                    latency = hierarchy.access_data(addr, False, pc=pc,
-                                                    wrong_path=True)
+                    latency = access_data(addr, False, pc, True)
                     mshrs.append(issue_c + latency)
             else:
-                latency = cfg.l1d_latency  # optimistic: modeled as a hit
+                latency = l1d_latency  # optimistic: modeled as a hit
             complete = issue_c + latency
         elif instr.is_store:
-            stats.wp_stores += 1
-            stats.wp_mem_ops += 1
+            wp_stores += 1
+            wp_mem_ops += 1
             if item.mem_addr is not None:
-                stats.wp_addr_recovered += 1
+                wp_addr_recovered += 1
             # Wrong-path stores never commit and never touch the cache.
-            complete = issue_c + cfg.store_latency
+            complete = issue_c + store_latency
         else:
-            complete = issue_c + ports.latency[instr.fu]
+            complete = issue_c + fu_latency
 
         for reg in instr.writes:
             wp_ready[reg] = complete
@@ -208,4 +259,9 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
     ports.restore(snapshot)
     stats.wp_fetched += fetched
     stats.wp_executed += executed
+    stats.wp_loads += wp_loads
+    stats.wp_stores += wp_stores
+    stats.wp_mem_ops += wp_mem_ops
+    stats.wp_loads_with_addr += wp_loads_with_addr
+    stats.wp_addr_recovered += wp_addr_recovered
     return fetched

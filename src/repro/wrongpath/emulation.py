@@ -18,8 +18,7 @@ by an integration test).
 from __future__ import annotations
 
 from repro.core.ooo import WrongPathWindow
-from repro.wrongpath.base import (WPItem, WrongPathModel,
-                                  simulate_wrong_path_stream)
+from repro.wrongpath.base import WrongPathModel, simulate_wrong_path_stream
 
 
 class WrongPathEmulation(WrongPathModel):
@@ -35,5 +34,6 @@ class WrongPathEmulation(WrongPathModel):
             # the wrong path was empty): fall back to halting fetch.
             core.stats.wp_trace_missing += 1
             return
-        items = [WPItem(rec.instr, rec.pc, rec.mem_addr) for rec in trace]
-        simulate_wrong_path_stream(window, items)
+        # WrongPathRecord carries instr/pc/mem_addr and the stream executor
+        # never mutates its items, so the trace is consumed as-is.
+        simulate_wrong_path_stream(window, trace)

@@ -1,0 +1,69 @@
+"""End-to-end determinism goldens.
+
+The hot-path optimizations (batch pipeline, memoized code-cache blocks,
+flat instruction handlers, inlined port issue) are only admissible if
+they are *bit-identical* rewrites: every statistic the simulator reports
+must match what the unoptimized reference produced.  This test pins the
+full :meth:`SimulationResult.to_dict` payload — cycles, IPC, cache and
+predictor stats, wrong-path accounting — for two representative
+workloads under all four techniques against committed SHA-256 digests.
+
+If an intentional modeling change alters these numbers, regenerate the
+digests (see ``tests/data/determinism_golden.json``) in the same commit
+and say why in the commit message; an *unintentional* mismatch here
+means a performance change broke simulation semantics.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.simulator.simulation import ALL_TECHNIQUES, Simulator
+from repro.workloads import build_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "determinism_golden.json")
+WORKLOADS = ("gap.bfs", "spec.int.xz_like")
+MAX_INSTRUCTIONS = 30000
+
+
+def _digest(result_dict: dict) -> str:
+    result_dict = dict(result_dict)
+    result_dict.pop("wall_seconds")  # host timing is not deterministic
+    blob = json.dumps(result_dict, sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: build_workload(name, scale="small", check=False)
+            for name in WORKLOADS}
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+def test_simulation_matches_golden_digest(workload, technique, goldens,
+                                          programs):
+    key = f"{workload}/{technique}"
+    assert key in goldens, f"no committed digest for {key}"
+    wl = programs[workload]
+    result = Simulator(wl.program, technique=technique,
+                       max_instructions=MAX_INSTRUCTIONS,
+                       name=wl.name).run()
+    assert _digest(result.to_dict()) == goldens[key], (
+        f"{key}: simulation output diverged from the committed golden — "
+        "a hot-path change altered observable semantics")
+
+
+def test_golden_file_covers_all_configs(goldens):
+    expected = {f"{w}/{t}" for w in WORKLOADS for t in ALL_TECHNIQUES}
+    assert set(goldens) == expected

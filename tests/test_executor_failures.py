@@ -1,0 +1,175 @@
+"""Regression tests for the executor's pool-mode failure handling.
+
+Three bugs are pinned down here, each exercised against fakes built on
+real :class:`concurrent.futures.Future` objects (so cancellation
+semantics — ``cancel()`` is a no-op on a RUNNING future — are the real
+thing, without spawning processes):
+
+1. Per-job wall time: a pool job's ``wall_seconds`` must be measured
+   from *its own attempt's* start, not the batch start — two jobs that
+   finish at different times must not both report the batch wall.
+2. Timeout of a running attempt: ``Future.cancel()`` cannot stop a
+   running worker, so the executor must replace the pool, journal the
+   abandoned attempt, and carry the surviving in-flight jobs over.
+3. Attempt accounting across the serial fallback: attempts consumed in
+   the pool before it broke must count against the retry budget when
+   the leftover jobs re-run serially.
+"""
+
+import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.engine import ExperimentEngine, RunJournal, SimJob
+from repro.engine.executor import _execute_payload
+
+
+def _job(workload="gap.bfs", technique="nowp"):
+    return SimJob(workload=workload, technique=technique, scale="tiny",
+                  max_instructions=2000)
+
+
+class FakePool:
+    """Pool stand-in: hands out real (pending) futures, records calls."""
+
+    def __init__(self):
+        self.submitted = []
+        self.shutdowns = []
+
+    def submit(self, fn, payload):
+        future = Future()
+        self.submitted.append((future, payload))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdowns.append((wait, cancel_futures))
+
+
+class BreakingPool(FakePool):
+    """First submitted future fails with BrokenProcessPool."""
+
+    def submit(self, fn, payload):
+        future = super().submit(fn, payload)
+        if len(self.submitted) == 1:
+            future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+
+class TestPerJobWallTime:
+    def test_pool_jobs_report_their_own_wall_not_batch_wall(self):
+        """Two futures harvested in one wait cycle, one submitted ~5s
+        before the other: the early one must report ~5s, the late one
+        near zero — under the old code both reported time-since-batch."""
+        engine = ExperimentEngine(jobs=2)
+        payload = _execute_payload(_job().to_dict())
+        slow, fast = Future(), Future()
+        slow.set_result(payload)
+        fast.set_result(payload)
+        now = time.perf_counter()
+        outcomes = [None, None]
+        in_flight = {slow: (0, _job(), 1, now - 5.0),
+                     fast: (1, _job(), 1, now - 0.01)}
+        pool = FakePool()
+        assert engine._collect(pool, in_flight, outcomes) is pool
+        assert not in_flight
+        assert outcomes[0].status == "ok" and outcomes[1].status == "ok"
+        assert outcomes[0].wall_seconds > 4.0
+        assert outcomes[1].wall_seconds < 1.0
+
+
+class TestRunningFutureTimeout:
+    def test_running_expired_attempt_replaces_pool(self, tmp_path,
+                                                   monkeypatch):
+        """An expired future in RUNNING state (cancel() returns False)
+        must: journal the abandonment, build a fresh pool via the
+        factory seam, resubmit the surviving job with its attempt count
+        intact, and fail/retry the expired job from the *new* pool."""
+        journal = RunJournal(str(tmp_path / "journal.jsonl"))
+        engine = ExperimentEngine(journal=journal, jobs=2, timeout=0.5,
+                                  retries=0)
+        made = []
+
+        def make_pool(workers):
+            made.append(FakePool())
+            return made[-1]
+
+        monkeypatch.setattr(engine, "_make_pool", make_pool)
+
+        expired_job, survivor_job = _job(), _job(technique="conv")
+        running = Future()
+        assert running.set_running_or_notify_cancel()  # now un-cancellable
+        survivor = Future()
+        now = time.perf_counter()
+        outcomes = [None, None]
+        in_flight = {running: (0, expired_job, 1, now - 10.0),
+                     survivor: (1, survivor_job, 1, now)}
+        old_pool = FakePool()
+        new_pool = engine._collect(old_pool, in_flight, outcomes)
+
+        assert len(made) == 1 and new_pool is made[0]
+        assert old_pool.shutdowns == [(False, True)]
+        # Survivor moved to the new pool, attempt count preserved.
+        assert len(new_pool.submitted) == 1
+        (moved_future, moved_payload), = new_pool.submitted
+        assert moved_payload == survivor_job.to_dict()
+        assert in_flight[moved_future][1] is survivor_job
+        assert in_flight[moved_future][2] == 1
+        # The expired attempt: out of retries, failed with a timeout.
+        assert outcomes[0].status == "failed"
+        assert "timeout" in outcomes[0].error
+        # Abandonment is journaled.
+        abandoned = [e for e in journal.entries()
+                     if e["status"] == "abandoned"]
+        assert len(abandoned) == 1
+        assert abandoned[0]["job"] == expired_job.label
+        assert "abandoned" in abandoned[0]["error"]
+
+    def test_pending_expired_attempt_keeps_pool(self):
+        """A queued (never-started) expired future cancels cleanly: no
+        pool replacement, straight to retry/fail."""
+        engine = ExperimentEngine(jobs=2, timeout=0.5, retries=0)
+        pending = Future()
+        live = Future()
+        now = time.perf_counter()
+        outcomes = [None, None]
+        in_flight = {pending: (0, _job(), 1, now - 10.0),
+                     live: (1, _job(), 1, now)}
+        pool = FakePool()
+        assert engine._collect(pool, in_flight, outcomes) is pool
+        assert pool.shutdowns == []
+        assert outcomes[0].status == "failed"
+        assert list(in_flight) == [live]
+
+
+class TestSerialFallbackAttempts:
+    def test_broken_pool_attempts_carry_into_serial(self, monkeypatch):
+        """Pool breaks during attempt 1: the serial rerun is attempt 2,
+        not a fresh attempt 1 — the budget is shared across paths."""
+        engine = ExperimentEngine(jobs=2, retries=1)
+        monkeypatch.setattr(engine, "_make_pool",
+                            lambda workers: BreakingPool())
+        outcomes = engine.run([_job(), _job(technique="conv")])
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        assert [o.attempts for o in outcomes] == [2, 2]
+
+    def test_exhausted_budget_fails_without_serial_attempt(self,
+                                                           monkeypatch):
+        """retries=0 and the pooled attempt died with the pool: the
+        serial fallback has no budget left and must fail the job rather
+        than run it a second time."""
+        engine = ExperimentEngine(jobs=2, retries=0)
+        monkeypatch.setattr(engine, "_make_pool",
+                            lambda workers: BreakingPool())
+        runs = []
+        original = SimJob.run
+
+        def counting_run(self):
+            runs.append(self.label)
+            return original(self)
+
+        monkeypatch.setattr(SimJob, "run", counting_run)
+        outcomes = engine.run([_job(), _job(technique="conv")])
+        assert [o.status for o in outcomes] == ["failed", "failed"]
+        assert [o.attempts for o in outcomes] == [1, 1]
+        assert all("pool" in o.error for o in outcomes)
+        assert runs == []  # no second execution of a consumed budget
