@@ -30,16 +30,17 @@ from repro.simulator.simulation import (ALL_TECHNIQUES, SimulationResult,
 
 __version__ = "1.1.0"
 
-#: Engine symbols resolved lazily (PEP 562) so ``import repro`` stays
-#: light and free of the workload-registry import.
+#: Engine/observability symbols resolved lazily (PEP 562) so ``import
+#: repro`` stays light and free of the workload-registry import.
 _ENGINE_EXPORTS = ("ExperimentEngine", "JobOutcome", "SimJob",
                    "ResultStore", "RunJournal", "expand_grid")
+_OBS_EXPORTS = ("Observability", "WrongPathTracer", "MetricsRegistry")
 
 __all__ = [
     "CoreConfig", "assemble", "Program", "TechniqueComparison",
     "compare_techniques", "compare_workload", "ALL_TECHNIQUES",
     "SimulationResult", "Simulator", "TECHNIQUES", "simulate",
-    "__version__", *_ENGINE_EXPORTS,
+    "__version__", *_ENGINE_EXPORTS, *_OBS_EXPORTS,
 ]
 
 
@@ -47,4 +48,7 @@ def __getattr__(name):
     if name in _ENGINE_EXPORTS:
         import repro.engine
         return getattr(repro.engine, name)
+    if name in _OBS_EXPORTS:
+        import repro.obs
+        return getattr(repro.obs, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

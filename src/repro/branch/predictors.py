@@ -331,3 +331,14 @@ class BranchPredictorUnit:
         if instructions <= 0:
             return 0.0
         return 1000.0 * self.mispredicts / instructions
+
+    def publish_metrics(self, registry) -> None:
+        """Export prediction counters into an observability
+        :class:`~repro.obs.metrics.MetricsRegistry` (duck-typed; called
+        once at finalize, never on the prediction path)."""
+        counter = registry.counter
+        counter("predictor", "cond_count").add(self.cond_count)
+        counter("predictor", "cond_mispredicts").add(self.cond_mispredicts)
+        counter("predictor", "indirect_count").add(self.indirect_count)
+        counter("predictor", "indirect_mispredicts") \
+            .add(self.indirect_mispredicts)

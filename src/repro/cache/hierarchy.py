@@ -117,3 +117,25 @@ class CacheHierarchy:
                      "misses": self.dtlb.misses,
                      "miss_rate": self.dtlb.miss_rate},
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Export per-level counters into an observability
+        :class:`~repro.obs.metrics.MetricsRegistry` (duck-typed to avoid
+        a package cycle).  Called once at finalize — the access paths
+        above never touch the registry."""
+        for cache in (self.l1i, self.l1d, self.l2, self.llc):
+            stats = cache.stats
+            component = f"cache.{cache.name.lower()}"
+            counter = registry.counter
+            counter(component, "accesses").add(stats.accesses)
+            counter(component, "misses").add(stats.misses)
+            counter(component, "wp_accesses").add(stats.wp_accesses)
+            counter(component, "wp_misses").add(stats.wp_misses)
+            counter(component, "writebacks").add(stats.writebacks)
+            counter(component, "prefetches").add(stats.prefetches)
+        registry.counter("cache.mem", "accesses") \
+            .add(self.memory.stats.accesses)
+        registry.counter("cache.mem", "wp_accesses") \
+            .add(self.memory.stats.wp_accesses)
+        registry.counter("cache.dtlb", "accesses").add(self.dtlb.accesses)
+        registry.counter("cache.dtlb", "misses").add(self.dtlb.misses)

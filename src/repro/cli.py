@@ -8,6 +8,8 @@
     python -m repro compare gap.sssp --jobs 4    # engine-backed, cached
     python -m repro sweep --workloads bfs,pr --techniques nowp,conv \
         --jobs 4                                 # parallel grid sweep
+    python -m repro run gap.bfs --trace traces   # + episode trace
+    python -m repro report traces                # Tables II/III from it
     python -m repro compile kernel.c -o kernel.s # minicc to assembly
 
 ``sweep`` and ``compare --jobs`` run through the experiment engine
@@ -16,13 +18,21 @@ results are cached content-addressed under ``.repro-cache/`` (override
 with ``--cache-dir`` or ``REPRO_CACHE_DIR``), so re-running a grid only
 simulates jobs whose inputs — or the repro source tree — changed.
 
-Exit status is non-zero on simulation/compilation errors so the CLI can
-be scripted.
+``--trace DIR`` (on ``run``/``compare``/``sweep``) writes one episode
+trace per simulation into ``DIR`` (:mod:`repro.obs`); ``report DIR``
+aggregates those traces — plus any engine journal — back into the
+paper's Table II/III internals.  On the engine-backed paths ``--trace``
+implies ``--refresh``: cache hits simulate nothing and so cannot trace.
+
+Exit status is non-zero on simulation/compilation errors — including
+abandoned engine attempts (stuck workers) and traces that fail the
+lossless-decomposition cross-check — so the CLI can be scripted.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -44,6 +54,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--full-config", action="store_true",
                         help="use the full-scale Table I configuration "
                              "instead of the downscaled one")
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="write per-episode wrong-path traces into "
+                             "DIR (inspect with 'repro report DIR')")
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +85,21 @@ def _make_engine(args):
                             timeout=args.timeout, retries=args.retries)
 
 
+def _warn_abandoned(engine) -> bool:
+    """Surface abandoned engine attempts (expired workers that could not
+    be cancelled).  They are journaled but easy to miss — a job can be
+    abandoned yet succeed on retry — so the CLI prints them and exits
+    nonzero.  Returns True when any attempt was abandoned."""
+    if not engine.abandoned:
+        return False
+    names = ", ".join(sorted({a["job"] for a in engine.abandoned}))
+    print(f"error: {len(engine.abandoned)} attempt(s) abandoned "
+          f"(worker stuck past timeout): {names}", file=sys.stderr)
+    if engine.journal is not None:
+        print(f"see journal: {engine.journal.path}", file=sys.stderr)
+    return True
+
+
 def _build(args) -> tuple:
     kwargs = {"scale": args.scale, "check": False}
     if args.seed is not None:
@@ -93,10 +121,15 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     workload, config = _build(args)
+    obs = None
+    if args.trace:
+        from repro.obs import Observability
+        obs = Observability(trace_dir=args.trace,
+                            label=f"{workload.name}-{args.technique}")
     result = Simulator(workload.program, config=config,
                        technique=args.technique,
                        max_instructions=args.max_instructions,
-                       name=workload.name).run()
+                       name=workload.name, obs=obs).run()
     stats = result.stats
     rows = [
         ("instructions", stats.instructions),
@@ -124,23 +157,38 @@ def cmd_run(args) -> int:
                        ["metric", "value"], rows))
     if result.output:
         print(f"\nprogram output: {result.output}")
+    if obs is not None:
+        print(f"\ntrace: {obs.episode_path} ({obs.episodes} episodes)")
     return 0
 
 
 def cmd_compare(args) -> int:
     if args.jobs is not None:
         from repro import compare_workload
-        cmp = compare_workload(
-            args.workload, scale=args.scale, seed=args.seed,
-            max_instructions=args.max_instructions,
-            base_config="full" if args.full_config else "scaled",
-            engine=_make_engine(args), fresh=args.refresh)
+        engine = _make_engine(args)
+        try:
+            cmp = compare_workload(
+                args.workload, scale=args.scale, seed=args.seed,
+                max_instructions=args.max_instructions,
+                base_config="full" if args.full_config else "scaled",
+                engine=engine,
+                # A cache hit simulates nothing, so tracing needs fresh
+                # runs to produce complete traces.
+                fresh=args.refresh or bool(args.trace),
+                trace_dir=args.trace)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            _warn_abandoned(engine)
+            return 1
+        if _warn_abandoned(engine):
+            return 1
         name = cmp.name
     else:
         workload, config = _build(args)
         cmp = compare_techniques(workload.program, config=config,
                                  max_instructions=args.max_instructions,
-                                 name=workload.name)
+                                 name=workload.name,
+                                 trace_dir=args.trace)
         name = workload.name
     rows = []
     for technique in ALL_TECHNIQUES:
@@ -152,6 +200,9 @@ def cmd_compare(args) -> int:
     print(render_table(
         f"{name}: technique comparison (error vs wpemul)",
         ["technique", "IPC", "error", "slowdown", "WP executed"], rows))
+    if args.trace:
+        print(f"\ntraces: {os.path.abspath(args.trace)} "
+              f"(inspect with 'repro report')")
     return 0
 
 
@@ -170,10 +221,15 @@ def cmd_sweep(args) -> int:
         config_points=points, scale=args.scale, seed=args.seed,
         max_instructions=args.max_instructions,
         base_config="full" if args.full_config else "scaled")
+    if args.trace:
+        for job in grid:
+            job.trace_dir = args.trace
     engine = _make_engine(args)
 
     start = time.perf_counter()
-    outcomes = engine.run(grid, fresh=args.refresh)
+    # --trace implies fresh runs: a cache hit simulates nothing and so
+    # cannot write a trace.
+    outcomes = engine.run(grid, fresh=args.refresh or bool(args.trace))
     wall = time.perf_counter() - start
 
     # wpemul is the error reference wherever the grid includes it.
@@ -218,7 +274,32 @@ def cmd_sweep(args) -> int:
     if engine.store is not None:
         print(f"cache: {engine.store.root} ({len(engine.store)} entries); "
               f"journal: {engine.journal.path}")
+    if args.trace:
+        print(f"traces: {os.path.abspath(args.trace)} "
+              f"(inspect with 'repro report')")
+    if _warn_abandoned(engine):
+        return 1
     return 1 if summary["failed"] else 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs import build_report, render_report
+    if not os.path.isdir(args.trace_dir):
+        print(f"error: no such trace directory: {args.trace_dir}",
+              file=sys.stderr)
+        return 1
+    report = build_report(args.trace_dir, journal_path=args.journal,
+                          workload=args.workload)
+    if not report["runs"] and not report.get("journal"):
+        print(f"error: no run manifests (*.run.json) or journal found "
+              f"in {args.trace_dir}", file=sys.stderr)
+        return 1
+    print(render_report(report, fmt=args.format))
+    if not all(r["consistent"] for r in report["runs"]):
+        print("error: episode sums do not match run aggregates "
+              "(corrupt or stale trace?)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_compile(args) -> int:
@@ -296,7 +377,34 @@ def make_parser() -> argparse.ArgumentParser:
                        help="one CoreConfig override point per flag; "
                             "repeat to add a config axis to the grid "
                             "(e.g. --set rob_size=128 --set rob_size=512)")
+    sweep.add_argument("--trace", default=None, metavar="DIR",
+                       help="write per-episode wrong-path traces into "
+                            "DIR (implies --refresh)")
     _add_engine(sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate --trace output (and engine journals) into the "
+             "paper's Table II/III wrong-path internals",
+        description="Read the episode traces in DIR (written by "
+                    "run/compare/sweep --trace DIR), cross-check that "
+                    "each trace losslessly decomposes its run's "
+                    "aggregate counters, and render Table II (WP "
+                    "instruction fractions) and Table III (convergence "
+                    "internals) from the episodes alone.  A journal "
+                    "summary is appended when DIR (or --journal) has "
+                    "one.")
+    report.add_argument("trace_dir", metavar="DIR",
+                        help="trace directory written by --trace")
+    report.add_argument("--format", default="table",
+                        choices=("table", "md", "json"),
+                        help="output format (default: table)")
+    report.add_argument("--journal", default=None, metavar="PATH",
+                        help="engine journal to summarize (default: "
+                             "DIR/journal.jsonl when present)")
+    report.add_argument("--workload", default=None, metavar="NAME",
+                        help="only report runs of this workload "
+                             "(e.g. gap.bfs)")
 
     compile_ = sub.add_parser("compile",
                               help="compile minicc source to assembly")
@@ -311,7 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "max_instructions", None) == 0:
         args.max_instructions = None    # sweep: 0 means uncapped
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "sweep": cmd_sweep, "compile": cmd_compile}
+                "sweep": cmd_sweep, "report": cmd_report,
+                "compile": cmd_compile}
     handler = handlers[args.command]
     try:
         return handler(args)

@@ -71,6 +71,11 @@ class OoOCore:
         self._cur_fetch_line = -1
         # word address -> cycle at which the store drains from the buffer
         self._store_buffer = {}
+        # Observability hook (repro.obs.Observability, attached via
+        # ``Observability.attach``).  Checked once per batch and once per
+        # mispredict — never per instruction — so the hot path is
+        # untouched when no observer is attached.
+        self._obs = None
 
         # Hot-path bindings: :meth:`process` runs once per simulated
         # instruction, so the resource objects' internals are bound here
@@ -459,6 +464,9 @@ class OoOCore:
         stats.syscalls += n_sysc
         stats.store_forwards += n_fwd
         stats.taken_redirects += n_redir
+        obs = self._obs
+        if obs is not None:
+            obs.core_batch(count)
         return count
 
     def _handle_mispredict(self, di: DynInstr, predicted_pc: int,
@@ -468,7 +476,10 @@ class OoOCore:
         window_start = fetch_c + 1
         if resolution < window_start:
             resolution = window_start
-        if self.wp_model is not None:
+        if self._obs is not None:
+            self._observe_episode(di, predicted_pc, window_start,
+                                  resolution, fetch_c)
+        elif self.wp_model is not None:
             free = cfg.rob_size - self.rob.occupancy_at(fetch_c) \
                 + cfg.wp_frontend_buffer
             if free > 0:
@@ -478,6 +489,72 @@ class OoOCore:
         # Squash, restore rename state, refetch the correct path.
         self.fetch.restart_at(resolution + cfg.mispredict_penalty)
         self._cur_fetch_line = -1
+
+    def _observe_episode(self, di: DynInstr, predicted_pc: int,
+                         window_start: int, resolution: int,
+                         fetch_c: int) -> None:
+        """Wrong-path window with episode capture: snapshot the stats
+        the wrong-path models mutate, invoke the model exactly as
+        :meth:`_handle_mispredict` would, and emit the deltas as one
+        episode record.  Every wrong-path counter mutation happens
+        inside ``on_mispredict``, so the per-episode deltas sum to the
+        run's aggregates exactly (the lossless-decomposition invariant
+        ``tests/test_obs.py`` pins); the model invocation itself is
+        bit-identical to the unobserved path.
+        """
+        obs = self._obs
+        stats = self.stats
+        h = self.hierarchy
+        levels = (("l1i", h.l1i.stats), ("l1d", h.l1d.stats),
+                  ("l2", h.l2.stats), ("llc", h.llc.stats))
+        pre = (stats.wp_fetched, stats.wp_executed, stats.wp_loads,
+               stats.wp_stores, stats.wp_mem_ops, stats.wp_addr_recovered,
+               stats.wp_stop_code_cache, stats.wp_stop_prediction,
+               stats.wp_trace_missing, stats.conv_attempts,
+               stats.conv_found, stats.conv_distance_total)
+        pre_cache = [(s.wp_accesses, s.wp_misses) for _, s in levels]
+        obs.conv_point = None
+
+        cfg = self.cfg
+        free = cfg.rob_size - self.rob.occupancy_at(fetch_c) \
+            + cfg.wp_frontend_buffer
+        if self.wp_model is not None and free > 0:
+            self.wp_model.on_mispredict(
+                WrongPathWindow(self, di, predicted_pc, window_start,
+                                resolution, free))
+
+        cache = {}
+        for (level, s), (acc0, miss0) in zip(levels, pre_cache):
+            misses = s.wp_misses - miss0
+            cache[level] = {"wp_hits": s.wp_accesses - acc0 - misses,
+                            "wp_misses": misses}
+        conv_found = stats.conv_found - pre[10]
+        obs.emit_episode({
+            "branch_pc": di.pc,
+            "branch_kind": "cond" if di.instr.is_branch else "indirect",
+            "technique": self.wp_model.name if self.wp_model is not None
+            else None,
+            "predicted_target": predicted_pc,
+            "actual_target": di.next_pc,
+            "window_start": window_start,
+            "resolution": resolution,
+            "window_limit": free if free > 0 else 0,
+            "wp_fetched": stats.wp_fetched - pre[0],
+            "wp_executed": stats.wp_executed - pre[1],
+            "wp_loads": stats.wp_loads - pre[2],
+            "wp_stores": stats.wp_stores - pre[3],
+            "wp_mem_ops": stats.wp_mem_ops - pre[4],
+            "wp_addr_recovered": stats.wp_addr_recovered - pre[5],
+            "wp_stop_code_cache": stats.wp_stop_code_cache - pre[6],
+            "wp_stop_prediction": stats.wp_stop_prediction - pre[7],
+            "wp_trace_missing": stats.wp_trace_missing - pre[8],
+            "conv_attempted": stats.conv_attempts - pre[9],
+            "conv_found": conv_found,
+            "conv_distance": (stats.conv_distance_total - pre[11])
+            if conv_found else None,
+            "conv_point": obs.conv_point,
+            "cache": cache,
+        })
 
     def finalize(self) -> CoreStats:
         """Close the run: total cycles = last retirement."""

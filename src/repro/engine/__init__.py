@@ -3,15 +3,51 @@ result cache.
 
 Every paper artifact is a grid of (workload × technique × config)
 simulations; this package turns that grid into data and executes it
-fast:
+fast.
 
-* :class:`SimJob` — one simulation as a hashable spec (job.py),
-* :class:`ExperimentEngine` — process-pool fan-out with timeout, retry
-  and serial fallback (executor.py),
-* :class:`ResultStore` — ``.repro-cache/`` content-addressed JSON blobs,
-  so unchanged jobs are never re-simulated (store.py),
-* :class:`RunJournal` — JSONL per-job observability (journal.py),
-* :func:`expand_grid` — sweep vocabulary (grid.py).
+**Job identity** (job.py).  A :class:`SimJob` is one simulation as
+plain data: workload registry name, scale and data seed, technique,
+instruction cap, and the fully resolved
+:class:`~repro.core.config.CoreConfig`.  Its :attr:`~SimJob.key` is a
+SHA-256 over that spec *plus a fingerprint of the repro source tree*
+(:func:`code_fingerprint`), so two jobs share a key only when
+re-simulating is guaranteed to reproduce the stored result
+bit-identically — any source change invalidates the whole cache
+automatically.  Non-semantic knobs (currently only
+:attr:`~SimJob.trace_dir`, the observability trace destination) are
+excluded from the key: they change what gets written beside the run,
+never the result.
+
+**Store** (store.py).  :class:`ResultStore` maps job keys to
+``SimulationResult.to_dict()`` JSON blobs under ``.repro-cache/``
+(override with ``REPRO_CACHE_DIR``), written atomically so crashed or
+concurrent runs never leave truncated entries; unreadable blobs read
+as misses.
+
+**Journal** (journal.py).  :class:`RunJournal` appends one JSONL record
+per finished job — status (``hit``/``ok``/``failed``/``abandoned``),
+attempts, wall time, host instructions/sec — to ``<cache>/
+journal.jsonl``.  It is the audit trail ``repro report`` summarizes.
+
+**Executor failure semantics** (executor.py).
+:class:`ExperimentEngine` resolves jobs against the store, then fans
+misses out over a ``ProcessPoolExecutor``:
+
+* each attempt gets a wall-clock ``timeout`` (pool mode only); an
+  expired attempt whose worker cannot be cancelled forces a *pool
+  replacement* — the stuck attempt is journaled ``"abandoned"`` and
+  recorded on :attr:`ExperimentEngine.abandoned` (the CLI exits
+  nonzero on these even when the retry later succeeds),
+* failures retry up to ``retries`` extra attempts; the budget is
+  shared with the serial fallback, so pool attempts are not granted
+  again after a fallback,
+* a broken or uncreatable pool degrades to serial in-process
+  execution instead of failing the run,
+* every job always ends with a :class:`JobOutcome`; outcomes are
+  journaled in input order.
+
+:func:`expand_grid` (grid.py) is the sweep vocabulary that builds job
+lists from workload/technique/config axes.
 
 Quickstart::
 

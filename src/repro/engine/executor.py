@@ -98,6 +98,13 @@ class ExperimentEngine:
         self.max_workers = max(1, jobs if jobs else (os.cpu_count() or 1))
         self.timeout = timeout
         self.retries = max(0, retries)
+        #: Abandoned-attempt events from the most recent :meth:`run` —
+        #: expired attempts whose worker could not be cancelled (the
+        #: journal records them as ``status="abandoned"``).  A job can
+        #: be abandoned and still succeed on retry, so callers that must
+        #: surface stuck workers (``cmd_sweep``/``cmd_compare``) check
+        #: this list rather than the outcomes.
+        self.abandoned: List[dict] = []
 
     # -- public API --------------------------------------------------------------
 
@@ -110,6 +117,7 @@ class ExperimentEngine:
         cache rather than forking from it.
         """
         jobs = list(jobs)
+        self.abandoned = []
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
 
         pending: List[tuple] = []
@@ -132,6 +140,14 @@ class ExperimentEngine:
             for idx, job, consumed in leftover:
                 outcomes[idx] = self._run_serial(job, consumed)
 
+        for idx, job in enumerate(jobs):
+            if outcomes[idx] is None:
+                # Defensive: a pool-path bug (e.g. pool replacement dying
+                # mid-flight) must surface as a failed outcome, not a
+                # None that crashes journaling.
+                outcomes[idx] = JobOutcome(
+                    job, None, "failed", 0.0, 0,
+                    "engine error: job finished without an outcome")
         for outcome in outcomes:
             self._journal(outcome)
         return outcomes  # type: ignore[return-value]
@@ -266,6 +282,8 @@ class ExperimentEngine:
         that ``cancel()`` could not stop) and move the surviving in-flight
         jobs onto a fresh pool with their attempt counts intact."""
         for idx, job, attempt, start in abandoned:
+            self.abandoned.append({
+                "job": job.label, "key": job.key, "attempts": attempt})
             if self.journal is not None:
                 self.journal.record(
                     key=job.key, job=job.label, status="abandoned",

@@ -69,6 +69,12 @@ class SimJob:
     max_instructions: Optional[int] = None
     base_config: str = "scaled"         # one of BASE_CONFIGS
     config_overrides: Dict = dataclasses.field(default_factory=dict)
+    #: Episode-trace output directory (repro.obs).  Deliberately NOT part
+    #: of :meth:`spec`/:attr:`key`: tracing is side-effect-free, so a
+    #: traced and an untraced run produce identical results and must
+    #: share a cache entry.  It does ride along in :meth:`to_dict` so
+    #: pool workers trace too.
+    trace_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.base_config not in BASE_CONFIGS:
@@ -123,6 +129,7 @@ class SimJob:
             "max_instructions": self.max_instructions,
             "base_config": self.base_config,
             "config_overrides": dict(self.config_overrides),
+            "trace_dir": self.trace_dir,
         }
 
     @classmethod
@@ -133,7 +140,9 @@ class SimJob:
 
     def run(self):
         """Build the workload and simulate it; returns a live
-        :class:`~repro.simulator.simulation.SimulationResult`."""
+        :class:`~repro.simulator.simulation.SimulationResult`.  With
+        :attr:`trace_dir` set, the run writes an episode trace labeled
+        after the job (``gap.bfs/conv`` -> ``gap.bfs-conv``)."""
         from repro.simulator.simulation import Simulator
         from repro.workloads import build_workload
         config = self.config()
@@ -142,10 +151,15 @@ class SimJob:
         if self.seed is not None:
             kwargs["seed"] = self.seed
         workload = build_workload(self.workload, **kwargs)
+        obs = None
+        if self.trace_dir is not None:
+            from repro.obs import Observability
+            obs = Observability(trace_dir=self.trace_dir,
+                                label=self.label)
         return Simulator(workload.program, config=config,
                          technique=self.technique,
                          max_instructions=self.max_instructions,
-                         name=workload.name).run()
+                         name=workload.name, obs=obs).run()
 
     def __repr__(self) -> str:
         return f"<SimJob {self.label} scale={self.scale} [{self.key[:12]}]>"

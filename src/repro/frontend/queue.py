@@ -48,6 +48,9 @@ class RunaheadQueue:
         self._head = 0
         self._exhausted = False
         self.max_occupancy = 0
+        # Observability hook (repro.obs); None-checked once per
+        # ``prepare`` call.
+        self._obs = None
 
     def _fill(self, target: int) -> None:
         """Refill until occupancy reaches ``target`` (or the producer runs
@@ -106,7 +109,10 @@ class RunaheadQueue:
             self._head = 0
         if len(self._buf) < self.depth:
             self._fill(self.depth)
-        return len(self._buf)
+        available = len(self._buf)
+        if self._obs is not None:
+            self._obs.queue_prepare(available)
+        return available
 
     def __len__(self) -> int:
         return len(self._buf) - self._head

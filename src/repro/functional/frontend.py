@@ -42,6 +42,9 @@ class FunctionalFrontend:
         self._seq = 0
         self.wp_emulations = 0
         self.wp_instructions_emulated = 0
+        # Observability hook (repro.obs); None-checked once per
+        # ``produce_batch`` call, never inside the unrolled loop.
+        self._obs = None
 
     def produce(self) -> Optional[DynInstr]:
         """One correct-path instruction, or None after program exit."""
@@ -130,6 +133,8 @@ class FunctionalFrontend:
                 break
         emu.instret += seq - self._seq
         self._seq = seq
+        if self._obs is not None:
+            self._obs.frontend_batch(len(out))
         return out
 
     @property

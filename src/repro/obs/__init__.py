@@ -1,0 +1,55 @@
+"""repro.obs — opt-in observability: episode tracing, metrics, reports.
+
+The simulator's end-of-run counter dicts answer *what happened overall*;
+this package answers *what happened in each mispredict episode* and
+turns that into the paper's internal tables:
+
+* :class:`Observability` (observe.py) — the per-run context a
+  :class:`~repro.simulator.simulation.Simulator` attaches via its
+  ``obs=`` argument; bundles the metrics registry and the tracer and
+  writes a run manifest at finalize,
+* :class:`WrongPathTracer` (trace.py) — buffered JSONL writer, one
+  structured record per wrong-path window; the trace is a *lossless
+  decomposition* of the run's aggregate wrong-path counters,
+* :class:`MetricsRegistry` / :class:`Counter` / :class:`Histogram`
+  (metrics.py) — named metrics published per component at finalize,
+* ``report.py`` — aggregates trace directories (and engine journals)
+  back into Tables II/III; the backend of ``python -m repro report``.
+
+Everything is **zero-cost when disabled**: components ship with
+``self._obs = None`` and check it once per batch-level call, never per
+instruction, so an untraced run executes the exact PR-2 hot path (see
+DESIGN.md §7 for the contract and the episode-record schema).
+
+Quickstart::
+
+    from repro.obs import Observability
+    from repro.workloads import build_workload
+    from repro import CoreConfig, Simulator
+
+    w = build_workload("gap.bfs", scale="small", check=False)
+    obs = Observability(trace_dir="traces", label="gap.bfs-conv")
+    Simulator(w.program, config=CoreConfig.scaled(), technique="conv",
+              max_instructions=30000, name=w.name, obs=obs).run()
+    # traces/gap.bfs-conv.episodes.jsonl + gap.bfs-conv.run.json
+
+or from the shell: ``python -m repro run gap.bfs --trace traces`` then
+``python -m repro report traces``.
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.observe import Observability, sanitize_label
+from repro.obs.report import (RunTrace, build_report, load_runs,
+                              render_report, summarize_journal, table2,
+                              table3)
+from repro.obs.trace import (EPISODE_FIELDS, TRACE_SCHEMA,
+                             WrongPathTracer, read_episodes,
+                             read_manifest)
+
+__all__ = [
+    "Observability", "WrongPathTracer", "MetricsRegistry", "Counter",
+    "Histogram", "RunTrace", "EPISODE_FIELDS", "TRACE_SCHEMA",
+    "build_report", "load_runs", "render_report", "summarize_journal",
+    "table2", "table3", "read_episodes", "read_manifest",
+    "sanitize_label",
+]

@@ -1,0 +1,124 @@
+"""Named metrics registry: counters and histograms keyed by component.
+
+Components (frontend, queue, OoO core, cache hierarchy, predictors)
+register metrics lazily — ``registry.counter("cache.l2", "wp_misses")``
+creates the counter on first use and returns the same object afterwards
+— so there is no central schema to keep in sync and publishing code can
+be written next to the counters it exports.
+
+The registry is *passive*: nothing in the hot simulation loop touches
+it.  Per-instruction quantities stay in the existing slotted stat
+structs (:class:`~repro.core.stats.CoreStats`,
+:class:`~repro.cache.cache.AccessStats`, the predictor-unit counters)
+and are published into the registry once, at finalize time, by each
+component's ``publish_metrics``.  Only *per-batch* quantities (batch
+sizes, queue refill depths, episode counts) are observed live, which is
+what keeps the zero-cost-when-disabled contract (see DESIGN.md §7)
+honest: hooks are ``None``-checked once per ``process_batch`` /
+``produce_batch`` / ``prepare`` call, never per instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    add = inc
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.value}>"
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Tracks count/total/min/max (mean is derived) without storing
+    samples, so observing is O(1) and the serialized form is tiny.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "min": self.min, "max": self.max}
+
+    def __repr__(self) -> str:
+        return (f"<Histogram n={self.count} mean={self.mean:.2f} "
+                f"[{self.min},{self.max}]>")
+
+
+class MetricsRegistry:
+    """Two-level map ``component -> name -> Counter | Histogram``."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Dict[str, object]] = {}
+
+    def counter(self, component: str, name: str) -> Counter:
+        return self._get(component, name, Counter)
+
+    def histogram(self, component: str, name: str) -> Histogram:
+        return self._get(component, name, Histogram)
+
+    def _get(self, component: str, name: str, cls):
+        comp = self._metrics.setdefault(component, {})
+        metric = comp.get(name)
+        if metric is None:
+            metric = comp[name] = cls()
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {component}.{name} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def components(self):
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict:
+        """JSON-safe form: counters as ints, histograms as summary dicts
+        (sorted keys for deterministic serialization)."""
+        out = {}
+        for component in sorted(self._metrics):
+            comp_out = out[component] = {}
+            for name in sorted(self._metrics[component]):
+                metric = self._metrics[component][name]
+                if isinstance(metric, Counter):
+                    comp_out[name] = metric.value
+                else:
+                    comp_out[name] = metric.as_dict()
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(comp) for comp in self._metrics.values())
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry {len(self)} metrics in "
+                f"{len(self._metrics)} components>")

@@ -1,0 +1,187 @@
+"""The :class:`Observability` facade: what a simulation attaches to.
+
+One ``Observability`` instance bundles the opt-in instrumentation for
+one simulation run:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` every component
+  publishes into,
+* optionally a :class:`~repro.obs.trace.WrongPathTracer` writing one
+  JSONL episode record per mispredict window,
+* a run manifest (``<label>.run.json``) written at finalize, carrying
+  the run's aggregate counters next to the trace so ``repro report``
+  can cross-check that the episodes decompose them losslessly.
+
+Hook contract (the zero-cost-when-disabled design, DESIGN.md §7.2):
+instrumented components hold ``self._obs = None`` by default and check
+it **once per batch-level call** — ``FunctionalFrontend.produce_batch``,
+``RunaheadQueue.prepare``, ``OoOCore.process_batch`` and
+``OoOCore._handle_mispredict`` — never inside a per-instruction loop.
+With no observer attached the only added work is one attribute load and
+``is not None`` test per batch, which is what keeps the PR-2 hot path
+and the determinism goldens untouched when tracing is off.  Observation
+itself is side-effect-free with respect to simulated state, so a traced
+run produces bit-identical results too (pinned by ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_SCHEMA, WrongPathTracer
+
+
+def sanitize_label(label: str) -> str:
+    """A filesystem-safe form of a run/job label
+    (``gap.bfs/conv`` -> ``gap.bfs-conv``)."""
+    return re.sub(r"[^\w.,=+-]+", "-", label).strip("-") or "run"
+
+
+class Observability:
+    """Per-run observability context: metrics + optional episode trace.
+
+    ``trace_dir`` enables episode tracing: episodes go to
+    ``<trace_dir>/<label>.episodes.jsonl`` and the manifest to
+    ``<trace_dir>/<label>.run.json``.  Without it the instance still
+    counts episodes and collects metrics (``keep_episodes=True``
+    additionally retains the records in memory — used by tests and
+    ad-hoc notebooks).
+    """
+
+    def __init__(self, trace_dir: Optional[str] = None,
+                 label: str = "run", keep_episodes: bool = False,
+                 buffer_records: int = 256):
+        self.label = sanitize_label(label)
+        self.trace_dir = os.path.abspath(trace_dir) if trace_dir else None
+        self.metrics = MetricsRegistry()
+        self.tracer: Optional[WrongPathTracer] = None
+        if self.trace_dir is not None:
+            self.tracer = WrongPathTracer(
+                os.path.join(self.trace_dir,
+                             f"{self.label}.episodes.jsonl"),
+                buffer_records=buffer_records)
+        self.keep_episodes = keep_episodes
+        self.records: List[dict] = []
+        self.episodes = 0
+        #: Set by the conv model (reconvergence PC) between the core's
+        #: episode-open snapshot and episode-close diff; the core resets
+        #: it before each wrong-path window.
+        self.conv_point: Optional[int] = None
+        self.summary: Optional[dict] = None
+        self._frontend = None
+        self._queue = None
+        self._core = None
+        self._hierarchy = None
+        self._bpu = None
+        self._batch_hist = self.metrics.histogram("core", "batch_size")
+        self._produce_hist = self.metrics.histogram("frontend",
+                                                    "produce_batch")
+        self._prepare_hist = self.metrics.histogram("queue",
+                                                    "prepare_available")
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, frontend=None, queue=None, core=None,
+               hierarchy=None, bpu=None) -> "Observability":
+        """Point each component's ``_obs`` hook at this instance
+        (components are duck-typed so ``repro.obs`` imports nothing from
+        the simulator packages)."""
+        if frontend is not None:
+            frontend._obs = self
+            self._frontend = frontend
+        if queue is not None:
+            queue._obs = self
+            self._queue = queue
+        if core is not None:
+            core._obs = self
+            self._core = core
+        if hierarchy is not None:
+            self._hierarchy = hierarchy
+        if bpu is not None:
+            self._bpu = bpu
+        return self
+
+    # -- live hooks (batch granularity only) -------------------------------------
+
+    def frontend_batch(self, produced: int) -> None:
+        self._produce_hist.observe(produced)
+
+    def queue_prepare(self, available: int) -> None:
+        self._prepare_hist.observe(available)
+
+    def core_batch(self, count: int) -> None:
+        self._batch_hist.observe(count)
+
+    def emit_episode(self, record: dict) -> None:
+        record["episode"] = self.episodes
+        self.episodes += 1
+        if self.tracer is not None:
+            self.tracer.emit(record)
+        if self.keep_episodes:
+            self.records.append(record)
+
+    # -- finalize ----------------------------------------------------------------
+
+    def finalize(self, result) -> dict:
+        """Publish component metrics, close the trace, write the run
+        manifest; idempotent (``Simulator.run`` calls it automatically).
+        """
+        if self.summary is not None:
+            return self.summary
+        metrics = self.metrics
+        frontend = self._frontend
+        if frontend is not None:
+            metrics.counter("frontend", "instructions_produced") \
+                .add(frontend.instructions_produced)
+            metrics.counter("frontend", "wp_emulations") \
+                .add(frontend.wp_emulations)
+            metrics.counter("frontend", "wp_instructions_emulated") \
+                .add(frontend.wp_instructions_emulated)
+        queue = self._queue
+        if queue is not None:
+            metrics.counter("queue", "max_occupancy") \
+                .add(queue.max_occupancy)
+        core = self._core
+        if core is not None:
+            for name, value in core.stats.counters().items():
+                metrics.counter("core", name).add(value)
+        if self._hierarchy is not None:
+            self._hierarchy.publish_metrics(metrics)
+        if self._bpu is not None:
+            self._bpu.publish_metrics(metrics)
+        metrics.counter("obs", "episodes").add(self.episodes)
+        if self.tracer is not None:
+            self.tracer.close()
+        manifest = {
+            "schema": TRACE_SCHEMA,
+            "label": self.label,
+            "name": result.name,
+            "technique": result.technique,
+            "instructions": result.stats.instructions,
+            "cycles": result.stats.cycles,
+            "ipc": result.stats.ipc,
+            "episodes": self.episodes,
+            "counters": result.stats.counters(),
+            "cache_stats": result.cache_stats,
+            "bpu": dict(result.bpu_stats),
+            "metrics": metrics.as_dict(),
+        }
+        if self.trace_dir is not None:
+            path = os.path.join(self.trace_dir, f"{self.label}.run.json")
+            with open(path, "w") as fh:
+                json.dump(manifest, fh, sort_keys=True, indent=1)
+                fh.write("\n")
+        self.summary = manifest
+        return manifest
+
+    @property
+    def episode_path(self) -> Optional[str]:
+        return self.tracer.path if self.tracer is not None else None
+
+    def __repr__(self) -> str:
+        where = self.trace_dir or "in-memory"
+        return (f"<Observability {self.label} episodes={self.episodes} "
+                f"-> {where}>")

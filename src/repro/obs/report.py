@@ -1,0 +1,332 @@
+"""Aggregate episode traces and engine journals into the paper's tables.
+
+This is the backend of ``python -m repro report``: point it at a trace
+directory produced with ``--trace DIR`` and it reproduces the *internal*
+wrong-path statistics of the paper's evaluation from the episode records
+alone —
+
+* **Table II**: wrong-path instructions executed as a fraction of
+  correct-path instructions, per workload × technique
+  (``sum(episode.wp_executed) / instructions``),
+* **Table III**: convergence fraction and distance, address-recovery
+  fraction, and wrong-path L2 miss coverage (conv's WP L2 misses over
+  wpemul's, the "how much of the real wrong-path cache perturbation does
+  the cheap technique reproduce" metric),
+
+and cross-checks every run's episode sums against the aggregate counters
+recorded in its manifest (the lossless-decomposition invariant; a
+mismatch means the trace cannot be trusted and is flagged in the
+output).  When the directory (or ``--journal``) has an engine journal,
+its per-job status/attempt/throughput summary is appended.
+
+Everything here works on plain dicts read back from disk — no simulator
+objects — so reports can be generated on a different machine than the
+runs.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.obs.trace import read_episodes, read_manifest
+
+#: Technique column order (matches the benches' evaluation order).
+TECHNIQUE_ORDER = ("nowp", "instrec", "conv", "wpemul")
+
+#: Episode counter fields whose per-run sums must equal the manifest's
+#: aggregate ``CoreStats`` counters (lossless-decomposition check).
+_DECOMPOSED = (
+    ("wp_fetched", "wp_fetched"),
+    ("wp_executed", "wp_executed"),
+    ("wp_loads", "wp_loads"),
+    ("wp_stores", "wp_stores"),
+    ("wp_mem_ops", "wp_mem_ops"),
+    ("wp_addr_recovered", "wp_addr_recovered"),
+    ("wp_stop_code_cache", "wp_stop_code_cache"),
+    ("wp_stop_prediction", "wp_stop_prediction"),
+    ("wp_trace_missing", "wp_trace_missing"),
+    ("conv_attempted", "conv_attempts"),
+    ("conv_found", "conv_found"),
+)
+
+
+class RunTrace:
+    """One traced run: manifest + episode sums (episodes not retained)."""
+
+    def __init__(self, manifest: dict, episodes: Sequence[dict]):
+        self.manifest = manifest
+        self.label = manifest["label"]
+        self.name = manifest["name"]
+        self.technique = manifest["technique"]
+        self.instructions = manifest["instructions"]
+        self.episode_count = 0
+        self.sums: Dict[str, int] = {field: 0 for field, _ in _DECOMPOSED}
+        self.sums["conv_distance"] = 0
+        self.wp_cache: Dict[str, Dict[str, int]] = {}
+        for record in episodes:
+            self.episode_count += 1
+            sums = self.sums
+            for field, _ in _DECOMPOSED:
+                sums[field] += record.get(field, 0)
+            distance = record.get("conv_distance")
+            if distance is not None:
+                sums["conv_distance"] += distance
+            for level, split in (record.get("cache") or {}).items():
+                agg = self.wp_cache.setdefault(
+                    level, {"wp_hits": 0, "wp_misses": 0})
+                agg["wp_hits"] += split.get("wp_hits", 0)
+                agg["wp_misses"] += split.get("wp_misses", 0)
+
+    # -- consistency -------------------------------------------------------------
+
+    def check(self) -> List[str]:
+        """Lossless-decomposition violations (empty = trace is exact)."""
+        problems = []
+        counters = self.manifest.get("counters", {})
+        if self.episode_count != counters.get("mispredict_windows", 0):
+            problems.append(
+                f"episodes={self.episode_count} != mispredict_windows="
+                f"{counters.get('mispredict_windows', 0)}")
+        for field, counter in _DECOMPOSED:
+            want = counters.get(counter, 0)
+            got = self.sums[field]
+            if got != want:
+                problems.append(f"sum({field})={got} != {counter}={want}")
+        if self.sums["conv_distance"] != counters.get(
+                "conv_distance_total", 0):
+            problems.append(
+                f"sum(conv_distance)={self.sums['conv_distance']} != "
+                f"conv_distance_total="
+                f"{counters.get('conv_distance_total', 0)}")
+        cache_stats = self.manifest.get("cache_stats", {})
+        for level in ("l1i", "l1d", "l2", "llc"):
+            agg = self.wp_cache.get(level, {"wp_hits": 0, "wp_misses": 0})
+            stats = cache_stats.get(level, {})
+            if agg["wp_misses"] != stats.get("wp_misses", 0):
+                problems.append(
+                    f"sum({level}.wp_misses)={agg['wp_misses']} != "
+                    f"{stats.get('wp_misses', 0)}")
+            want_hits = (stats.get("wp_accesses", 0)
+                         - stats.get("wp_misses", 0))
+            if agg["wp_hits"] != want_hits:
+                problems.append(
+                    f"sum({level}.wp_hits)={agg['wp_hits']} != "
+                    f"{want_hits}")
+        return problems
+
+    # -- derived metrics (from episode sums alone) -------------------------------
+
+    @property
+    def wp_fraction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.sums["wp_executed"] / self.instructions
+
+    @property
+    def conv_fraction(self) -> float:
+        attempts = self.sums["conv_attempted"]
+        return self.sums["conv_found"] / attempts if attempts else 0.0
+
+    @property
+    def conv_distance(self) -> float:
+        found = self.sums["conv_found"]
+        return self.sums["conv_distance"] / found if found else 0.0
+
+    @property
+    def addr_recover_fraction(self) -> float:
+        mem_ops = self.sums["wp_mem_ops"]
+        return self.sums["wp_addr_recovered"] / mem_ops if mem_ops else 0.0
+
+    def wp_misses(self, level: str) -> int:
+        return self.wp_cache.get(level, {}).get("wp_misses", 0)
+
+
+def load_runs(trace_dir: str,
+              workload: Optional[str] = None) -> List[RunTrace]:
+    """Load every traced run (``*.run.json`` + its episode file) under
+    ``trace_dir``, optionally filtered to one workload name."""
+    runs = []
+    for path in sorted(glob.glob(os.path.join(trace_dir, "*.run.json"))):
+        manifest = read_manifest(path)
+        if manifest is None:
+            continue
+        if workload is not None and manifest.get("name") != workload:
+            continue
+        episodes_path = path[:-len(".run.json")] + ".episodes.jsonl"
+        episodes = read_episodes(episodes_path) \
+            if os.path.exists(episodes_path) else ()
+        runs.append(RunTrace(manifest, episodes))
+    return runs
+
+
+# -- aggregation ------------------------------------------------------------------
+
+
+def _by_workload(runs: Sequence[RunTrace]) -> Dict[str, Dict[str, RunTrace]]:
+    """``{workload: {technique: run}}`` keeping the last run per cell."""
+    grouped: Dict[str, Dict[str, RunTrace]] = {}
+    for run in runs:
+        grouped.setdefault(run.name, {})[run.technique] = run
+    return grouped
+
+
+def table2(runs: Sequence[RunTrace]) -> dict:
+    """Table II: WP instructions executed / correct-path instructions."""
+    rows = {}
+    for name, by_tech in sorted(_by_workload(runs).items()):
+        rows[name] = {tech: by_tech[tech].wp_fraction
+                      for tech in TECHNIQUE_ORDER if tech in by_tech}
+    return rows
+
+
+def table3(runs: Sequence[RunTrace]) -> dict:
+    """Table III: conv-technique internals (needs a conv run; WP L2 miss
+    coverage additionally needs a wpemul run as reference)."""
+    rows = {}
+    for name, by_tech in sorted(_by_workload(runs).items()):
+        conv = by_tech.get("conv")
+        if conv is None:
+            continue
+        row = {
+            "conv_fraction": conv.conv_fraction,
+            "conv_distance": conv.conv_distance,
+            "addr_recover_fraction": conv.addr_recover_fraction,
+        }
+        wpemul = by_tech.get("wpemul")
+        if wpemul is not None and wpemul.wp_misses("l2"):
+            row["wp_l2_miss_coverage"] = (conv.wp_misses("l2")
+                                          / wpemul.wp_misses("l2"))
+        else:
+            row["wp_l2_miss_coverage"] = None
+        rows[name] = row
+    return rows
+
+
+def summarize_journal(entries: Sequence[dict]) -> dict:
+    """Status counts + per-job attempt/throughput aggregates for an
+    engine journal (``RunJournal.entries()`` output)."""
+    by_status: Dict[str, int] = {}
+    jobs: Dict[str, dict] = {}
+    for entry in entries:
+        status = entry.get("status", "?")
+        by_status[status] = by_status.get(status, 0) + 1
+        job = jobs.setdefault(entry.get("job", "?"), {
+            "records": 0, "attempts": 0, "abandoned": 0,
+            "failed": 0, "host_ips": None})
+        job["records"] += 1
+        job["attempts"] = max(job["attempts"], entry.get("attempts") or 0)
+        if status == "abandoned":
+            job["abandoned"] += 1
+        if status == "failed":
+            job["failed"] += 1
+        if entry.get("host_ips"):
+            job["host_ips"] = entry["host_ips"]
+    return {"records": len(entries), "by_status": by_status, "jobs": jobs}
+
+
+# -- rendering --------------------------------------------------------------------
+
+
+def _pct(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 100:.1f}%"
+
+
+def build_report(trace_dir: str, journal_path: Optional[str] = None,
+                 workload: Optional[str] = None) -> dict:
+    """Everything the report command renders, as plain data."""
+    runs = load_runs(trace_dir, workload=workload)
+    run_rows = []
+    for run in runs:
+        problems = run.check()
+        run_rows.append({
+            "label": run.label,
+            "workload": run.name,
+            "technique": run.technique,
+            "instructions": run.instructions,
+            "episodes": run.episode_count,
+            "wp_executed": run.sums["wp_executed"],
+            "consistent": not problems,
+            "problems": problems,
+        })
+    report = {
+        "trace_dir": os.path.abspath(trace_dir),
+        "runs": run_rows,
+        "table2": table2(runs),
+        "table3": table3(runs),
+    }
+    if journal_path is None:
+        candidate = os.path.join(trace_dir, "journal.jsonl")
+        if os.path.exists(candidate):
+            journal_path = candidate
+    if journal_path is not None:
+        from repro.engine.journal import RunJournal
+        report["journal_path"] = os.path.abspath(journal_path)
+        report["journal"] = summarize_journal(
+            RunJournal(journal_path).entries())
+    return report
+
+
+def render_report(report: dict, fmt: str = "table") -> str:
+    """Render :func:`build_report` output as ``table``/``md``/``json``."""
+    if fmt == "json":
+        return json.dumps(report, sort_keys=True, indent=1)
+    md = fmt == "md"
+    sections = []
+
+    run_rows = [(r["label"], r["workload"], r["technique"],
+                 r["instructions"], r["episodes"], r["wp_executed"],
+                 "ok" if r["consistent"] else
+                 "MISMATCH: " + "; ".join(r["problems"]))
+                for r in report["runs"]]
+    run_headers = ["run", "workload", "technique", "instrs", "episodes",
+                   "WP executed", "episode sums vs aggregates"]
+    sections.append(_render(f"traced runs in {report['trace_dir']}",
+                            run_headers, run_rows, md))
+
+    techs = [t for t in TECHNIQUE_ORDER
+             if any(t in row for row in report["table2"].values())]
+    t2_rows = [[name] + [_pct(row.get(t)) for t in techs]
+               for name, row in report["table2"].items()]
+    sections.append(_render(
+        "Table II — WP instructions executed / correct-path count",
+        ["workload"] + list(techs), t2_rows, md))
+
+    t3_rows = [(name, _pct(row["conv_fraction"]),
+                f"{row['conv_distance']:.1f}",
+                _pct(row["addr_recover_fraction"]),
+                _pct(row["wp_l2_miss_coverage"]))
+               for name, row in report["table3"].items()]
+    sections.append(_render(
+        "Table III — convergence-exploitation internals",
+        ["workload", "conv frac", "conv dist", "addr recover",
+         "WP L2 miss coverage"], t3_rows, md))
+
+    journal = report.get("journal")
+    if journal:
+        j_rows = [(job, info["records"], info["attempts"],
+                   info["abandoned"], info["failed"],
+                   f"{info['host_ips']:.0f}" if info["host_ips"] else "-")
+                  for job, info in sorted(journal["jobs"].items())]
+        status = ", ".join(f"{k}={v}" for k, v in
+                           sorted(journal["by_status"].items()))
+        sections.append(_render(
+            f"engine journal {report['journal_path']} ({status})",
+            ["job", "records", "attempts", "abandoned", "failed",
+             "host instr/s"], j_rows, md))
+
+    return "\n\n".join(sections)
+
+
+def _render(title: str, headers, rows, md: bool) -> str:
+    if md:
+        lines = [f"### {title}", "",
+                 "| " + " | ".join(headers) + " |",
+                 "|" + "|".join("---" for _ in headers) + "|"]
+        lines.extend("| " + " | ".join(str(c) for c in row) + " |"
+                     for row in rows)
+        return "\n".join(lines)
+    return render_table(title, headers, rows)

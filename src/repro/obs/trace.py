@@ -1,0 +1,143 @@
+"""Episode tracing: one structured JSONL record per mispredict episode.
+
+An *episode* is one wrong-path window — opened when the timing model
+detects a misprediction, closed when the configured wrong-path model
+returns.  Because every wrong-path stat mutation in the simulator
+happens inside ``wp_model.on_mispredict`` (a checked invariant, see
+``tests/test_obs.py``), capturing counter deltas around that call makes
+the trace a **lossless decomposition**: summing any episode field over a
+run's trace reproduces the run's aggregate counter exactly.
+
+Episode record schema (``EPISODE_FIELDS``; full field-by-field reference
+in DESIGN.md §7.1):
+
+``episode``
+    0-based index of the episode within the run (== mispredict window
+    ordinal).
+``branch_pc`` / ``branch_kind``
+    The mispredicted instruction's PC and whether it was a conditional
+    branch (``"cond"``) or an indirect jump/return (``"indirect"``).
+``technique``
+    The wrong-path model that handled the window.
+``predicted_target`` / ``actual_target``
+    Where fetch went (the wrong path entry PC) vs. where the program
+    actually went.
+``window_start`` / ``resolution``
+    The window's cycle bounds: first wrong-path fetch cycle and the
+    branch's resolution (completion) cycle.
+``window_limit``
+    Free ROB+frontend slots at the branch's fetch — the instruction
+    budget the wrong-path model was given (0 = window skipped).
+``wp_fetched`` … ``conv_distance``
+    Per-episode deltas of the corresponding ``CoreStats`` counters
+    (``conv_distance`` is ``None`` unless convergence was found).
+``conv_point``
+    PC where the wrong path reconverges with the correct path
+    (``None`` unless the conv model found convergence).
+``cache``
+    Per-level wrong-path accesses split hit/miss:
+    ``{"l1i"|"l1d"|"l2"|"llc": {"wp_hits": n, "wp_misses": n}}``.
+
+The writer buffers records and serializes with sorted keys, one JSON
+object per line, so traces are deterministic for a deterministic run
+and stream-readable without loading the whole file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, List, Optional
+
+#: Bump when the episode record shape changes; readers reject other
+#: versions (recorded in the run manifest, not per record).
+TRACE_SCHEMA = 1
+
+#: Every key of an episode record, in documentation order.
+EPISODE_FIELDS = (
+    "episode", "branch_pc", "branch_kind", "technique",
+    "predicted_target", "actual_target", "window_start", "resolution",
+    "window_limit", "wp_fetched", "wp_executed", "wp_loads", "wp_stores",
+    "wp_mem_ops", "wp_addr_recovered", "wp_stop_code_cache",
+    "wp_stop_prediction", "wp_trace_missing", "conv_attempted",
+    "conv_found", "conv_distance", "conv_point", "cache",
+)
+
+
+class WrongPathTracer:
+    """Buffered JSONL writer for episode records.
+
+    Records accumulate in memory and are flushed every
+    ``buffer_records`` episodes (and at :meth:`close`), so tracing a
+    mispredict-heavy run costs one ``write`` syscall per few hundred
+    episodes rather than one per episode.  Opening truncates any
+    existing file: a re-run under the same label replaces its trace
+    instead of appending stale episodes to it.
+    """
+
+    def __init__(self, path: str, buffer_records: int = 256):
+        if buffer_records < 1:
+            raise ValueError("buffer_records must be >= 1")
+        self.path = os.path.abspath(path)
+        self.buffer_records = buffer_records
+        self.emitted = 0
+        self._buffer: List[str] = []
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._fh = open(self.path, "w")
+
+    def emit(self, record: dict) -> None:
+        self._buffer.append(json.dumps(record, sort_keys=True))
+        self.emitted += 1
+        if len(self._buffer) >= self.buffer_records:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer and self._fh is not None:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._fh.flush()
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WrongPathTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<WrongPathTracer {self.path} emitted={self.emitted}>"
+
+
+def read_episodes(path: str) -> Iterator[dict]:
+    """Stream episode records from a JSONL trace file.
+
+    Unparseable lines (a run killed mid-flush) are skipped, mirroring
+    :meth:`repro.engine.journal.RunJournal.entries`.
+    """
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue
+
+
+def read_manifest(path: str) -> Optional[dict]:
+    """One run manifest (``<label>.run.json``), or None when unreadable
+    or from an incompatible trace schema."""
+    try:
+        with open(path) as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if manifest.get("schema") != TRACE_SCHEMA:
+        return None
+    return manifest

@@ -63,13 +63,23 @@ def compare_techniques(program: Program,
                        config: Optional[CoreConfig] = None,
                        techniques: Iterable[str] = ALL_TECHNIQUES,
                        max_instructions: Optional[int] = None,
-                       name: str = "program") -> TechniqueComparison:
+                       name: str = "program",
+                       trace_dir: Optional[str] = None
+                       ) -> TechniqueComparison:
     """Simulate ``program`` once per technique (identical inputs, fresh
-    state each run) and bundle the results."""
+    state each run) and bundle the results.  ``trace_dir`` enables
+    per-run episode tracing (one ``<name>-<technique>`` trace per run,
+    see :mod:`repro.obs`)."""
     results: Dict[str, SimulationResult] = {}
     for technique in techniques:
+        obs = None
+        if trace_dir is not None:
+            from repro.obs import Observability
+            obs = Observability(trace_dir=trace_dir,
+                                label=f"{name}-{technique}")
         sim = Simulator(program, config=config, technique=technique,
-                        max_instructions=max_instructions, name=name)
+                        max_instructions=max_instructions, name=name,
+                        obs=obs)
         results[technique] = sim.run()
     return TechniqueComparison(name, results)
 
@@ -82,12 +92,19 @@ def compare_workload(workload: str,
                      base_config: str = "scaled",
                      config_overrides: Optional[dict] = None,
                      engine=None, jobs: Optional[int] = None,
-                     fresh: bool = False) -> TechniqueComparison:
+                     fresh: bool = False,
+                     trace_dir: Optional[str] = None
+                     ) -> TechniqueComparison:
     """Engine-backed :func:`compare_techniques`: the per-technique runs
     of one registry workload fan out over an
     :class:`~repro.engine.executor.ExperimentEngine` (``jobs`` worker
     processes, cache-aware when the engine has a store).  This is what
     ``python -m repro compare --jobs N`` uses.
+
+    ``trace_dir`` makes every job write an episode trace there.  A
+    cache *hit* produces no trace (nothing was simulated), so callers
+    wanting complete traces should also pass ``fresh=True`` — the CLI
+    does this automatically for ``--trace``.
     """
     # Imported lazily: repro.engine depends on this module's siblings.
     from repro.engine import ExperimentEngine, SimJob, resolve_workload
@@ -99,7 +116,8 @@ def compare_workload(workload: str,
                        scale=scale, seed=seed,
                        max_instructions=max_instructions,
                        base_config=base_config,
-                       config_overrides=dict(config_overrides or {}))
+                       config_overrides=dict(config_overrides or {}),
+                       trace_dir=trace_dir)
                 for technique in techniques]
     results: Dict[str, SimulationResult] = {}
     for outcome in engine.run(sim_jobs, fresh=fresh):

@@ -172,7 +172,8 @@ class Simulator:
                  technique: str = "nowp",
                  max_instructions: Optional[int] = None,
                  queue_depth: Optional[int] = None,
-                 name: str = "program"):
+                 name: str = "program",
+                 obs=None):
         if technique not in TECHNIQUES:
             raise ValueError(
                 f"unknown technique {technique!r}; "
@@ -187,6 +188,10 @@ class Simulator:
             queue_depth = max(2 * self.config.rob_size + 128, 1024)
         self.queue_depth = queue_depth
         self.name = name
+        # Optional repro.obs.Observability (duck-typed so the simulator
+        # has no import-time dependency on the obs package): attached to
+        # every component at run start, finalized with the result.
+        self.obs = obs
 
     def run(self) -> SimulationResult:
         cfg = self.config
@@ -204,6 +209,10 @@ class Simulator:
                               batch_producer=frontend.produce_batch)
         hierarchy = CacheHierarchy.from_config(cfg)
         core = OoOCore(cfg, hierarchy, timing_bpu, wp_model, queue=queue)
+        obs = self.obs
+        if obs is not None:
+            obs.attach(frontend=frontend, queue=queue, core=core,
+                       hierarchy=hierarchy, bpu=timing_bpu)
 
         # Consume the queue in refill-sized batches: ``prepare()`` compacts
         # and refills, ``process_batch`` walks the buffer directly.  Same
@@ -222,10 +231,14 @@ class Simulator:
         stats = core.finalize()
 
         wall = time.perf_counter() - start
-        return SimulationResult(self.name, self.technique, cfg, stats,
-                                hierarchy, timing_bpu,
-                                frontend.output,
-                                frontend.emulator.exit_code, wall, frontend)
+        result = SimulationResult(self.name, self.technique, cfg, stats,
+                                  hierarchy, timing_bpu,
+                                  frontend.output,
+                                  frontend.emulator.exit_code, wall,
+                                  frontend)
+        if obs is not None:
+            obs.finalize(result)
+        return result
 
     def _make_bpu(self) -> BranchPredictorUnit:
         cfg = self.config

@@ -53,8 +53,12 @@ class ConvergenceExploitation(WrongPathModel):
             future = core.queue.window(core.cfg.rob_size)
             found = _recover_addresses(items, future)
             if found is not None:
+                distance, conv_pc = found
                 stats.conv_found += 1
-                stats.conv_distance_total += found
+                stats.conv_distance_total += distance
+                obs = core._obs
+                if obs is not None:
+                    obs.conv_point = conv_pc
         simulate_wrong_path_stream(window, items)
 
 
@@ -68,11 +72,12 @@ def _first_index(pcs: List[int], target: int, start: int = 0) -> int:
 
 
 def _recover_addresses(items: List[WPItem],
-                       future: List[DynInstr]) -> Optional[int]:
+                       future: List[DynInstr]) -> Optional[tuple]:
     """Detect convergence and copy addresses in place.
 
-    Returns the convergence distance (length of the non-converged prefix)
-    or None when the paths do not converge one-sidedly.
+    Returns ``(distance, conv_pc)`` — the convergence distance (length
+    of the non-converged prefix) and the pc at which the two paths
+    reconverge — or None when the paths do not converge one-sidedly.
     """
     if not future:
         return None
@@ -92,16 +97,18 @@ def _recover_addresses(items: List[WPItem],
     if j >= 0 and (k < 0 or j <= k):
         # Pre-convergence prefix lies on the wrong path.
         distance = j
+        conv_pc = wp_pcs[j]
         dirty = _written_registers(item.instr for item in items[:j])
         aligned = zip(items[j:], future)
     else:
         # Pre-convergence prefix lies on the correct path.
         distance = k
+        conv_pc = wp_pcs[0]
         dirty = _written_registers(di.instr for di in future[:k])
         aligned = zip(items, future[k:])
 
     _copy_addresses(aligned, dirty)
-    return distance
+    return distance, conv_pc
 
 
 def _written_registers(instrs) -> set:

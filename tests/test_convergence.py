@@ -34,8 +34,9 @@ class TestConvergenceDetection:
                     wp("lw", 0x204, rd=10, rs1=4)]          # B
         future = [cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x7000),
                   cp("lw", 0x204, rd=10, rs1=4, mem_addr=0x7040)]
-        distance = _recover_addresses(wp_items, future)
+        distance, conv_pc = _recover_addresses(wp_items, future)
         assert distance == 2
+        assert conv_pc == 0x200
         assert wp_items[2].mem_addr == 0x7000
         assert wp_items[3].mem_addr == 0x7040
 
@@ -45,8 +46,9 @@ class TestConvergenceDetection:
         future = [cp("add", 0x100, rd=5, rs1=6, rs2=7),
                   cp("add", 0x104, rd=8, rs1=6, rs2=7),
                   cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x8000)]
-        distance = _recover_addresses(wp_items, future)
+        distance, conv_pc = _recover_addresses(wp_items, future)
         assert distance == 2
+        assert conv_pc == 0x200
         assert wp_items[0].mem_addr == 0x8000
 
     def test_no_convergence(self):
@@ -65,8 +67,9 @@ class TestConvergenceDetection:
                   cp("add", 0x300),
                   cp("add", 0x304),
                   cp("add", 0x100)]
-        distance = _recover_addresses(wp_items, future)
+        distance, conv_pc = _recover_addresses(wp_items, future)
         assert distance == 1  # WP-prefix case, j == 1
+        assert conv_pc == 0x200
         assert wp_items[1].mem_addr == 0x9000
 
 
@@ -77,7 +80,7 @@ class TestIndependenceCheck:
         wp_items = [wp("add", 0x100, rd=4, rs1=6, rs2=7),   # writes x4!
                     wp("lw", 0x200, rd=9, rs1=4)]           # base = x4
         future = [cp("lw", 0x200, rd=9, rs1=4, mem_addr=0x7000)]
-        distance = _recover_addresses(wp_items, future)
+        distance, _ = _recover_addresses(wp_items, future)
         assert distance == 1
         assert wp_items[1].mem_addr is None
 

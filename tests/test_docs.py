@@ -1,0 +1,116 @@
+"""Tests for tools/check_docs.py and for the repo docs themselves.
+
+The checker's parsing helpers are tested against synthetic markdown;
+the final test runs the full check over the real top-level docs, so a
+broken cross-reference or a stale ``>>>`` example fails tier-1 (not
+just the CI docs job).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "tools"))
+import check_docs  # noqa: E402
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert check_docs.slugify("Inspecting a run") == "inspecting-a-run"
+
+    def test_punctuation_dropped_code_spans_kept(self):
+        assert (check_docs.slugify("7.2 The `zero-cost` hook, contract!")
+                == "72-the-zero-cost-hook-contract")
+
+    def test_links_reduced_to_text(self):
+        assert check_docs.slugify("See [DESIGN](DESIGN.md)") == "see-design"
+
+
+class TestHeadingSlugs:
+    def test_duplicates_get_github_suffix(self):
+        slugs = check_docs.heading_slugs(
+            "# Setup\n\n## Setup\n\ntext\n")
+        assert "setup" in slugs and "setup-1" in slugs
+
+    def test_headings_inside_fences_ignored(self):
+        slugs = check_docs.heading_slugs(
+            "# Real\n```bash\n# not a heading\n```\n")
+        assert list(slugs) == ["real"]
+
+
+class TestExtractLinks:
+    MD = ("See [a](other.md) and [b](other.md#sec) and "
+          "[c](#local) and ![img](pic.png) and [web](https://x.y).\n"
+          "```\n[not](a-link.md)\n```\n")
+
+    def test_images_and_fences_skipped(self):
+        targets = [t for _, t in check_docs.extract_links(self.MD)]
+        assert targets == ["other.md", "other.md#sec", "#local",
+                           "https://x.y"]
+
+
+class TestCheckFileLinks:
+    @pytest.fixture()
+    def docroot(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Section One\n")
+        return tmp_path
+
+    def _check(self, docroot, body):
+        (docroot / "doc.md").write_text(body)
+        return check_docs.check_file_links("doc.md", root=str(docroot))
+
+    def test_good_links_pass(self, docroot):
+        assert self._check(
+            docroot, "# T\n[x](other.md) [y](other.md#section-one) "
+                     "[z](#t) [w](https://example.com)\n") == []
+
+    def test_broken_file_reported(self, docroot):
+        problems = self._check(docroot, "[x](missing.md)\n")
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_broken_anchor_reported(self, docroot):
+        problems = self._check(docroot, "# T\n[x](other.md#nope)\n")
+        assert len(problems) == 1 and "#nope" in problems[0]
+
+    def test_broken_local_anchor_reported(self, docroot):
+        problems = self._check(docroot, "# T\n[x](#absent)\n")
+        assert len(problems) == 1 and "#absent" in problems[0]
+
+
+class TestCodeBlocks:
+    def test_python_blocks_extracted_with_line_numbers(self):
+        text = "intro\n```python\nx = 1\n```\n```bash\nls(\n```\n"
+        blocks = check_docs.python_blocks(text)
+        assert blocks == [(3, "x = 1")]
+
+    def test_compile_failure_reported(self, tmp_path):
+        (tmp_path / "bad.md").write_text(
+            "```python\ndef broken(:\n```\n")
+        problems = check_docs.check_file_codeblocks(
+            "bad.md", root=str(tmp_path))
+        assert len(problems) == 1
+        assert "does not compile" in problems[0]
+
+    def test_doctest_style_blocks_deferred(self, tmp_path):
+        (tmp_path / "d.md").write_text(
+            "```python\n>>> this is doctest, not a script\n```\n")
+        assert check_docs.check_file_codeblocks(
+            "d.md", root=str(tmp_path)) == []
+
+
+class TestRealDocs:
+    """The actual repo docs must pass every check."""
+
+    @pytest.mark.parametrize("relpath", check_docs.CHECKED_FILES)
+    def test_links(self, relpath):
+        assert check_docs.check_file_links(relpath) == []
+
+    @pytest.mark.parametrize("relpath", check_docs.CHECKED_FILES)
+    def test_codeblocks(self, relpath):
+        assert check_docs.check_file_codeblocks(relpath) == []
+
+    @pytest.mark.parametrize("relpath", check_docs.DOCTEST_FILES)
+    def test_doctests(self, relpath):
+        assert check_docs.check_file_doctests(relpath) == []

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Documentation checks for the top-level markdown files.
+
+Three passes, all run by CI's docs job (and by ``tests/test_docs.py``):
+
+1. **Links** — every relative link ``[text](path)`` must point at an
+   existing file, and every ``#anchor`` (same-file or cross-file) must
+   match a heading under GitHub's slugification rules.
+2. **Code blocks** — every fenced ```` ```python ```` block must
+   compile (``pycon``/``>>>`` blocks are covered by the doctest pass
+   instead).
+3. **Doctests** — ``python -m doctest`` semantics over the files in
+   :data:`DOCTEST_FILES`; examples must be deterministic.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exits nonzero listing every problem found.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+from typing import Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Files whose links and ```python blocks are checked.  Deliberately a
+#: curated list: ISSUE/PAPERS/SNIPPETS hold external or historical
+#: content that is not ours to keep link-clean.
+CHECKED_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "ROADMAP.md",
+    "benchmarks/README.md",
+)
+
+#: Files whose ``>>>`` examples are executed.
+DOCTEST_FILES = ("README.md", "DESIGN.md")
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_FENCE_RE = re.compile(r"^(```+|~~~+)\s*([\w+-]*)\s*$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # strip links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(text: str) -> Dict[str, int]:
+    """Map of anchor slug -> occurrence count (GitHub dedups with -1, -2)."""
+    slugs: Dict[str, int] = {}
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        base = slugify(m.group(1))
+        n = slugs.get(base, 0)
+        slugs[base] = n + 1
+        if n:  # GitHub's duplicate-heading suffix
+            slugs[f"{base}-{n}"] = 1
+    return slugs
+
+
+def extract_links(text: str) -> List[Tuple[int, str]]:
+    """All non-image inline link targets as (1-based line, target)."""
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            links.append((lineno, m.group(1)))
+    return links
+
+
+def check_file_links(relpath: str, root: str = REPO_ROOT) -> List[str]:
+    """Problems with the relative links/anchors of one markdown file."""
+    path = os.path.join(root, relpath)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    problems: List[str] = []
+    for lineno, target in extract_links(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        target, _, anchor = target.partition("#")
+        if target:
+            dest = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(dest):
+                problems.append(f"{relpath}:{lineno}: broken link "
+                                f"-> {target}")
+                continue
+        else:
+            dest = path
+        if anchor:
+            if not dest.endswith(".md") or not os.path.isfile(dest):
+                continue  # anchors into non-markdown: not checkable
+            with open(dest, encoding="utf-8") as fh:
+                slugs = heading_slugs(fh.read())
+            if anchor not in slugs:
+                problems.append(f"{relpath}:{lineno}: broken anchor "
+                                f"-> #{anchor}")
+    return problems
+
+
+def python_blocks(text: str) -> List[Tuple[int, str]]:
+    """Fenced ```python blocks as (1-based first-content line, source)."""
+    blocks: List[Tuple[int, str]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = _FENCE_RE.match(lines[i])
+        if m and m.group(2) == "python":
+            fence, start = m.group(1), i + 1
+            j = start
+            while j < len(lines) and not lines[j].startswith(fence):
+                j += 1
+            blocks.append((start + 1, "\n".join(lines[start:j])))
+            i = j + 1
+        elif m:  # some other fence: skip to its close
+            fence = m.group(1)
+            i += 1
+            while i < len(lines) and not lines[i].startswith(fence):
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return blocks
+
+
+def check_file_codeblocks(relpath: str, root: str = REPO_ROOT) -> List[str]:
+    """Problems compiling the ```python blocks of one markdown file."""
+    path = os.path.join(root, relpath)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    problems: List[str] = []
+    for lineno, source in python_blocks(text):
+        if source.lstrip().startswith(">>>"):
+            continue  # doctest-style: exercised by the doctest pass
+        try:
+            compile(source, f"{relpath}:{lineno}", "exec")
+        except SyntaxError as exc:
+            problems.append(f"{relpath}:{lineno}: python block does not "
+                            f"compile: {exc.msg} (block line {exc.lineno})")
+    return problems
+
+
+def check_file_doctests(relpath: str, root: str = REPO_ROOT) -> List[str]:
+    """Doctest failures of one markdown file (module_relative=False)."""
+    failures, _ = doctest.testfile(os.path.join(root, relpath),
+                                   module_relative=False, verbose=False)
+    return [f"{relpath}: {failures} doctest failure(s)"] if failures else []
+
+
+def main(argv: List[str] = ()) -> int:
+    problems: List[str] = []
+    for relpath in CHECKED_FILES:
+        problems += check_file_links(relpath)
+        problems += check_file_codeblocks(relpath)
+    for relpath in DOCTEST_FILES:
+        problems += check_file_doctests(relpath)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    n_files = len(set(CHECKED_FILES) | set(DOCTEST_FILES))
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) in {n_files} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {n_files} file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
