@@ -1,0 +1,26 @@
+"""Bootstrap so ``python -m simcheck src/ tests/`` works from the repo
+root with no installation and no PYTHONPATH.
+
+The implementation lives with the rest of the repo tooling in
+``tools/simcheck/``; this stub points the package's ``__path__`` there,
+so every ``simcheck.*`` submodule (including ``__main__``) resolves to
+the real files.  Keep this file free of logic — edit
+``tools/simcheck/`` instead.
+"""
+
+import os
+
+__path__ = [os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools", "simcheck")]
+
+from simcheck.engine import (Baseline, Finding, Project,  # noqa: E402
+                             SourceFile, collect_files, main,
+                             run_simcheck)
+from simcheck.rules import ALL_RULES, register  # noqa: E402
+
+__version__ = "1.0.0"
+
+__all__ = ["ALL_RULES", "Baseline", "Finding", "Project", "SourceFile",
+           "collect_files", "main", "register", "run_simcheck",
+           "__version__"]

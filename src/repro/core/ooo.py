@@ -238,6 +238,7 @@ class OoOCore:
                     fetch.used = 0
                 self._cur_fetch_line = -1
 
+    # simcheck: hotpath
     def process_batch(self, queue, count: int) -> int:
         """Consume and simulate ``count`` instructions directly from the
         runahead queue's buffer; returns the number processed.
@@ -469,6 +470,7 @@ class OoOCore:
             obs.core_batch(count)
         return count
 
+    # simcheck: hotpath
     def _handle_mispredict(self, di: DynInstr, predicted_pc: int,
                            fetch_c: int, resolution: int) -> None:
         cfg = self.cfg
@@ -562,6 +564,7 @@ class OoOCore:
         return self.stats
 
 
+# simcheck: per-instruction
 class WrongPathWindow:
     """Everything a wrong-path model needs about one mispredict."""
 

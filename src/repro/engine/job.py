@@ -23,6 +23,23 @@ from repro.core.config import CoreConfig
 #: Base-configuration presets a job can start from before overrides.
 BASE_CONFIGS = ("scaled", "full")
 
+#: :class:`SimJob` fields folded into the content hash: every one of
+#: these is reachable from :meth:`SimJob.spec`, so two jobs differing in
+#: any of them get different keys.  simcheck rule SC004 verifies the
+#: reachability statically; :func:`_assert_key_partition` re-checks the
+#: partition at import time.
+KEYED_FIELDS = frozenset({
+    "workload", "technique", "scale", "seed", "max_instructions",
+    "base_config", "config_overrides",
+})
+
+#: Fields deliberately NOT part of the hash.  Only side-effect-free
+#: run options belong here: an excluded field must be provably unable
+#: to change the simulated result (``trace_dir`` set the precedent —
+#: a traced and an untraced run are bit-identical and must share a
+#: cache entry).
+KEY_EXCLUDED_FIELDS = frozenset({"trace_dir"})
+
 _CODE_FINGERPRINT: Optional[str] = None
 
 
@@ -163,3 +180,37 @@ class SimJob:
 
     def __repr__(self) -> str:
         return f"<SimJob {self.label} scale={self.scale} [{self.key[:12]}]>"
+
+
+def _assert_key_partition(cls=SimJob) -> None:
+    """Fail at import time if a :class:`SimJob` field is neither keyed
+    nor explicitly excluded.
+
+    A field that silently misses the SHA-256 key would make distinct
+    jobs share a cache entry — the result store would then serve wrong
+    results with no error anywhere downstream.  Raising here turns that
+    silent corruption into a loud failure the moment someone adds a
+    field without deciding which side of the partition it lives on
+    (the static mirror of this check is simcheck rule SC004).
+    """
+    fields = {f.name for f in dataclasses.fields(cls)}
+    declared = KEYED_FIELDS | KEY_EXCLUDED_FIELDS
+    overlap = KEYED_FIELDS & KEY_EXCLUDED_FIELDS
+    if fields != declared or overlap:
+        problems = []
+        for name in sorted(fields - declared):
+            problems.append(
+                f"field {name!r} is neither in KEYED_FIELDS nor "
+                f"KEY_EXCLUDED_FIELDS")
+        for name in sorted(declared - fields):
+            problems.append(f"declared field {name!r} does not exist "
+                            f"on {cls.__name__}")
+        for name in sorted(overlap):
+            problems.append(f"field {name!r} is both keyed and "
+                            f"excluded")
+        raise RuntimeError(
+            f"{cls.__name__} cache-key partition is stale: "
+            + "; ".join(problems))
+
+
+_assert_key_partition()

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # avoid a package cycle; only needed for annotations
     from repro.functional.emulator import WrongPathRecord
 
 
+# simcheck: per-instruction
 class DynInstr:
     """One dynamic (correct-path) instruction."""
 

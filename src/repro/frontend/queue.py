@@ -101,6 +101,7 @@ class RunaheadQueue:
         head = self._head
         return self._buf[head:head + n]
 
+    # simcheck: hotpath
     def prepare(self) -> int:
         """Compact consumed entries and refill; returns the number of
         instructions available for direct batch consumption."""

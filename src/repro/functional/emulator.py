@@ -51,6 +51,7 @@ def _f32(value: float) -> float:
     return struct.unpack("<f", struct.pack("<f", value))[0]
 
 
+# simcheck: per-instruction
 class WrongPathRecord:
     """One instruction emulated down the wrong path."""
 

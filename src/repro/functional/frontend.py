@@ -66,6 +66,7 @@ class FunctionalFrontend:
         self._seq += 1
         return di
 
+    # simcheck: hotpath
     def produce_batch(self, n: int) -> List[DynInstr]:
         """Up to ``n`` correct-path instructions in one call.
 

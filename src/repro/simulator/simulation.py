@@ -65,6 +65,12 @@ class SimulationResult:
     #: blobs from other schema versions so stale caches read as misses.
     SCHEMA = 1
 
+    #: Attributes deliberately absent from :meth:`to_dict` (simcheck
+    #: SC005 audits the rest).  ``bpu`` is the live predictor object;
+    #: its serializable summary travels as ``bpu_stats`` and a
+    #: deserialized result is detached (``bpu is None``).
+    ROUNDTRIP_EXCLUDE = ("bpu",)
+
     def __init__(self, name: str, technique: str, config: CoreConfig,
                  stats: CoreStats, hierarchy: CacheHierarchy,
                  bpu: BranchPredictorUnit, output: list,

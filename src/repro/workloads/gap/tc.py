@@ -52,14 +52,18 @@ void main() {{
 
 def reference(graph: graphs.CSRGraph) -> int:
     """Count triangles (each once, ordered u < v < w)."""
+    # Iterate neighbor *lists* (CSR order) and keep the sets for
+    # membership only: set iteration order varies with PYTHONHASHSEED.
+    # The count is order-independent either way, but SC001 holds all of
+    # src/repro/ to the stronger property.
     adjacency = [set(map(int, graph.neighbors(u)))
                  for u in range(graph.num_nodes)]
     count = 0
     for u in range(graph.num_nodes):
-        for v in adjacency[u]:
+        for v in map(int, graph.neighbors(u)):
             if v > u:
-                for w in adjacency[u] & adjacency[v]:
-                    if w > v:
+                for w in map(int, graph.neighbors(v)):
+                    if w > v and w in adjacency[u]:
                         count += 1
     return count
 

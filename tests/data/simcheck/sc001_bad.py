@@ -1,0 +1,32 @@
+# simcheck-fixture: SC001
+"""Deliberate SC001 violations.  Every line a finding must anchor to
+carries a trailing expect marker; tests/test_simcheck.py asserts the
+reported (rule, line) pairs match exactly."""
+
+import os
+import random
+import time
+
+
+def timestamp():
+    return time.time()  # expect: SC001
+
+
+def jitter():
+    return random.random()  # expect: SC001
+
+
+def object_key(obj):
+    return id(obj)  # expect: SC001
+
+
+def drain(pending, root):
+    out = []
+    for item in {"a", "b"}:  # expect: SC001
+        out.append(item)
+    for name in os.listdir(root):  # expect: SC001
+        out.append(name)
+    groups = [set(pending), set(out)]
+    for member in groups[0]:  # expect: SC001
+        out.append(member)
+    return out

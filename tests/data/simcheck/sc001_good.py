@@ -1,0 +1,28 @@
+# simcheck-fixture: SC001
+"""Deterministic counterparts SC001 must accept: seeded RNG instances,
+monotonic measurement clocks, sorted iteration over sets and directory
+listings."""
+
+import os
+import random
+import time
+
+
+def seeded_values(seed, n):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def stable_members(members):
+    universe = set(members)
+    return [m for m in sorted(universe) if m in universe]
+
+
+def stable_listing(root):
+    return [name for name in sorted(os.listdir(root))]

@@ -1,0 +1,21 @@
+# simcheck-fixture: SC002
+"""Hot-path violations: a second _obs test, and printing / f-string /
+comprehension allocation plus an obs-method call inside the loop."""
+
+
+class Pipeline:
+    # simcheck: hotpath
+    def process_batch(self, batch):
+        if self._obs is None:
+            pending = 0
+        if self._obs is not None:  # expect: SC002
+            pending = 1
+        total = pending
+        for item in batch:
+            print(item)  # expect: SC002
+            label = f"item-{item}"  # expect: SC002
+            squares = [x * x for x in range(item)]  # expect: SC002
+            total += item + len(label) + len(squares)
+        for item in batch:
+            self._obs.note(item)  # expect: SC002
+        return total

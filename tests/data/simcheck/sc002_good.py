@@ -1,0 +1,17 @@
+# simcheck-fixture: SC002
+"""Hot-path conformant shape: one ``_obs is None`` test per call, the
+hook bound to a local before the loop, and a quiet inner loop."""
+
+
+class Pipeline:
+    # simcheck: hotpath
+    def process_batch(self, batch):
+        emit = None
+        if self._obs is not None:
+            emit = self._obs.batch_hook
+        total = 0
+        for item in batch:
+            total += item
+        if emit is not None:
+            emit(total)
+        return total

@@ -1,0 +1,29 @@
+# simcheck-fixture: SC003
+"""A sanctioned exec site SC003 accepts: statically visible template,
+constant substitutions (directly and through an ``alu``-style wrapper),
+rendered code confined to the emu/ins namespace and helper calls."""
+
+
+def _build_handlers():
+    handlers = {}
+
+    ALU = (
+        "def run(emu, ins):\n"
+        "    x = emu.x\n"
+        "    a = x[ins.rs1]\n"
+        "    b = x[ins.rs2]\n"
+        "    x[ins.rd] = _s32({expr})\n"
+    )
+
+    def gen(op, template, **subst):
+        namespace = {"_s32": lambda v: v}
+        exec(template.format(**subst), namespace)
+        handlers[op] = namespace["run"]
+
+    def alu(op, expr):
+        gen(op, ALU, expr=expr)
+
+    alu("add", "a + b")
+    alu("sub", "a - b")
+    gen("mul", ALU, expr="a * b")
+    return handlers

@@ -1,0 +1,20 @@
+# simcheck-fixture: SC004
+"""Cache-key partition violations: an overlap plus a stale declared
+name (both anchor on the KEYED_FIELDS line), an undeclared field, a
+keyed field spec() never reads, and an excluded field it does read."""
+
+import dataclasses
+
+KEYED_FIELDS = ("workload", "seed", "retired")  # expect: SC004
+KEY_EXCLUDED_FIELDS = ("log_path", "seed")
+
+
+@dataclasses.dataclass
+class BrokenJob:
+    workload: str
+    seed: int  # expect: SC004
+    log_path: str  # expect: SC004
+    verbose: bool  # expect: SC004
+
+    def spec(self):
+        return {"workload": self.workload, "log": self.log_path}

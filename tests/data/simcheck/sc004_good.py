@@ -1,0 +1,21 @@
+# simcheck-fixture: SC004
+"""A complete, explicit cache-key partition SC004 accepts — including a
+keyed field reached only through spec()'s self-method closure."""
+
+import dataclasses
+
+KEYED_FIELDS = ("workload", "seed")
+KEY_EXCLUDED_FIELDS = ("log_path",)
+
+
+@dataclasses.dataclass
+class CleanJob:
+    workload: str
+    seed: int
+    log_path: str
+
+    def spec(self):
+        return {"workload": self.workload, "seed": self._seed_value()}
+
+    def _seed_value(self):
+        return self.seed

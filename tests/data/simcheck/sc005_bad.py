@@ -1,0 +1,24 @@
+# simcheck-fixture: SC005
+"""Round-trip gaps: a field the serializer drops, a field the
+deserializer never restores, and a stale ROUNDTRIP_EXCLUDE entry
+(anchored on the class line)."""
+
+
+class Snapshot:  # expect: SC005
+    ROUNDTRIP_EXCLUDE = ("scratch", "ghost")
+
+    def __init__(self, cycles, retired, label, scratch):
+        self.cycles = cycles
+        self.retired = retired  # expect: SC005
+        self.label = label  # expect: SC005
+        self.scratch = scratch
+
+    def to_dict(self):
+        return {"cycles": self.cycles, "label": self.label}
+
+    @classmethod
+    def from_dict(cls, data):
+        snap = object.__new__(Snapshot)
+        snap.cycles = data["cycles"]
+        snap.retired = 0
+        return snap

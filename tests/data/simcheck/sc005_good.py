@@ -1,0 +1,30 @@
+# simcheck-fixture: SC005
+"""Complete round-trips SC005 accepts: a generic __slots__-driven
+counters pair, and an explicit pair whose live handle is declared in
+ROUNDTRIP_EXCLUDE."""
+
+
+class Counters:
+    __slots__ = ("cycles", "retired")
+
+    def counters(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_counters(cls, data):
+        return cls(**data)
+
+
+class Labeled:
+    ROUNDTRIP_EXCLUDE = ("handle",)
+
+    def __init__(self, name, handle):
+        self.name = name
+        self.handle = handle
+
+    def to_dict(self):
+        return {"name": self.name}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["name"], None)

@@ -1,0 +1,39 @@
+# simcheck-fixture: SC006
+"""__slots__ violations: a marked class without slots, an unverifiable
+base, a store outside the slot set, and a __new__ construction site
+that both misses a slot and invents an attribute (both anchor on the
+construction line)."""
+
+
+class SomeBase:
+    pass
+
+
+# simcheck: per-instruction
+class Unslotted:  # expect: SC006
+    def __init__(self, pc):
+        self.pc = pc
+
+
+# simcheck: per-instruction
+class Derived(SomeBase):  # expect: SC006
+    __slots__ = ()
+
+
+# simcheck: per-instruction
+class Slotted:
+    __slots__ = ("pc", "seq")
+
+    def __init__(self, pc, seq):
+        self.pc = pc
+        self.seq = seq
+
+    def attach(self, note):
+        self.note = note  # expect: SC006
+
+
+def build_fast():
+    rec = Slotted.__new__(Slotted)  # expect: SC006
+    rec.pc = 0
+    rec.extra = 1
+    return rec

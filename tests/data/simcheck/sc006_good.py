@@ -1,0 +1,23 @@
+# simcheck-fixture: SC006
+"""A slotted per-instruction class SC006 accepts, built through the
+batch pipeline's ``__new__``-alias idiom with every slot populated."""
+
+
+# simcheck: per-instruction
+class Record:
+    __slots__ = ("pc", "seq")
+
+    def __init__(self, pc, seq):
+        self.pc = pc
+        self.seq = seq
+
+
+def build_fast(n):
+    make = Record.__new__
+    out = []
+    for seq in range(n):
+        rec = make(Record)
+        rec.pc = seq * 4
+        rec.seq = seq
+        out.append(rec)
+    return out

@@ -100,6 +100,34 @@ class TestCodeBlocks:
             "d.md", root=str(tmp_path)) == []
 
 
+class TestSimcheckRulePass:
+    def test_real_docs_rule_mentions_resolve(self):
+        assert check_docs.check_simcheck_rules() == []
+
+    def test_phantom_rule_mention_reported(self, tmp_path):
+        # A doc naming a rule the suite doesn't register must fail.
+        for relpath in check_docs.CHECKED_FILES:
+            dest = tmp_path / relpath
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text("# stub\n")
+        (tmp_path / "DESIGN.md").write_text(
+            "# stub\nSC001 SC002 SC003 SC004 SC005 SC006 and SC999.\n")
+        problems = check_docs.check_simcheck_rules(root=str(tmp_path))
+        assert len(problems) == 1 and "SC999" in problems[0]
+
+    def test_undocumented_rule_reported(self, tmp_path):
+        # DESIGN.md silent about a registered rule must fail too.
+        for relpath in check_docs.CHECKED_FILES:
+            dest = tmp_path / relpath
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text("# stub\n")
+        (tmp_path / "DESIGN.md").write_text(
+            "# stub\nOnly SC001 is described here.\n")
+        problems = check_docs.check_simcheck_rules(root=str(tmp_path))
+        assert any("SC002" in p and "never documented" in p
+                   for p in problems)
+
+
 class TestRealDocs:
     """The actual repo docs must pass every check."""
 

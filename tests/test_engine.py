@@ -68,6 +68,31 @@ class TestSimJob:
         assert live_result.instructions > 0
         assert live_result.technique == "conv"
 
+    def test_key_partition_declared(self):
+        import dataclasses as dc
+
+        from repro.engine.job import (KEY_EXCLUDED_FIELDS, KEYED_FIELDS,
+                                      _assert_key_partition)
+        fields = {f.name for f in dc.fields(SimJob)}
+        assert KEYED_FIELDS | KEY_EXCLUDED_FIELDS == fields
+        assert not KEYED_FIELDS & KEY_EXCLUDED_FIELDS
+        assert "trace_dir" in KEY_EXCLUDED_FIELDS
+        _assert_key_partition()  # must not raise on the real class
+
+    def test_key_partition_catches_new_field(self):
+        # Adding a SimJob field without deciding keyed-vs-excluded must
+        # blow up at import time, not silently alias cache entries.
+        import dataclasses as dc
+
+        from repro.engine.job import _assert_key_partition
+
+        @dc.dataclass
+        class Rogue(SimJob):
+            extra_knob: int = 0
+
+        with pytest.raises(RuntimeError, match="extra_knob"):
+            _assert_key_partition(Rogue)
+
 
 class TestResultSerialization:
     def test_round_trip_is_lossless(self, live_result):

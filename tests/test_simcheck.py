@@ -1,0 +1,242 @@
+"""Tests for the simcheck static-analysis suite itself.
+
+Each rule ships with a pair of fixture files under
+``tests/data/simcheck/`` — one deliberately violating, one clean.  Bad
+fixtures mark every line a finding must anchor to with a trailing
+``# expect: SCnnn`` comment, so these tests pin rule ids *and* line
+numbers without hard-coding them here.  The remaining tests cover the
+engine machinery: fixture quarantine, inline allows, the line-robust
+baseline workflow, CLI exit codes, and the real tree staying clean.
+"""
+
+import os
+import pathlib
+import textwrap
+
+import pytest
+
+from simcheck import ALL_RULES, Baseline, run_simcheck
+from simcheck.engine import BASELINE_PATH, Project, collect_files, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO_ROOT / "tests" / "data" / "simcheck"
+RULE_IDS = ("SC001", "SC002", "SC003", "SC004", "SC005", "SC006")
+
+
+def expected_lines(path):
+    """Line numbers carrying a ``# expect: SCnnn`` marker."""
+    return {lineno for lineno, line
+            in enumerate(path.read_text().splitlines(), 1)
+            if "# expect: SC" in line}
+
+
+def scan(*paths, **kwargs):
+    kwargs.setdefault("include_fixtures", True)
+    new, _ = run_simcheck([str(p) for p in paths], **kwargs)
+    return new
+
+
+class TestRegistry:
+    def test_at_least_six_rules(self):
+        assert len(ALL_RULES) >= 6
+
+    def test_ids_unique_and_expected(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert set(RULE_IDS) <= set(ids)
+
+    def test_rule_shape(self):
+        for rule in ALL_RULES:
+            assert rule.id.startswith("SC") and rule.id[2:].isdigit()
+            assert rule.title
+            assert rule.severity in ("error", "warning")
+            assert callable(rule.check)
+
+    def test_every_rule_has_fixture_pair(self):
+        for rule_id in RULE_IDS:
+            stem = rule_id.lower()
+            assert (FIXTURE_DIR / f"{stem}_bad.py").exists(), rule_id
+            assert (FIXTURE_DIR / f"{stem}_good.py").exists(), rule_id
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+class TestRuleFixtures:
+    def test_bad_fixture_flagged_at_expected_lines(self, rule_id):
+        path = FIXTURE_DIR / f"{rule_id.lower()}_bad.py"
+        findings = scan(path)
+        assert findings, f"{rule_id} bad fixture produced no findings"
+        assert {f.rule for f in findings} == {rule_id}
+        assert {f.line for f in findings} == expected_lines(path)
+
+    def test_good_fixture_clean(self, rule_id):
+        path = FIXTURE_DIR / f"{rule_id.lower()}_good.py"
+        assert scan(path) == []
+
+    def test_render_has_rule_id_and_location(self, rule_id):
+        path = FIXTURE_DIR / f"{rule_id.lower()}_bad.py"
+        rendered = scan(path)[0].render()
+        assert rule_id in rendered
+        assert f"{path.name}:" in rendered
+
+
+class TestFixtureQuarantine:
+    def test_fixtures_skipped_by_default(self):
+        assert scan(FIXTURE_DIR, include_fixtures=False) == []
+
+    def test_fixture_only_runs_named_rules(self):
+        # The SC002 bad fixture prints inside a loop AND tests _obs — but
+        # its deliberate badness must never trip other rules.
+        findings = scan(FIXTURE_DIR / "sc002_bad.py")
+        assert {f.rule for f in findings} == {"SC002"}
+
+
+class TestAllowsAndBaseline:
+    def _violating(self, tmp_path, extra=""):
+        """A scratch src/repro module with one SC001 violation."""
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True, exist_ok=True)
+        mod = pkg / "scratch.py"
+        mod.write_text(textwrap.dedent("""\
+            import time
+
+
+            def stamp():
+                return time.time()
+            """) + extra)
+        return mod
+
+    def test_violation_reported_with_rule_and_line(self, tmp_path):
+        mod = self._violating(tmp_path)
+        findings = scan(mod)
+        assert len(findings) == 1
+        assert findings[0].rule == "SC001"
+        assert findings[0].line == 5
+
+    def test_inline_allow_suppresses(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        mod = pkg / "allowed.py"
+        mod.write_text(
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()"
+            "  # simcheck: allow=SC001 timestamp is display-only\n")
+        assert scan(mod) == []
+
+    def test_allow_on_line_above(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        mod = pkg / "allowed2.py"
+        mod.write_text(
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    # simcheck: allow=SC001 timestamp is display-only\n"
+            "    return time.time()\n")
+        assert scan(mod) == []
+
+    def test_baseline_suppresses_and_survives_line_shift(self, tmp_path):
+        mod = self._violating(tmp_path)
+        baseline = Baseline.from_findings(scan(mod))
+
+        new, suppressed = run_simcheck([str(mod)], baseline=baseline)
+        assert new == []
+        assert len(suppressed) == 1
+
+        # Fingerprints hash the flagged line's text, not its number:
+        # edits above the finding must not un-suppress it.
+        mod.write_text("# an unrelated new comment\n" + mod.read_text())
+        new, suppressed = run_simcheck([str(mod)], baseline=baseline)
+        assert new == []
+        assert len(suppressed) == 1
+
+    def test_new_violation_escapes_baseline(self, tmp_path):
+        mod = self._violating(tmp_path)
+        baseline = Baseline.from_findings(scan(mod))
+        self._violating(tmp_path, extra=(
+            "\n\ndef fresh():\n    return time.time_ns()\n"))
+        new, suppressed = run_simcheck([str(mod)], baseline=baseline)
+        assert len(new) == 1
+        assert "time_ns" in new[0].line_text
+        assert len(suppressed) == 1
+
+    def test_baseline_roundtrip_via_file(self, tmp_path):
+        mod = self._violating(tmp_path)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(scan(mod)).save(str(path))
+        loaded = Baseline.load(str(path))
+        new, suppressed = run_simcheck([str(mod)], baseline=loaded)
+        assert new == [] and len(suppressed) == 1
+
+
+class TestCli:
+    def _violating(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        mod = pkg / "scratch.py"
+        mod.write_text("import time\nSTAMP = time.time()\n")
+        return mod
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "fine.py").write_text("VALUE = 1\n")
+        assert main([str(pkg)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_nonzero_with_location(
+            self, tmp_path, capsys):
+        mod = self._violating(tmp_path)
+        assert main([str(mod)]) == 1
+        out = capsys.readouterr().out
+        assert "SC001" in out
+        assert f"scratch.py:2:" in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        mod = self._violating(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(mod), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert main([str(mod), "--baseline", str(baseline)]) == 0
+        assert main([str(mod), "--baseline", str(baseline),
+                     "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_select_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--select", "SC999"]) == 2
+        capsys.readouterr()
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
+
+    def test_select_runs_only_named_rule(self, tmp_path):
+        mod = self._violating(tmp_path)
+        new, _ = run_simcheck([str(mod)], select=["SC002"])
+        assert new == []
+
+
+class TestRealTree:
+    def test_repo_is_clean_under_committed_baseline(self):
+        baseline = Baseline.load(BASELINE_PATH)
+        new, _ = run_simcheck(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+            baseline=baseline)
+        assert new == [], "\n".join(f.render() for f in new)
+
+    def test_markers_attached_in_real_tree(self):
+        # Guard against the markers silently detaching from their
+        # defs/classes during refactors: the rules only fire while
+        # these are indexed.
+        files = collect_files([str(REPO_ROOT / "src")])
+        project = Project(files)
+        assert {"DynInstr", "WrongPathRecord", "WrongPathWindow"} \
+            <= set(project.per_instruction)
+        hot = {os.path.basename(src.path)
+               for src in files if src.markers.get("hotpath")}
+        assert {"frontend.py", "queue.py", "ooo.py"} <= hot

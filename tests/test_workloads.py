@@ -87,3 +87,19 @@ class TestWorkloadShape:
     def test_check_false_skips_reference(self):
         wl = build_workload("gap.tc", scale="tiny", check=False)
         assert wl.expected_output is None
+
+    def test_tc_reference_matches_brute_force(self):
+        # Regression for the SC001 rewrite of reference(): the
+        # list-iteration form must still count each triangle once.
+        from itertools import combinations
+
+        from repro.workloads import graphs
+        from repro.workloads.gap.tc import reference
+
+        graph = graphs.power_law(40, 4, seed=5, symmetric=True)
+        adjacency = [set(map(int, graph.neighbors(u)))
+                     for u in range(graph.num_nodes)]
+        brute = sum(1 for u, v, w in combinations(range(graph.num_nodes), 3)
+                    if v in adjacency[u] and w in adjacency[u]
+                    and w in adjacency[v])
+        assert reference(graph) == brute

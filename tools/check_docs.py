@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation checks for the top-level markdown files.
 
-Three passes, all run by CI's docs job (and by ``tests/test_docs.py``):
+Four passes, all run by CI's docs job (and by ``tests/test_docs.py``):
 
 1. **Links** — every relative link ``[text](path)`` must point at an
    existing file, and every ``#anchor`` (same-file or cross-file) must
@@ -11,6 +11,10 @@ Three passes, all run by CI's docs job (and by ``tests/test_docs.py``):
    instead).
 3. **Doctests** — ``python -m doctest`` semantics over the files in
    :data:`DOCTEST_FILES`; examples must be deterministic.
+4. **simcheck rules** — every ``SCnnn`` rule id a checked file mentions
+   must exist in the registered suite (no docs for phantom rules), and
+   every registered rule must be documented in DESIGN.md (no phantom
+   rules for docs).
 
 Usage::
 
@@ -173,6 +177,38 @@ def check_file_doctests(relpath: str, root: str = REPO_ROOT) -> List[str]:
     return [f"{relpath}: {failures} doctest failure(s)"] if failures else []
 
 
+_SC_RULE_RE = re.compile(r"\bSC\d{3}\b")
+
+
+def check_simcheck_rules(root: str = REPO_ROOT) -> List[str]:
+    """Cross-check doc-mentioned SCnnn ids against the registered suite."""
+    if root not in sys.path:
+        sys.path.insert(0, root)  # the repo-root `simcheck` bootstrap stub
+    from simcheck import ALL_RULES
+    registered = {rule.id for rule in ALL_RULES}
+
+    problems: List[str] = []
+    design_mentions: set = set()
+    for relpath in CHECKED_FILES:
+        with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+            text = fh.read()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for rule_id in _SC_RULE_RE.findall(line):
+                if relpath == "DESIGN.md":
+                    design_mentions.add(rule_id)
+                if rule_id not in registered:
+                    problems.append(
+                        f"{relpath}:{lineno}: mentions simcheck rule "
+                        f"{rule_id}, which is not in the suite "
+                        f"(python -m simcheck --list-rules)")
+    for rule_id in sorted(registered - design_mentions):
+        problems.append(
+            f"DESIGN.md: simcheck rule {rule_id} is registered but "
+            f"never documented (add it to the machine-checked "
+            f"invariants section)")
+    return problems
+
+
 def main(argv: List[str] = ()) -> int:
     problems: List[str] = []
     for relpath in CHECKED_FILES:
@@ -180,6 +216,7 @@ def main(argv: List[str] = ()) -> int:
         problems += check_file_codeblocks(relpath)
     for relpath in DOCTEST_FILES:
         problems += check_file_doctests(relpath)
+    problems += check_simcheck_rules()
     for problem in problems:
         print(problem, file=sys.stderr)
     n_files = len(set(CHECKED_FILES) | set(DOCTEST_FILES))

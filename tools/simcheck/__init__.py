@@ -1,0 +1,38 @@
+"""simcheck — repo-specific static analysis for the repro simulator.
+
+Machine-checks the conventions the reproduction's headline claims rest
+on (DESIGN.md §8): bit-identical determinism across techniques, the
+≥2x hot path with zero-cost-when-disabled observability, and lossless
+content-addressed serialization.  Run it from the repo root::
+
+    python -m simcheck src/ tests/
+
+Rules (each an AST visitor with fixture-tested good/bad examples under
+``tests/data/simcheck/``):
+
+=====  ==============================================================
+SC001  determinism: no unseeded RNG, wall clock, ``id()``/``hash()``,
+       set or unsorted-filesystem iteration in ``src/repro/``
+SC002  hot-path discipline for ``# simcheck: hotpath`` functions
+SC003  exec-handler safety: generated handlers pass an AST whitelist
+SC004  cache-key completeness for job-spec dataclasses
+SC005  round-trip completeness for ``to_dict``/``from_dict`` classes
+SC006  ``__slots__`` coverage for per-instruction classes
+=====  ==============================================================
+
+Suppressions: an inline ``# simcheck: allow=SCnnn <why>`` on (or above)
+the flagged line, or an entry in the committed baseline
+(``tools/simcheck/baseline.json``, regenerated with
+``--write-baseline``).  CI runs the suite in the ``lint`` job next to
+``ruff`` and ``mypy``; see CONTRIBUTING.md ("Lint gate").
+"""
+
+from simcheck.engine import (Baseline, Finding, Project, SourceFile,
+                             collect_files, main, run_simcheck)
+from simcheck.rules import ALL_RULES, register
+
+__version__ = "1.0.0"
+
+__all__ = ["ALL_RULES", "Baseline", "Finding", "Project", "SourceFile",
+           "collect_files", "main", "register", "run_simcheck",
+           "__version__"]

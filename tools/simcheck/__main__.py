@@ -1,0 +1,8 @@
+"""``python -m simcheck`` entry point."""
+
+import sys
+
+from simcheck.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,368 @@
+"""simcheck core: source loading, marker parsing, baselines, the runner.
+
+The suite is deliberately simple machinery around :mod:`ast`:
+
+* :class:`SourceFile` — one parsed ``.py`` file plus the simcheck marker
+  comments found in it (``hotpath``, ``per-instruction``, ``allow=SCnnn``,
+  and the ``# simcheck-fixture`` header that quarantines rule fixtures).
+* :class:`Project` — a cross-file index built in a pre-pass (today: the
+  ``per-instruction``-marked classes and their ``__slots__``), so rules
+  can check construction sites in one module against a class defined in
+  another.
+* :class:`Baseline` — committed fingerprints of pre-existing violations.
+  Fingerprints hash the *text* of the flagged line (not its number), so
+  unrelated edits above a baselined finding do not un-suppress it.
+* :func:`run_simcheck` / :func:`main` — collect files, run every rule,
+  filter inline allows and the baseline, report ``path:line: SCnnn ...``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import json
+import os
+import re
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default scan roots when the CLI is given no paths (repo-root relative).
+DEFAULT_PATHS = ("src", "tests")
+
+#: Default committed baseline, next to this file.
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "baseline.json")
+
+_MARKER_RE = re.compile(r"#\s*simcheck:\s*([A-Za-z-]+)(?:=([A-Z0-9,]+))?")
+_FIXTURE_RE = re.compile(r"#\s*simcheck-fixture\b")
+
+
+class Finding:
+    """One rule violation at one source line."""
+
+    __slots__ = ("rule", "path", "line", "message", "severity",
+                 "line_text")
+
+    def __init__(self, rule: str, path: str, line: int, message: str,
+                 severity: str = "error", line_text: str = ""):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+        self.severity = severity
+        self.line_text = line_text
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching: rule + file + the
+        flagged line's text (whitespace-normalized).  Line *numbers* are
+        deliberately absent so edits elsewhere in the file do not churn
+        the baseline."""
+        basis = "|".join((self.rule, _posix(self.path),
+                          " ".join(self.line_text.split())))
+        return hashlib.sha256(basis.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.rule} "
+                f"[{self.severity}] {self.message}")
+
+    def __repr__(self) -> str:
+        return f"<Finding {self.render()}>"
+
+
+class SourceFile:
+    """One parsed source file plus its simcheck marker comments."""
+
+    def __init__(self, path: str, text: str, display_path: str = None):
+        self.path = os.path.abspath(path)
+        self.display_path = display_path if display_path is not None \
+            else os.path.relpath(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        #: True for rule-fixture files (scanned only on explicit request).
+        self.is_fixture = any(_FIXTURE_RE.search(line)
+                              for line in self.lines[:5])
+        #: line -> set of rule ids allowed there (inline suppressions).
+        self.allows: Dict[int, set] = {}
+        #: marker name -> sorted line numbers where it appears.
+        self.markers: Dict[str, List[int]] = {}
+        for lineno, line in enumerate(self.lines, 1):
+            for m in _MARKER_RE.finditer(line):
+                name, arg = m.group(1), m.group(2)
+                if name == "allow" and arg:
+                    self.allows.setdefault(lineno, set()).update(
+                        arg.split(","))
+                else:
+                    self.markers.setdefault(name, []).append(lineno)
+
+    # -- marker helpers --------------------------------------------------------
+
+    def has_marker(self, name: str, node: ast.AST) -> bool:
+        """Is ``# simcheck: <name>`` attached to this def/class?
+
+        A marker is attached when it sits on the ``def``/``class`` line
+        itself, on the line directly above it, or on/above the first
+        decorator.
+        """
+        lines = self.markers.get(name)
+        if not lines:
+            return False
+        first = node.lineno
+        for deco in getattr(node, "decorator_list", []):
+            first = min(first, deco.lineno)
+        return any(lineno in (first - 1, first, node.lineno)
+                   for lineno in lines)
+
+    def is_allowed(self, rule: str, lineno: int) -> bool:
+        """Inline ``# simcheck: allow=SCnnn`` on the line or the line
+        above suppresses the finding (the comment should say why)."""
+        for at in (lineno, lineno - 1):
+            if rule in self.allows.get(at, ()):
+                return True
+        return False
+
+    def finding(self, rule: str, node_or_line, message: str,
+                severity: str = "error") -> Finding:
+        lineno = node_or_line if isinstance(node_or_line, int) \
+            else node_or_line.lineno
+        text = self.lines[lineno - 1] if 0 < lineno <= len(self.lines) \
+            else ""
+        return Finding(rule, self.display_path, lineno, message,
+                       severity, text)
+
+    @property
+    def in_repro(self) -> bool:
+        """Does this file belong to the simulator package proper?"""
+        parts = _posix(self.path).split("/")
+        return "repro" in parts and "src" in parts
+
+    @property
+    def is_test(self) -> bool:
+        base = os.path.basename(self.path)
+        return base.startswith("test_") or base == "conftest.py"
+
+
+class Project:
+    """Cross-file index shared by every rule invocation."""
+
+    def __init__(self, files: Sequence[SourceFile]):
+        self.files = list(files)
+        #: class name -> (SourceFile, ClassDef, slots tuple or None)
+        #: for every ``# simcheck: per-instruction``-marked class.
+        self.per_instruction: Dict[str, Tuple[SourceFile, ast.ClassDef,
+                                              Optional[Tuple[str, ...]]]]
+        self.per_instruction = {}
+        for src in self.files:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef) and \
+                        src.has_marker("per-instruction", node):
+                    self.per_instruction[node.name] = (
+                        src, node, class_slots(node))
+
+
+def class_slots(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    """The class's literal ``__slots__`` strings, or None if absent."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "__slots__":
+                    value = stmt.value
+                    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                        elts = value.elts
+                    elif isinstance(value, ast.Constant) and \
+                            isinstance(value.value, str):
+                        return (value.value,)
+                    else:
+                        return ()
+                    return tuple(e.value for e in elts
+                                 if isinstance(e, ast.Constant)
+                                 and isinstance(e.value, str))
+    return None
+
+
+class Baseline:
+    """Committed fingerprints of accepted pre-existing violations."""
+
+    VERSION = 1
+
+    def __init__(self, entries: Optional[List[dict]] = None,
+                 path: Optional[str] = None):
+        self.path = path
+        self.entries = list(entries or [])
+        self._fingerprints = {e["fingerprint"] for e in self.entries}
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(path=path)
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != cls.VERSION:
+            raise ValueError(f"baseline {path}: unsupported version "
+                             f"{data.get('version')!r}")
+        return cls(data.get("entries", []), path=path)
+
+    def suppresses(self, finding: Finding) -> bool:
+        return finding.fingerprint in self._fingerprints
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      reason: str = "pre-existing") -> "Baseline":
+        entries = [{"fingerprint": f.fingerprint, "rule": f.rule,
+                    "path": _posix(f.path), "reason": reason,
+                    "summary": f.message}
+                   for f in sorted(findings,
+                                   key=lambda f: (f.path, f.line, f.rule))]
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        payload = {"version": self.VERSION, "entries": self.entries}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _posix(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def collect_files(paths: Sequence[str]) -> List[SourceFile]:
+    """Every ``.py`` file under the given files/directories, sorted (the
+    suite must itself be deterministic)."""
+    seen = {}
+    for root in paths:
+        if os.path.isfile(root):
+            seen[os.path.abspath(root)] = root
+            continue
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__"
+                                 and not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    path = os.path.join(dirpath, name)
+                    seen[os.path.abspath(path)] = path
+    files = []
+    for abspath in sorted(seen):
+        with open(abspath, encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            files.append(SourceFile(abspath, text,
+                                    display_path=_posix(
+                                        os.path.relpath(seen[abspath]))))
+        except SyntaxError as exc:
+            raise SystemExit(f"simcheck: cannot parse {seen[abspath]}: "
+                             f"{exc}")
+    return files
+
+
+def run_simcheck(paths: Sequence[str],
+                 include_fixtures: bool = False,
+                 baseline: Optional[Baseline] = None,
+                 select: Optional[Sequence[str]] = None,
+                 ) -> Tuple[List[Finding], List[Finding]]:
+    """Run the suite; returns ``(new_findings, suppressed_findings)``.
+
+    ``suppressed_findings`` are those silenced by the baseline (inline
+    ``allow`` comments are filtered earlier and never reported).
+    """
+    from simcheck.rules import ALL_RULES
+    rules = [r for r in ALL_RULES
+             if select is None or r.id in select]
+    files = collect_files(paths)
+    checked = [f for f in files if include_fixtures or not f.is_fixture]
+    project = Project(checked)
+    findings: List[Finding] = []
+    for src in checked:
+        for rule in rules:
+            for finding in rule.check(src, project):
+                if not src.is_allowed(finding.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    if baseline is None:
+        return findings, []
+    new = [f for f in findings if not baseline.suppresses(f)]
+    suppressed = [f for f in findings if baseline.suppresses(f)]
+    return new, suppressed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m simcheck",
+        description="Repo-specific static analysis: determinism, "
+                    "hot-path discipline, and serialization invariants.")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to scan "
+                             "(default: src/ tests/)")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline file of accepted pre-existing "
+                             "violations")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--include-fixtures", action="store_true",
+                        help="also scan # simcheck-fixture files "
+                             "(rule test data)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    from simcheck.rules import ALL_RULES
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  [{rule.severity:7s}] {rule.title}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    if select:
+        known = {r.id for r in ALL_RULES}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(f"simcheck: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"simcheck: no such path: {path}", file=sys.stderr)
+            return 2
+
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"simcheck: {exc}", file=sys.stderr)
+            return 2
+
+    findings, suppressed = run_simcheck(
+        args.paths, include_fixtures=args.include_fixtures,
+        baseline=baseline, select=select)
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"simcheck: baselined {len(findings)} finding(s) "
+              f"-> {args.baseline}")
+        return 0
+
+    for finding in findings:
+        print(finding.render())
+    n_rules = len(select) if select else len(ALL_RULES)
+    if findings:
+        print(f"simcheck: {len(findings)} finding(s) "
+              f"({len(suppressed)} baselined), {n_rules} rule(s)",
+              file=sys.stderr)
+        return 1
+    print(f"simcheck: clean ({n_rules} rule(s), "
+          f"{len(suppressed)} baselined finding(s))")
+    return 0

@@ -1,0 +1,62 @@
+"""Rule registry.  Each rule is a class with:
+
+* ``id`` — ``SCnnn``, unique, referenced by docs / allows / baselines,
+* ``title`` — one-line summary shown by ``--list-rules``,
+* ``severity`` — ``error`` (gates CI) or ``warning``,
+* ``check(src, project)`` — yields :class:`~simcheck.engine.Finding`.
+
+Register with the :func:`register` decorator; the modules below are
+imported for their registration side effect.  Fixture files under
+``tests/data/simcheck/`` declare which rule they exercise in their
+``# simcheck-fixture: SCnnn`` header, and every rule confines itself to
+that rule list when checking a fixture (so a SC002 fixture's deliberate
+badness never trips SC001 in the same run).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+ALL_RULES: List = []
+
+
+def register(cls):
+    """Class decorator adding one rule (instantiated once) to the suite."""
+    rule = cls()
+    if any(r.id == rule.id for r in ALL_RULES):
+        raise ValueError(f"duplicate rule id {rule.id}")
+    ALL_RULES.append(rule)
+    ALL_RULES.sort(key=lambda r: r.id)
+    return cls
+
+
+def fixture_rules(src) -> set:
+    """Rule ids a ``# simcheck-fixture: SCnnn[,SCnnn]`` header names."""
+    for line in src.lines[:5]:
+        if "simcheck-fixture" in line:
+            _, _, rest = line.partition("simcheck-fixture")
+            return {tok.strip(": ")
+                    for tok in rest.replace(",", " ").split()
+                    if tok.strip(": ").startswith("SC")}
+    return set()
+
+
+def in_scope(src, rule_id: str, repro_only: bool = True,
+             tests_exempt: bool = True) -> bool:
+    """Common scope gate: fixtures only run the rules they name; real
+    files follow the rule's path scope."""
+    if src.is_fixture:
+        return rule_id in fixture_rules(src)
+    if repro_only and not src.in_repro:
+        return False
+    if tests_exempt and src.is_test:
+        return False
+    return True
+
+
+from simcheck.rules import sc001_determinism  # noqa: E402,F401
+from simcheck.rules import sc002_hotpath  # noqa: E402,F401
+from simcheck.rules import sc003_exec_handlers  # noqa: E402,F401
+from simcheck.rules import sc004_cache_key  # noqa: E402,F401
+from simcheck.rules import sc005_roundtrip  # noqa: E402,F401
+from simcheck.rules import sc006_slots  # noqa: E402,F401

@@ -1,0 +1,151 @@
+"""Shared AST helpers for the simcheck rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def scoped_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's nodes WITHOUT descending into nested function /
+    lambda scopes (their loops and locals belong to them)."""
+    todo = list(ast.iter_child_nodes(scope))
+    while todo:
+        node = todo.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            todo.extend(ast.iter_child_nodes(node))
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every (async) function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def self_attr_loads(func: ast.FunctionDef,
+                    self_name: str = "self") -> Set[str]:
+    """Names of ``self.<attr>`` loads anywhere in the function."""
+    loads: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == self_name and \
+                isinstance(node.ctx, ast.Load):
+            loads.add(node.attr)
+    return loads
+
+
+def self_attr_stores(func: ast.FunctionDef,
+                     self_name: str = "self") -> Dict[str, int]:
+    """``self.<attr> = ...`` stores -> first line number."""
+    stores: Dict[str, int] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == self_name and \
+                isinstance(node.ctx, ast.Store):
+            stores.setdefault(node.attr, node.lineno)
+    return stores
+
+
+def self_method_calls(func: ast.FunctionDef,
+                      self_name: str = "self") -> Set[str]:
+    """Names of ``self.<method>(...)`` calls in the function."""
+    calls: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == self_name:
+            calls.add(node.func.attr)
+    return calls
+
+
+def class_methods(node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    """Directly defined methods by name (no inheritance)."""
+    return {stmt.name: stmt for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def dataclass_fields(node: ast.ClassDef) -> List[Tuple[str, int]]:
+    """Annotated field names of a dataclass body as (name, line)."""
+    fields: List[Tuple[str, int]] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            anno = stmt.annotation
+            anno_name = dotted_name(anno) or ""
+            if isinstance(anno, ast.Subscript):
+                anno_name = dotted_name(anno.value) or ""
+            if anno_name.split(".")[-1] == "ClassVar":
+                continue
+            fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target) or ""
+        if name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+def const_str_elts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """String elements of a literal set/tuple/list or
+    ``set``/``frozenset``/``tuple`` call over one; None if not literal."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset", "tuple") \
+            and len(node.args) == 1 and not node.keywords:
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        values = []
+        for elt in node.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                return None
+            values.append(elt.value)
+        return tuple(values)
+    return None
+
+
+def loops_in(func: ast.FunctionDef) -> List[ast.AST]:
+    """Every for/while loop in the function (nested ones included)."""
+    return [node for node in ast.walk(func)
+            if isinstance(node, (ast.For, ast.While, ast.AsyncFor))]
+
+
+def nodes_under(roots: Sequence[ast.AST]) -> Iterator[ast.AST]:
+    """Walk the bodies of loop nodes (the loops' own iter/test included)."""
+    for root in roots:
+        yield from ast.walk(root)
+
+
+def enclosing_raise_spans(func: ast.FunctionDef) -> List[Tuple[int, int]]:
+    """(first, last) line spans of every ``raise`` statement subtree."""
+    spans = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Raise):
+            end = getattr(node, "end_lineno", node.lineno)
+            spans.append((node.lineno, end))
+    return spans
+
+
+def in_spans(lineno: int, spans: Sequence[Tuple[int, int]]) -> bool:
+    return any(lo <= lineno <= hi for lo, hi in spans)

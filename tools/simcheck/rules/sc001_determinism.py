@@ -1,0 +1,225 @@
+"""SC001 — determinism: no unseeded randomness, wall-clock values, object
+identities, or unordered iteration in the simulator package.
+
+The reproduction's headline claim is bit-identical results across the
+four techniques (DESIGN.md §6, the determinism goldens).  Everything in
+``src/repro/`` is therefore presumed to feed returned or serialized
+data, and the rule is deliberately conservative:
+
+* calls into the *global* :mod:`random` RNG (``random.random()``,
+  ``from random import randint`` …) — seeded ``random.Random(seed)``
+  instances are fine;
+* the numpy global RNG (``np.random.random()`` …) — ``default_rng(seed)``
+  and friends are fine;
+* wall-clock reads (``time.time``, ``datetime.now`` …) — the monotonic
+  measurement clocks (``perf_counter``/``monotonic``/``process_time``)
+  are allowed because results quarantine them in ``wall_seconds``, which
+  the determinism goldens exclude;
+* ``id()`` and builtin ``hash()`` (PYTHONHASHSEED-dependent for str);
+* iterating a ``set``/``frozenset`` (hash order varies across
+  interpreters for str elements), including one-step inference through
+  locals (``adj = [set(...)]; for v in adj[u]``);
+* iterating directory listings (``os.listdir``/``os.walk``/``glob`` …)
+  without ``sorted(...)`` — filesystem order is not deterministic.
+
+Pytest files (``test_*.py``/``conftest.py``) are exempt: their results
+are assertion-checked, not serialized.  Justified exceptions take an
+inline ``# simcheck: allow=SC001 <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from simcheck.rules import in_scope, register
+from simcheck.rules._util import dotted_name, scoped_walk
+
+#: Wall-clock / identity calls that must not feed simulator data.
+BAD_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "random UUID",
+    "os.getpid": "process identity",
+}
+
+#: Names importable ``from <module> import <name>`` that are equally bad.
+BAD_FROM_IMPORTS = {
+    ("time", "time"): "wall-clock read",
+    ("time", "time_ns"): "wall-clock read",
+    ("os", "urandom"): "OS entropy",
+    ("uuid", "uuid4"): "random UUID",
+}
+
+#: numpy.random attributes that are *not* the unseeded global RNG.
+NUMPY_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64",
+                   "Philox", "SFC64", "MT19937", "BitGenerator",
+                   "RandomState"}
+
+#: random-module attributes that are fine (seedable class constructors).
+RANDOM_MODULE_OK = {"Random", "SystemRandom"}
+
+#: Filesystem enumerations whose order is not deterministic.
+FS_LISTING_CALLS = {"os.listdir", "os.scandir", "os.walk", "glob.glob",
+                    "glob.iglob", "listdir", "scandir", "walk", "iglob"}
+
+_SET_METHODS = {"intersection", "union", "difference",
+                "symmetric_difference"}
+
+
+def _is_set_expr(node: ast.AST, env: dict) -> bool:
+    """Best-effort: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and \
+                node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _SET_METHODS and \
+                _is_set_expr(node.func.value, env):
+            return True
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.BitXor,
+                                 ast.Sub)):
+        return _is_set_expr(node.left, env) or \
+            _is_set_expr(node.right, env)
+    if isinstance(node, ast.Name):
+        return env.get(node.id) == "set"
+    if isinstance(node, ast.Subscript) and \
+            isinstance(node.value, ast.Name):
+        return env.get(node.value.id) == "list_of_set"
+    return False
+
+
+def _scope_env(scope: ast.AST) -> dict:
+    """name -> 'set' | 'list_of_set' for simple assignments in a scope."""
+    env: dict = {}
+    for node in scoped_walk(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            name, value = node.targets[0].id, node.value
+            if _is_set_expr(value, env):
+                env[name] = "set"
+            elif isinstance(value, ast.ListComp) and \
+                    _is_set_expr(value.elt, env):
+                env[name] = "list_of_set"
+            elif isinstance(value, ast.List) and value.elts and \
+                    all(_is_set_expr(e, env) for e in value.elts):
+                env[name] = "list_of_set"
+    return env
+
+
+def _iter_targets(tree: ast.AST):
+    """Every (scope, iterated-expression) pair: for-loops plus
+    comprehension generators, attributed to their enclosing scope."""
+    scopes = [tree] + [n for n in ast.walk(tree)
+                       if isinstance(n, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))]
+    for scope in scopes:
+        for node in scoped_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield scope, node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield scope, gen.iter
+
+
+@register
+class DeterminismRule:
+    id = "SC001"
+    title = ("determinism: no unseeded RNG, wall clock, id()/hash(), "
+             "set or unsorted-filesystem iteration in src/repro/")
+    severity = "error"
+
+    def check(self, src, project):
+        if not in_scope(src, self.id):
+            return
+
+        random_aliases = {"random"}
+        bad_imported = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    key = (node.module, alias.name)
+                    if node.module == "random" and \
+                            alias.name not in RANDOM_MODULE_OK:
+                        bad_imported[alias.asname or alias.name] = \
+                            "global random RNG"
+                    elif key in BAD_FROM_IMPORTS:
+                        bad_imported[alias.asname or alias.name] = \
+                            BAD_FROM_IMPORTS[key]
+
+        sorted_call_lines = {
+            n.lineno for n in ast.walk(src.tree)
+            if isinstance(n, ast.Call) and
+            isinstance(n.func, ast.Name) and n.func.id == "sorted"}
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if name in BAD_CALLS:
+                yield src.finding(
+                    "SC001", node,
+                    f"{BAD_CALLS[name]} `{name}()` can leak into "
+                    f"simulated results; results must be a pure function "
+                    f"of the job spec")
+            elif parts[0] in bad_imported and len(parts) == 1:
+                yield src.finding(
+                    "SC001", node,
+                    f"{bad_imported[parts[0]]} `{name}()` (imported) "
+                    f"is not deterministic across runs")
+            elif len(parts) == 2 and parts[0] in random_aliases and \
+                    parts[1] not in RANDOM_MODULE_OK:
+                yield src.finding(
+                    "SC001", node,
+                    f"global random RNG `{name}()`; use a seeded "
+                    f"`random.Random(seed)` or numpy `default_rng(seed)`")
+            elif len(parts) >= 2 and parts[-2] == "random" and \
+                    parts[-1] not in NUMPY_RANDOM_OK and \
+                    parts[0] in ("np", "numpy"):
+                yield src.finding(
+                    "SC001", node,
+                    f"numpy global RNG `{name}()`; use "
+                    f"`default_rng(seed)`")
+            elif isinstance(node.func, ast.Name) and \
+                    node.func.id in ("id", "hash") and node.args:
+                yield src.finding(
+                    "SC001", node,
+                    f"builtin `{node.func.id}()` depends on object "
+                    f"identity / PYTHONHASHSEED; derive keys from "
+                    f"values instead")
+
+        for scope, iter_expr in _iter_targets(src.tree):
+            env = _scope_env(scope)
+            if _is_set_expr(iter_expr, env):
+                yield src.finding(
+                    "SC001", iter_expr,
+                    "iterating a set: element order varies with "
+                    "PYTHONHASHSEED; iterate a sorted() copy or a list "
+                    "and keep the set for membership tests")
+                continue
+            name = dotted_name(iter_expr.func) \
+                if isinstance(iter_expr, ast.Call) else None
+            if name in FS_LISTING_CALLS and \
+                    iter_expr.lineno not in sorted_call_lines:
+                yield src.finding(
+                    "SC001", iter_expr,
+                    f"iterating `{name}()` directly: filesystem order "
+                    f"is not deterministic; wrap in sorted(...)")

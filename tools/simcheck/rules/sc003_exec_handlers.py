@@ -1,0 +1,232 @@
+"""SC003 — exec-handler safety for the generated instruction handlers.
+
+``repro.functional.emulator._build_handlers`` is the one sanctioned
+``exec`` site in the tree: it renders ALU/branch handler source from
+string templates (``{expr}``/``{test}`` substitution) so executing an
+instruction costs a single flat call.  That speed trick is only safe
+while the generated code stays trivially auditable, so this rule:
+
+* statically re-renders every template × substitution pair it can
+  resolve (direct ``gen(op, TEMPLATE, kw=const)`` calls and one level of
+  ``def alu(op, expr): gen(op, ALU, expr=expr)``-style wrappers) and
+  checks the resulting AST against a whitelist — no imports, no global
+  or nonlocal writes, no attribute access outside the declared ``emu``/
+  ``ins`` namespace, no calls except the arithmetic helpers;
+* flags any ``exec``/``eval`` call *outside* a ``_build_handlers``
+  function anywhere in ``src/repro/`` — new exec sites need their own
+  audit story before they can exist;
+* flags substitutions it cannot resolve to a constant (an unverifiable
+  template is treated as a violation, not a pass).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from simcheck.rules import in_scope, register
+from simcheck.rules._util import dotted_name
+
+#: Functions generated handlers may call.
+ALLOWED_CALLS = {"_s32", "_div", "_rem", "int", "abs", "min", "max"}
+
+#: Attribute namespace the handlers may touch (load or store).
+ALLOWED_ATTRS = {
+    "emu": {"x", "f", "_taken", "_mem_addr"},
+    "ins": {"rs1", "rs2", "rd", "imm", "pc", "target"},
+}
+
+#: Globals the rendered code may read (module ns handed to exec + locals
+#: the templates themselves bind).
+ALLOWED_NAMES = {"MASK", "INT_MIN", "_s32", "_div", "_rem",
+                 "INSTRUCTION_SIZE", "emu", "ins", "x", "f", "a", "b",
+                 "i", "value", "run", "int", "abs", "min", "max",
+                 "True", "False", "None"}
+
+#: Names the rendered code may bind.
+ALLOWED_STORES = {"run", "x", "f", "a", "b", "i", "value"}
+
+_FORBIDDEN_NODES = (ast.Import, ast.ImportFrom, ast.Global,
+                    ast.Nonlocal, ast.ClassDef, ast.Lambda, ast.Await,
+                    ast.Yield, ast.YieldFrom, ast.Try, ast.With,
+                    ast.Delete, ast.Starred)
+
+
+def _audit_generated(source: str) -> list:
+    """Whitelist problems with one rendered handler source."""
+    problems = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [f"rendered handler does not parse: {exc.msg}"]
+    for node in ast.walk(tree):
+        if isinstance(node, _FORBIDDEN_NODES):
+            problems.append(
+                f"forbidden construct {type(node).__name__}")
+        elif isinstance(node, ast.Attribute):
+            base = node.value
+            if not (isinstance(base, ast.Name)
+                    and base.id in ALLOWED_ATTRS
+                    and node.attr in ALLOWED_ATTRS[base.id]):
+                problems.append(
+                    f"attribute access outside the declared namespace: "
+                    f"`{dotted_name(node) or node.attr}`")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not (isinstance(func, ast.Name)
+                    and func.id in ALLOWED_CALLS):
+                problems.append(
+                    f"call outside the whitelist: "
+                    f"`{dotted_name(func) or '?'}()`")
+        elif isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Store):
+                if node.id not in ALLOWED_STORES:
+                    problems.append(f"binds disallowed name "
+                                    f"`{node.id}`")
+            elif node.id not in ALLOWED_NAMES:
+                problems.append(f"reads undeclared name `{node.id}`")
+        elif isinstance(node, ast.Subscript) and \
+                isinstance(node.ctx, ast.Store):
+            if not (isinstance(node.value, ast.Name)
+                    and node.value.id in ALLOWED_STORES):
+                problems.append("subscript store outside x/f register "
+                                "files")
+    return problems
+
+
+def _template_assigns(func: ast.FunctionDef) -> dict:
+    """UPPERCASE string constants that look like handler templates."""
+    templates = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str) and \
+                "def run(" in node.value.value:
+            templates[node.targets[0].id] = node.value.value
+    return templates
+
+
+def _wrapper_map(func: ast.FunctionDef, templates: dict) -> dict:
+    """``alu``-style wrappers: name -> (template, keyword, line span).
+
+    Detects ``def w(op, X): gen(op, TEMPLATE, kw=X)``.  The span lets
+    the substitution scan skip the forwarding ``gen`` call inside the
+    wrapper body (it is audited through the wrapper's call sites).
+    """
+    wrappers = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.FunctionDef) or \
+                len(node.args.args) != 2:
+            continue
+        second = node.args.args[1].arg
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call) and \
+                    isinstance(call.func, ast.Name) and \
+                    call.func.id == "gen" and len(call.args) >= 2 and \
+                    isinstance(call.args[1], ast.Name) and \
+                    call.args[1].id in templates:
+                for kw in call.keywords:
+                    if isinstance(kw.value, ast.Name) and \
+                            kw.value.id == second and kw.arg:
+                        wrappers[node.name] = (
+                            call.args[1].id, kw.arg,
+                            (node.lineno,
+                             getattr(node, "end_lineno", node.lineno)))
+    return wrappers
+
+
+def _substitutions(func: ast.FunctionDef, templates: dict,
+                   wrappers: dict):
+    """Yield (call node, template source, {kw: const}, resolvable)."""
+    wrapper_spans = [span for _, _, span in wrappers.values()]
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call) or \
+                not isinstance(node.func, ast.Name):
+            continue
+        name = node.func.id
+        if name == "gen" and len(node.args) >= 2:
+            if any(lo <= node.lineno <= hi for lo, hi in wrapper_spans):
+                continue  # the forwarding call inside a wrapper body
+            tmpl = node.args[1]
+            if isinstance(tmpl, ast.Name) and tmpl.id in templates:
+                subst, ok = {}, True
+                for kw in node.keywords:
+                    if kw.arg and isinstance(kw.value, ast.Constant) \
+                            and isinstance(kw.value.value, str):
+                        subst[kw.arg] = kw.value.value
+                    elif kw.arg:
+                        ok = False
+                yield node, templates[tmpl.id], subst, ok
+        elif name in wrappers:
+            tmpl_name, kw_name, _ = wrappers[name]
+            if len(node.args) >= 2 and \
+                    isinstance(node.args[1], ast.Constant) and \
+                    isinstance(node.args[1].value, str):
+                yield (node, templates[tmpl_name],
+                       {kw_name: node.args[1].value}, True)
+            else:
+                yield node, templates[tmpl_name], {}, False
+
+
+@register
+class ExecHandlerRule:
+    id = "SC003"
+    title = ("exec-handler safety: generated handler templates pass an "
+             "AST whitelist; no exec/eval outside _build_handlers")
+    severity = "error"
+
+    def check(self, src, project):
+        if not in_scope(src, self.id):
+            return
+
+        builders = [node for node in ast.walk(src.tree)
+                    if isinstance(node, ast.FunctionDef)
+                    and node.name == "_build_handlers"]
+        builder_spans = [(b.lineno,
+                          getattr(b, "end_lineno", b.lineno))
+                         for b in builders]
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id in ("exec", "eval"):
+                if not any(lo <= node.lineno <= hi
+                           for lo, hi in builder_spans):
+                    yield src.finding(
+                        "SC003", node,
+                        f"`{node.func.id}()` outside the sanctioned "
+                        f"_build_handlers site; dynamic code needs an "
+                        f"audit story (see SC003 in DESIGN.md §8)")
+
+        for builder in builders:
+            templates = _template_assigns(builder)
+            wrappers = _wrapper_map(builder, templates)
+            if not templates:
+                yield src.finding(
+                    "SC003", builder,
+                    "_build_handlers has an exec site but no "
+                    "statically visible templates; simcheck cannot "
+                    "audit the generated code")
+                continue
+            for call, template, subst, ok in _substitutions(
+                    builder, templates, wrappers):
+                if not ok and not subst:
+                    yield src.finding(
+                        "SC003", call,
+                        "handler substitution is not a string "
+                        "constant; the generated code cannot be "
+                        "audited statically")
+                    continue
+                try:
+                    rendered = template.format(**subst)
+                except (KeyError, IndexError):
+                    yield src.finding(
+                        "SC003", call,
+                        f"template placeholder mismatch for "
+                        f"substitution {sorted(subst)}")
+                    continue
+                for problem in _audit_generated(rendered):
+                    yield src.finding(
+                        "SC003", call,
+                        f"generated handler violates the whitelist: "
+                        f"{problem}")

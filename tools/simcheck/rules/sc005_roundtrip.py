@@ -1,0 +1,149 @@
+"""SC005 — round-trip completeness for serializable classes.
+
+Any class shipping through the result store / process pool as plain data
+(``to_dict``/``from_dict``, or the stats bags' ``counters``/
+``from_counters``) must cover *all* of its state: a field added to the
+class but forgotten in the serializer deserializes as stale or missing
+data — precisely the silent-corruption mode the engine cache cannot
+detect (the blob still parses, the schema still matches).
+
+For each such class the rule derives its field set from, in order:
+dataclass annotations, ``__slots__``, else the ``self.<x> = ...``
+assignments in ``__init__``.  The serializer covers a field when it
+loads ``self.<field>`` (or iterates ``__slots__`` generically, or calls
+``dataclasses.asdict``); the deserializer when it stores it on the
+instance (or builds via ``cls(...)`` / a generic ``__slots__`` +
+``setattr`` loop).  Deliberately non-round-tripped fields (live object
+handles like ``SimulationResult.bpu``) must be named in a class-level
+``ROUNDTRIP_EXCLUDE`` tuple — visible, greppable, and testable, unlike
+a silent omission.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from simcheck.rules import in_scope, register
+from simcheck.rules._util import (class_methods, const_str_elts,
+                                  dataclass_fields, dotted_name,
+                                  is_dataclass, self_attr_loads,
+                                  self_attr_stores)
+
+#: (serializer, deserializer) method-name pairs that form a round trip.
+PAIRS = (("to_dict", "from_dict"), ("counters", "from_counters"))
+
+
+def _class_fields(cls: ast.ClassDef):
+    """(field -> line) from dataclass annos, __slots__, or __init__."""
+    if is_dataclass(cls):
+        return dict(dataclass_fields(cls))
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and \
+                isinstance(stmt.targets[0], ast.Name) and \
+                stmt.targets[0].id == "__slots__":
+            elts = const_str_elts(stmt.value)
+            if elts:
+                return {name: stmt.lineno for name in elts}
+    init = class_methods(cls).get("__init__")
+    if init is None:
+        return {}
+    return dict(self_attr_stores(init))
+
+
+def _excludes(cls: ast.ClassDef):
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and \
+                isinstance(stmt.targets[0], ast.Name) and \
+                stmt.targets[0].id == "ROUNDTRIP_EXCLUDE":
+            return set(const_str_elts(stmt.value) or ())
+    return set()
+
+
+def _generic_coverage(func: ast.FunctionDef) -> bool:
+    """Does the method iterate ``__slots__``/``asdict`` (covers all)?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and \
+                node.attr == "__slots__":
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            if name.split(".")[-1] == "asdict":
+                return True
+    return False
+
+
+def _constructor_coverage(func: ast.FunctionDef) -> bool:
+    """``cls(...)`` / ``cls(**data)`` construction covers every field
+    (the real ``__init__`` signature enforces completeness)."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "cls" and \
+                (node.args or node.keywords):
+            return True
+    return False
+
+
+def _deserializer_stores(func: ast.FunctionDef):
+    """Attributes stored on any local (``obj.field = ...``)."""
+    stores = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.ctx, ast.Store) and \
+                isinstance(node.value, ast.Name):
+            stores.add(node.attr)
+    return stores
+
+
+@register
+class RoundTripRule:
+    id = "SC005"
+    title = ("round-trip completeness: to_dict/from_dict (and "
+             "counters/from_counters) cover every field or name it in "
+             "ROUNDTRIP_EXCLUDE")
+    severity = "error"
+
+    def check(self, src, project):
+        if not in_scope(src, self.id):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = class_methods(node)
+            for ser_name, deser_name in PAIRS:
+                if ser_name in methods and deser_name in methods:
+                    yield from self._check_pair(
+                        src, node, methods[ser_name],
+                        methods[deser_name])
+
+    def _check_pair(self, src, cls, ser, deser):
+        fields = _class_fields(cls)
+        if not fields:
+            return
+        excludes = _excludes(cls)
+
+        for name in sorted(excludes - set(fields)):
+            yield src.finding(
+                "SC005", cls,
+                f"`{cls.name}.ROUNDTRIP_EXCLUDE` names `{name}`, which "
+                f"is not a field of the class (stale exclusion)")
+
+        if not _generic_coverage(ser):
+            covered = self_attr_loads(ser)
+            for name in sorted(set(fields) - covered - excludes):
+                yield src.finding(
+                    "SC005", fields[name],
+                    f"`{cls.name}.{name}` is not serialized by "
+                    f"{ser.name}(): the field silently vanishes on "
+                    f"round-trip (read it in {ser.name}, or add it to "
+                    f"ROUNDTRIP_EXCLUDE with a comment saying why)")
+
+        if not (_generic_coverage(deser)
+                or _constructor_coverage(deser)):
+            stored = _deserializer_stores(deser)
+            for name in sorted(set(fields) - stored - excludes):
+                yield src.finding(
+                    "SC005", fields[name],
+                    f"`{cls.name}.{name}` is never restored by "
+                    f"{deser.name}(): deserialized instances miss the "
+                    f"attribute entirely")

@@ -1,0 +1,148 @@
+"""SC006 — ``__slots__`` coverage for per-instruction classes.
+
+Classes instantiated once per simulated instruction (``DynInstr``,
+``WrongPathRecord``, per-mispredict ``WrongPathWindow``) are the
+allocation floor of the whole simulator: a ``__dict__`` on any of them
+costs memory and attribute-lookup time multiplied by hundreds of
+millions of instances, and an attribute that escapes ``__slots__``
+resurrects the dict silently.  Mark such classes with
+``# simcheck: per-instruction`` above the ``class`` line; the rule then
+checks, project-wide:
+
+* the class defines a literal ``__slots__``;
+* every ``self.<attr> = ...`` in the class body is listed in it (with
+  an unslotted base class this would otherwise silently allocate a
+  dict rather than raise);
+* the class has no unslotted base that defeats the layout;
+* every ``Cls.__new__(Cls)``-style construction site — including
+  through locals like ``new_di = DynInstr.__new__`` — stores **exactly**
+  the slot set before the object escapes: a missed slot is a deferred
+  ``AttributeError`` on whatever path reads it first (the batch
+  pipeline builds ``DynInstr`` this way; see
+  ``FunctionalFrontend.produce_batch``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from simcheck.rules import in_scope, register
+from simcheck.rules._util import walk_functions
+
+_SLOTTED_BUILTIN_BASES = {"object", "Exception", "tuple", "int", "str"}
+
+
+def _new_aliases(func: ast.FunctionDef, class_names):
+    """Locals bound to a class's ``__new__`` (``new_di = DynInstr.__new__``)."""
+    new_alias = {}   # local name -> class name
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        target, value = node.targets[0].id, node.value
+        if isinstance(value, ast.Attribute) and \
+                value.attr == "__new__" and \
+                isinstance(value.value, ast.Name) and \
+                value.value.id in class_names:
+            new_alias[target] = value.value.id
+    return new_alias
+
+
+def _construction_sites(func: ast.FunctionDef, class_names):
+    """(assigned local, class name, call node) for ``__new__`` builds."""
+    new_alias = _new_aliases(func, class_names)
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)):
+            continue
+        call = node.value
+        target = node.targets[0].id
+        # di = DynInstr.__new__(DynInstr)  /  di = new_di(di_cls)
+        if isinstance(call.func, ast.Attribute) and \
+                call.func.attr == "__new__" and \
+                isinstance(call.func.value, ast.Name) and \
+                call.func.value.id in class_names:
+            yield target, call.func.value.id, call
+        elif isinstance(call.func, ast.Name) and \
+                call.func.id in new_alias:
+            yield target, new_alias[call.func.id], call
+
+
+@register
+class SlotsRule:
+    id = "SC006"
+    title = ("__slots__ coverage: per-instruction classes are slotted "
+             "and __new__-construction sites populate every slot")
+    severity = "error"
+
+    def check(self, src, project):
+        if not in_scope(src, self.id, repro_only=False):
+            return
+        # -- definition-side checks (classes marked in this file)
+        for name, (owner, cls, slots) in project.per_instruction.items():
+            if owner is not src:
+                continue
+            if slots is None:
+                yield src.finding(
+                    "SC006", cls,
+                    f"per-instruction class `{name}` has no __slots__; "
+                    f"every instance carries a __dict__ on the hottest "
+                    f"allocation path")
+                continue
+            for base in cls.bases:
+                base_name = getattr(base, "id", None)
+                if base_name and \
+                        base_name not in _SLOTTED_BUILTIN_BASES and \
+                        base_name not in project.per_instruction:
+                    yield src.finding(
+                        "SC006", base,
+                        f"per-instruction class `{name}` inherits from "
+                        f"`{base_name}`, which simcheck cannot verify "
+                        f"as slotted; an unslotted base defeats "
+                        f"__slots__")
+            slot_set = set(slots)
+            for method in cls.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Attribute) and \
+                            isinstance(node.ctx, ast.Store) and \
+                            isinstance(node.value, ast.Name) and \
+                            node.value.id == "self" and \
+                            node.attr not in slot_set:
+                        yield src.finding(
+                            "SC006", node,
+                            f"`{name}.{method.name}` assigns "
+                            f"`self.{node.attr}`, which is not in "
+                            f"__slots__")
+
+        # -- construction-side checks (any file, via the project index)
+        class_names = {n for n, (_, _, slots)
+                       in project.per_instruction.items()
+                       if slots is not None}
+        if not class_names:
+            return
+        for func in walk_functions(src.tree):
+            for local, cls_name, call in _construction_sites(
+                    func, class_names):
+                slots = set(project.per_instruction[cls_name][2])
+                stored = set()
+                for node in ast.walk(func):
+                    if isinstance(node, ast.Attribute) and \
+                            isinstance(node.ctx, ast.Store) and \
+                            isinstance(node.value, ast.Name) and \
+                            node.value.id == local:
+                        stored.add(node.attr)
+                for missing in sorted(slots - stored):
+                    yield src.finding(
+                        "SC006", call,
+                        f"`{func.name}` builds `{cls_name}` via "
+                        f"__new__ but never stores slot `{missing}`; "
+                        f"reading it later raises AttributeError")
+                for extra in sorted(stored - slots):
+                    yield src.finding(
+                        "SC006", call,
+                        f"`{func.name}` stores `{local}.{extra}` on a "
+                        f"__new__-built `{cls_name}`, which has no "
+                        f"such slot")
