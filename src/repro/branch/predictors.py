@@ -206,7 +206,16 @@ class BranchPredictorUnit:
     def __init__(self, kind: str = "tournament", table_bits: int = 14,
                  history_bits: int = 12, ras_depth: int = 32,
                  indirect_bits: int = 10):
-        if kind == "bimodal":
+        if kind == "perfect":
+            # Oracle predictor: ``predict_and_update`` already receives the
+            # architectural outcome, so a perfect unit simply returns it and
+            # never mispredicts.  With zero mispredict windows all four
+            # wrong-path techniques degenerate to identical timing — the
+            # metamorphic property the differential fuzzer checks
+            # (DESIGN.md §9).  No direction table exists; ``peek_next`` is
+            # unreachable in a perfect run (no wrong paths to steer).
+            self.direction = None
+        elif kind == "bimodal":
             self.direction = BimodalPredictor(table_bits)
         elif kind == "gshare":
             self.direction = GSharePredictor(table_bits, history_bits)
@@ -220,13 +229,15 @@ class BranchPredictorUnit:
         else:
             raise ValueError(f"unknown predictor kind {kind!r}")
         self.kind = kind
+        self._perfect = self.direction is None
         self.ras = ReturnAddressStack(ras_depth)
         self.indirect = IndirectPredictor(indirect_bits)
         # Hot-path bindings, resolved once: every direction predictor
         # shares the ``predict(pc, history=None)`` signature, and the mask
         # used to shift speculative history during wrong-path peeks is
         # fixed by the predictor kind.
-        self._predict_direction = self.direction.predict
+        self._predict_direction = None if self._perfect \
+            else self.direction.predict
         self._has_history = hasattr(self.direction, "history")
         if hasattr(self.direction, "history_mask"):
             self._spec_history_mask = self.direction.history_mask
@@ -258,6 +269,14 @@ class BranchPredictorUnit:
         order, by both the timing model and (in wpemul mode) the functional
         frontend, so the two predictor copies stay identical.
         """
+        if self._perfect:
+            # Oracle: still count the prediction opportunities (so MPKI
+            # denominators stay meaningful) but never mispredict.
+            if instr.is_branch:
+                self.cond_count += 1
+            elif instr.is_indirect:
+                self.indirect_count += 1
+            return next_pc
         pc = instr.pc
         if instr.is_branch:
             self.cond_count += 1
@@ -300,6 +319,8 @@ class BranchPredictorUnit:
         Returns None when no target can be produced (unseen indirect jump,
         empty speculative RAS) — reconstruction must stop there.
         """
+        if self._perfect:
+            return None  # no wrong paths exist to steer
         pc = instr.pc
         if instr.is_branch:
             pred_taken = self._predict_direction(pc, spec.history)

@@ -516,6 +516,7 @@ class OoOCore:
                stats.conv_found, stats.conv_distance_total)
         pre_cache = [(s.wp_accesses, s.wp_misses) for _, s in levels]
         obs.conv_point = None
+        obs.wp_addresses = None
 
         cfg = self.cfg
         free = cfg.rob_size - self.rob.occupancy_at(fetch_c) \
@@ -555,6 +556,7 @@ class OoOCore:
             "conv_distance": (stats.conv_distance_total - pre[11])
             if conv_found else None,
             "conv_point": obs.conv_point,
+            "wp_addresses": obs.wp_addresses,
             "cache": cache,
         })
 

@@ -34,26 +34,40 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
-from repro.engine.job import SimJob
+from repro.engine.job import job_class
 from repro.engine.journal import RunJournal
 from repro.engine.store import ResultStore
-from repro.simulator.simulation import SimulationResult
+
+
+def _transport(job) -> dict:
+    """Cross-process form of a job: its kind tag plus its plain-dict
+    spec.  The kind routes the payload back through :func:`job_class`
+    on the worker side, so the executor runs any registered job kind
+    (``SimJob``, ``FuzzCaseJob``, ...) without importing it."""
+    return {"kind": job.kind, "job": job.to_dict()}
 
 
 def _execute_payload(payload: dict) -> dict:
     """Worker-side entry point (module-level so it pickles)."""
-    return SimJob.from_dict(payload).run().to_dict()
+    cls = job_class(payload["kind"])
+    return cls.from_dict(payload["job"]).run().to_dict()
 
 
 class JobOutcome:
-    """What happened to one job: result + provenance."""
+    """What happened to one job: result + provenance.
+
+    ``job`` and ``result`` are duck-typed to the registered job kind
+    (``SimJob``/``SimulationResult`` for simulations): the engine only
+    needs ``key``/``label`` on the job and ``wall_seconds``/
+    ``instructions`` on the result.
+    """
 
     __slots__ = ("job", "result", "status", "wall_seconds", "attempts",
                  "error")
 
-    def __init__(self, job: SimJob, result: Optional[SimulationResult],
+    def __init__(self, job: Any, result: Optional[Any],
                  status: str, wall_seconds: float, attempts: int,
                  error: Optional[str] = None):
         self.job = job
@@ -108,7 +122,7 @@ class ExperimentEngine:
 
     # -- public API --------------------------------------------------------------
 
-    def run(self, jobs: Sequence[SimJob],
+    def run(self, jobs: Sequence[Any],
             fresh: bool = False) -> List[JobOutcome]:
         """Execute ``jobs``; outcomes come back in input order.
 
@@ -152,7 +166,7 @@ class ExperimentEngine:
             self._journal(outcome)
         return outcomes  # type: ignore[return-value]
 
-    def run_one(self, job: SimJob, fresh: bool = False) -> JobOutcome:
+    def run_one(self, job: Any, fresh: bool = False) -> JobOutcome:
         return self.run([job], fresh=fresh)[0]
 
     @staticmethod
@@ -169,7 +183,7 @@ class ExperimentEngine:
 
     # -- serial path -------------------------------------------------------------
 
-    def _run_serial(self, job: SimJob, consumed: int = 0) -> JobOutcome:
+    def _run_serial(self, job: Any, consumed: int = 0) -> JobOutcome:
         """Run ``job`` in-process.  ``consumed`` is the number of attempts
         the job already burned in pool mode (e.g. an attempt that died with
         a broken pool) — the retry budget is shared across both paths, so
@@ -211,7 +225,7 @@ class ExperimentEngine:
         in_flight = {}
         try:
             for idx, job in pending:
-                future = pool.submit(_execute_payload, job.to_dict())
+                future = pool.submit(_execute_payload, _transport(job))
                 in_flight[future] = (idx, job, 1, time.perf_counter())
             while in_flight:
                 pool = self._collect(pool, in_flight, outcomes)
@@ -271,7 +285,7 @@ class ExperimentEngine:
                                     attempt, start,
                                     f"{type(exc).__name__}: {exc}")
                 continue
-            result = SimulationResult.from_dict(payload)
+            result = type(job).result_from_dict(payload)
             self._store(job, result)
             outcomes[idx] = JobOutcome(job, result, "ok",
                                        now - start, attempt)
@@ -297,14 +311,14 @@ class ExperimentEngine:
         new_pool = self._make_pool(
             min(self.max_workers, max(1, len(survivors) + len(abandoned))))
         for idx, job, attempt, _ in survivors:
-            future = new_pool.submit(_execute_payload, job.to_dict())
+            future = new_pool.submit(_execute_payload, _transport(job))
             in_flight[future] = (idx, job, attempt, time.perf_counter())
         return new_pool
 
     def _retry_or_fail(self, pool, in_flight, outcomes, idx, job,
                        attempt, start, error) -> None:
         if attempt <= self.retries:
-            future = pool.submit(_execute_payload, job.to_dict())
+            future = pool.submit(_execute_payload, _transport(job))
             in_flight[future] = (idx, job, attempt + 1,
                                  time.perf_counter())
         else:
@@ -314,7 +328,7 @@ class ExperimentEngine:
 
     # -- plumbing ----------------------------------------------------------------
 
-    def _store(self, job: SimJob, result: SimulationResult) -> None:
+    def _store(self, job: Any, result: Any) -> None:
         if self.store is not None:
             self.store.put(job, result)
 

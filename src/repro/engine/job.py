@@ -14,14 +14,38 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import importlib
 import json
 import os
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import CoreConfig
 
 #: Base-configuration presets a job can start from before overrides.
 BASE_CONFIGS = ("scaled", "full")
+
+#: Registry of job kinds the executor can ship to worker processes.
+#: Values are ``(module, attr)`` import paths, resolved lazily by
+#: :func:`job_class` so the engine never imports non-engine packages at
+#: load time (``repro.fuzz`` imports the engine, not vice versa).  A job
+#: class provides ``kind`` (a bare class attribute matching its registry
+#: entry), ``to_dict``/``from_dict``, ``run`` (returning a result with a
+#: ``to_dict``), a ``result_from_dict`` staticmethod, ``key`` and
+#: ``label``.
+JOB_KINDS: Dict[str, Tuple[str, str]] = {
+    "sim": ("repro.engine.job", "SimJob"),
+    "fuzz": ("repro.fuzz.oracle", "FuzzCaseJob"),
+}
+
+
+def job_class(kind: str):
+    """Resolve a registered job kind to its class (worker-side entry)."""
+    try:
+        module, attr = JOB_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown job kind {kind!r}; "
+                         f"choose from {sorted(JOB_KINDS)}") from None
+    return getattr(importlib.import_module(module), attr)
 
 #: :class:`SimJob` fields folded into the content hash: every one of
 #: these is reachable from :meth:`SimJob.spec`, so two jobs differing in
@@ -78,6 +102,11 @@ def code_fingerprint() -> str:
 @dataclasses.dataclass
 class SimJob:
     """One (workload × technique × config) simulation, as plain data."""
+
+    #: Executor transport kind (see :data:`JOB_KINDS`).  A bare class
+    #: attribute, not a dataclass field, so it stays out of the cache-key
+    #: partition and of ``to_dict``.
+    kind = "sim"
 
     workload: str                       # full registry name, e.g. "gap.bfs"
     technique: str = "conv"
@@ -152,6 +181,12 @@ class SimJob:
     @classmethod
     def from_dict(cls, data: dict) -> "SimJob":
         return cls(**data)
+
+    @staticmethod
+    def result_from_dict(payload: dict):
+        """Rehydrate this job kind's result payload (executor harvest)."""
+        from repro.simulator.simulation import SimulationResult
+        return SimulationResult.from_dict(payload)
 
     # -- execution ---------------------------------------------------------------
 

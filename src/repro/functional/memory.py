@@ -93,6 +93,24 @@ class Memory:
         """Number of distinct words ever written (for tests/diagnostics)."""
         return len(self._words)
 
+    def digest(self) -> str:
+        """SHA-256 over the architecturally visible contents.
+
+        Zero-valued words are skipped so a memory that was written with an
+        explicit 0 digests the same as one never written there — both read
+        back identically, and the differential oracles compare *observable*
+        state, not allocation history.
+        """
+        import hashlib
+        import struct
+
+        pack = struct.pack
+        h = hashlib.sha256()
+        for idx, value in sorted(self._words.items()):
+            if value:
+                h.update(pack("<II", idx, value))
+        return h.hexdigest()
+
     def copy(self) -> "Memory":
         clone = Memory()
         clone._words = dict(self._words)

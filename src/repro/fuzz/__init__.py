@@ -1,0 +1,36 @@
+"""Differential fuzzing for the simulator (DESIGN.md §9).
+
+The repo's pinned goldens prove four *specific* runs are stable; this
+package generates the adversarial ones.  A seeded generator produces
+random (program, config) pairs — raw ISA sources via :mod:`.progen`,
+minicc sources via :mod:`.ccgen`, core configurations via
+:mod:`.confgen` — and :func:`repro.fuzz.oracle.run_case` executes each
+pair under all four wrong-path techniques, cross-checking:
+
+* **architectural equivalence** — retired count, final registers, final
+  memory digest and program output identical across
+  nowp/instrec/conv/wpemul and equal to a pure ``Emulator`` run,
+* **metamorphic properties** — with ``predictor_kind="perfect"`` all
+  four techniques report identical cycle counts; conv's recovered
+  wrong-path addresses match what wpemul actually computes on the
+  pc-lockstep prefix of the same episodes,
+* **robustness** — no crashes, and every result survives a
+  ``to_dict`` JSON round-trip.
+
+Failures are delta-debug shrunk (:mod:`.shrink`) and written to a
+``.fuzz-corpus/`` case file (:mod:`.corpus`) that replays
+byte-identically.  The whole loop ships as
+``python -m repro fuzz --seed S --budget N [--jobs K]``, riding the
+PR-1 experiment engine for parallel case execution.
+"""
+
+from repro.fuzz.corpus import load_case, replay_path, save_case
+from repro.fuzz.oracle import CaseOutcome, FuzzCase, FuzzCaseJob, run_case
+from repro.fuzz.runner import FuzzReport, fuzz, make_case
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "CaseOutcome", "FuzzCase", "FuzzCaseJob", "FuzzReport", "fuzz",
+    "load_case", "make_case", "replay_path", "run_case", "save_case",
+    "shrink_case",
+]

@@ -1,0 +1,154 @@
+"""Seeded random minicc-source generator (the fuzzer's compiler frontend).
+
+Extends the expression-tree idea from ``tests/test_minicc_differential``
+to whole programs: statements, ``if``/``else``, ``while``/``for`` loops,
+global arrays, and calls through a chain of previously defined
+functions.  Everything is integer-typed — the int pipeline is where the
+branchy, memory-touching code the wrong-path models care about lives.
+
+Generated programs always terminate: every loop runs on a dedicated
+counter variable that no body statement assigns, and calls only go to
+*earlier* functions, so the call graph is a DAG.  Expressions are
+unrestricted otherwise (division by zero and shift amounts are defined
+by the ISA semantics, see ``tests/test_minicc_differential``).
+
+Unlike :mod:`repro.fuzz.progen` output, compiled programs make **no**
+address-safety promise — array index computations flow through loaded
+values — so the conv-vs-wpemul address oracle is not applied to minicc
+cases (DESIGN.md §9 explains why it would be unsound).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: Global array length (power of two: indices are masked ``& (N-1)``).
+ARRAY_N = 16
+
+_BINOPS = ("+", "-", "*", "&", "|", "^", "+", "-")
+_CMPOPS = ("<", ">", "==", "!=")
+
+
+class _CcGen:
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.globals = [f"g{i}" for i in range(rng.randrange(1, 4))]
+        self.functions = rng.randrange(3)      # 0..2
+        self.counter = 0
+
+    def fresh(self, stem: str) -> str:
+        self.counter += 1
+        return f"{stem}{self.counter}"
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, names: List[str], depth: int, calls: int = -1) -> str:
+        """A random int expression over ``names``; ``calls`` bounds which
+        functions may be referenced (DAG discipline)."""
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            if names and rng.random() < 0.6:
+                return rng.choice(names)
+            return str(rng.randrange(-50, 51))
+        roll = rng.random()
+        if roll < 0.55:
+            op = rng.choice(_BINOPS)
+            return (f"({self.expr(names, depth - 1, calls)} {op} "
+                    f"{self.expr(names, depth - 1, calls)})")
+        if roll < 0.70:
+            return (f"({self.expr(names, depth - 1, calls)} "
+                    f"{rng.choice(_CMPOPS)} "
+                    f"{self.expr(names, depth - 1, calls)})")
+        if roll < 0.85:
+            return f"arr[({self.expr(names, depth - 1, calls)} " \
+                   f"& {ARRAY_N - 1})]"
+        if calls > 0:
+            fn = rng.randrange(calls)
+            return (f"f{fn}({self.expr(names, depth - 1, calls)}, "
+                    f"{self.expr(names, depth - 1, calls)})")
+        return f"(-{self.expr(names, depth - 1, calls)})"
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt(self, names: List[str], depth: int, calls: int,
+             indent: str) -> List[str]:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35 or depth <= 0:
+            target = rng.choice(names)
+            op = rng.choice(("=", "+=", "-="))
+            return [f"{indent}{target} {op} "
+                    f"{self.expr(names, 2, calls)};"]
+        if roll < 0.50:
+            return [f"{indent}arr[({self.expr(names, 1, calls)} "
+                    f"& {ARRAY_N - 1})] = {self.expr(names, 2, calls)};"]
+        if roll < 0.70:
+            lines = [f"{indent}if ({self.expr(names, 2, calls)}) {{"]
+            lines += self.block(names, depth - 1, calls, indent + "    ")
+            if rng.random() < 0.5:
+                lines.append(f"{indent}}} else {{")
+                lines += self.block(names, depth - 1, calls,
+                                    indent + "    ")
+            lines.append(f"{indent}}}")
+            return lines
+        counter = self.fresh("i")
+        trips = rng.randrange(2, 7)
+        if rng.random() < 0.5:
+            lines = [f"{indent}int {counter} = 0;",
+                     f"{indent}while ({counter} < {trips}) {{"]
+            body_indent = indent + "    "
+            lines += self.block(names, depth - 1, calls, body_indent)
+            lines.append(f"{body_indent}{counter} += 1;")
+            lines.append(f"{indent}}}")
+            return lines
+        lines = [f"{indent}for (int {counter} = 0; {counter} < {trips}; "
+                 f"{counter} += 1) {{"]
+        # The counter is deliberately NOT in scope for body statements:
+        # a generated assignment to it could cancel the increment and
+        # make the loop diverge.
+        lines += self.block(names, depth - 1, calls, indent + "    ")
+        lines.append(f"{indent}}}")
+        return lines
+
+    def block(self, names: List[str], depth: int, calls: int,
+              indent: str) -> List[str]:
+        lines: List[str] = []
+        for _ in range(self.rng.randrange(1, 4)):
+            lines += self.stmt(names, depth, calls, indent)
+        return lines
+
+    # -- whole program ---------------------------------------------------------
+
+    def generate(self) -> str:
+        rng = self.rng
+        lines: List[str] = []
+        values = ", ".join(str(rng.choice((0, 0, 1, 2, 3, -1)))
+                           for _ in range(ARRAY_N))
+        lines.append(f"int arr[{ARRAY_N}] = {{{values}}};")
+        for name in self.globals:
+            lines.append(f"int {name} = {rng.randrange(-10, 11)};")
+        for fn in range(self.functions):
+            lines.append(f"int f{fn}(int x, int y) {{")
+            local = self.fresh("r")
+            names = ["x", "y", local] + self.globals
+            lines.append(f"    int {local} = "
+                         f"{self.expr(['x', 'y'], 2, fn)};")
+            lines += self.block(names, 2, fn, "    ")
+            lines.append(f"    return {self.expr(names, 2, fn)};")
+            lines.append("}")
+        lines.append("void main() {")
+        names = ["acc"] + self.globals
+        lines.append("    int acc = 0;")
+        for _ in range(rng.randrange(2, 6)):
+            lines += self.stmt(names, 2, self.functions, "    ")
+        lines.append("    print_int(acc);")
+        for name in self.globals:
+            lines.append(f"    print_int({name});")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def generate_minicc_source(rng: random.Random) -> str:
+    """One random, terminating minicc program (int-only)."""
+    return _CcGen(rng).generate()

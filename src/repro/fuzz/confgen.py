@@ -1,0 +1,65 @@
+"""Seeded random ``CoreConfig`` generator.
+
+Overrides are applied on top of ``CoreConfig.scaled()`` (the repo's
+Python-speed baseline), one random subset of axes per case, so shrunk
+repros simplify naturally by *dropping override keys* back toward the
+scaled defaults.  Each axis draws from a curated set of legal values —
+the point is to exercise predictor/cache/window geometry interactions,
+not to fuzz ``validate()``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+#: Value pools per override axis.  Kept as data so the shrinker and the
+#: tests can reason about the space; every combination is legal.
+AXES: Dict[str, tuple] = {
+    "predictor_kind": ("bimodal", "gshare", "tournament", "tage",
+                       "perfect"),
+    "predictor_table_bits": (6, 8, 10, 14),
+    "predictor_history_bits": (4, 8, 12),
+    "ras_depth": (2, 8, 32),
+    "indirect_bits": (4, 10),
+    "rob_size": (32, 64, 128, 256),
+    "load_queue": (16, 48, 96),
+    "store_queue": (12, 32, 56),
+    "wp_frontend_buffer": (0, 8, 32, 64),
+    "fetch_width": (2, 4, 6, 8),
+    "dispatch_width": (2, 4, 6),
+    "commit_width": (2, 4, 8),
+    "frontend_depth": (4, 10, 16),
+    "line_size": (32, 64),
+    "l1i_size": (1024, 4096, 16384),
+    "l1i_assoc": (2, 4, 8),
+    "l1d_size": (1024, 2048, 8192),
+    "l1d_assoc": (2, 4, 8),
+    "l2_size": (4096, 8192, 32768),
+    "l2_assoc": (4, 8),
+    "llc_size": (16384, 65536),
+    "llc_assoc": (4, 8),
+    "l1d_latency": (3, 5),
+    "l2_latency": (10, 15),
+    "llc_latency": (30, 45),
+    "mem_latency": (100, 220, 300),
+    "mshr_entries": (2, 4, 12),
+    "dtlb_entries": (4, 16, 96),
+    "dtlb_penalty": (10, 20),
+    "l2_prefetcher": (None, "next_line", "stride"),
+    "prefetch_degree": (1, 2, 4),
+}
+
+
+def generate_config_overrides(rng: random.Random) -> Dict:
+    """A random subset of axes, each set to a random legal value.
+
+    Roughly a third of the axes are touched per case — enough to hit
+    pairwise interactions while keeping each case's delta from the
+    scaled baseline small and shrinkable.
+    """
+    overrides: Dict = {}
+    for axis in sorted(AXES):
+        if rng.random() < 0.3:
+            overrides[axis] = rng.choice(AXES[axis])
+    return overrides

@@ -1,0 +1,65 @@
+"""The shrunk-failure corpus: one JSON file per failing case.
+
+Case files are written with canonical formatting (sorted keys, fixed
+separators, trailing newline) so that saving, loading and re-saving a
+case is **byte-identical** — a corpus file is a stable artifact you can
+commit to a bug report, and ``repro fuzz --replay FILE`` re-runs it
+through the same oracle battery that caught it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Tuple
+
+from repro.fuzz.oracle import FuzzCase
+
+CORPUS_SCHEMA = 1
+
+#: Default corpus directory (gitignored; simcheck skips it too).
+DEFAULT_CORPUS_DIR = ".fuzz-corpus"
+
+
+def case_path(corpus_dir: str, case_id: str) -> str:
+    return os.path.join(corpus_dir, f"{case_id}.json")
+
+
+def _render(case: FuzzCase, findings: List[dict]) -> str:
+    blob = {
+        "schema": CORPUS_SCHEMA,
+        "case": case.to_dict(),
+        "findings": [dict(f) for f in findings],
+    }
+    return json.dumps(blob, sort_keys=True, indent=1,
+                      separators=(",", ": ")) + "\n"
+
+
+def save_case(corpus_dir: str, case: FuzzCase,
+              findings: List[dict]) -> str:
+    """Write one failing case (plus the findings that convicted it);
+    returns the file path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = case_path(corpus_dir, case.case_id)
+    with open(path, "w") as fh:
+        fh.write(_render(case, findings))
+    return path
+
+
+def load_case(path: str) -> Tuple[FuzzCase, List[dict]]:
+    """Read a corpus file back into ``(case, findings)``."""
+    with open(path) as fh:
+        blob = json.load(fh)
+    if blob.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(
+            f"corpus schema {blob.get('schema')!r} != {CORPUS_SCHEMA}")
+    return (FuzzCase.from_dict(blob["case"]),
+            [dict(f) for f in blob["findings"]])
+
+
+def replay_path(path: str):
+    """Re-run a saved case through the oracle battery (the
+    ``repro fuzz --replay`` entry point)."""
+    from repro.fuzz.oracle import run_case
+    case, _ = load_case(path)
+    return run_case(case)

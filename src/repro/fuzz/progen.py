@@ -1,0 +1,237 @@
+"""Seeded random ISA-program generator (the fuzzer's raw-assembly frontend).
+
+Programs are built from a small segment grammar — straight-line ALU
+blocks, bounded loads/stores, one-sided data-dependent ifs, counted
+loops (nesting <= 2), and leaf function calls — assembled over a fixed
+register discipline:
+
+* ``s0``/``s1`` — array base pointers (``la``, one ``addi`` offset),
+* ``s2`` — a byte index stepped only by ``addi s2, s2, 4`` inside
+  counted loops, ``s3`` — scratch effective-address register written
+  only by ``add s3, base, s2``,
+* ``s8``/``s9`` — loop counters (``li`` + ``addi -1`` + ``bnez`` only),
+* ``s11`` — a checksum accumulator printed before exit,
+* ``t0..t4``/``a2..a5`` — value registers (ALU results, load targets),
+* ``t5``/``t6``/``a0``/``a1`` — leaf-function scratch/arguments.
+
+Two invariants make the generated programs strong fuzz subjects:
+
+**Termination** — every loop is counted with a dedicated counter no
+body instruction may touch, ifs are forward-only, and calls go to leaf
+functions, so every program halts well inside the default instruction
+cap regardless of the data values loaded.
+
+**Address safety** — address-forming registers (``s*``) are written
+only by ``la``/``li``/``addi``/``add`` over other address registers;
+no value loaded from memory ever flows into an address.  This is what
+makes the conv-vs-wpemul address oracle *sound*: wrong-path and
+correct-path register values can only disagree through memory (a load
+returning different data at wrong-path time vs correct-path time), so
+a load-free address chain computes the same effective address on both
+paths, and any mismatch conv produces is a real address-copy bug, not
+a modeling approximation (see DESIGN.md §9).  Offsets are statically
+bounded inside the data array and always word-aligned, and both
+properties survive arbitrary *line deletion*, so the shrinker can drop
+any subset of instructions without manufacturing an unsafe dependence
+or a misaligned access.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: Data array geometry: 128 words = 512 bytes.  ``s1 = s0 + 256`` gives
+#: two disjoint 256-byte panes so base choice changes the access set.
+ARRAY_WORDS = 128
+PANE_BYTES = 256
+#: Static cap on the ``s2`` byte index (keeps ``s0 + s2 + imm`` inside
+#: the array for immediates up to ``PANE_BYTES - 4``).
+S2_CAP = 252
+
+VALUE_REGS = ("t0", "t1", "t2", "t3", "t4", "a2", "a3", "a4", "a5")
+FN_REGS = ("t5", "t6", "a0", "a1")
+
+_ALU3 = ("add", "sub", "xor", "or", "and", "sll", "srl", "sra",
+         "slt", "sltu", "mul")
+_ALUI = ("addi", "xori", "ori", "andi", "slti")
+_BRANCH_Z = ("beqz", "bnez", "bltz", "bgtz")
+_BRANCH_2 = ("blt", "bge", "bne", "beq")
+
+
+class _Gen:
+    """One generation pass: accumulates lines and static bounds."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.lines: List[str] = []
+        self.labels = 0
+        #: Conservative static upper bound on the ``s2`` byte index.
+        self.s2_max = 0
+        self.functions = rng.randrange(3)    # 0..2 leaf functions
+
+    def label(self, stem: str) -> str:
+        self.labels += 1
+        return f"{stem}_{self.labels}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+
+    # -- segment grammar -------------------------------------------------------
+
+    def alu_block(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randrange(2, 6)):
+            if rng.random() < 0.5:
+                op = rng.choice(_ALU3)
+                self.emit(f"{op} {rng.choice(VALUE_REGS)}, "
+                          f"{rng.choice(VALUE_REGS)}, "
+                          f"{rng.choice(VALUE_REGS)}")
+            else:
+                op = rng.choice(_ALUI)
+                self.emit(f"{op} {rng.choice(VALUE_REGS)}, "
+                          f"{rng.choice(VALUE_REGS)}, "
+                          f"{rng.randrange(-64, 64)}")
+        if rng.random() < 0.6:
+            self.emit(f"add s11, s11, {rng.choice(VALUE_REGS)}")
+
+    def _base_and_imm(self) -> str:
+        """A statically in-bounds, word-aligned address operand."""
+        rng = self.rng
+        if rng.random() < 0.3:
+            # Indexed: effective address s0 + s2 + imm; s2 <= s2_max.
+            imm = 4 * rng.randrange((PANE_BYTES - 4) // 4)
+            self.emit("add s3, s0, s2")
+            return f"{imm}(s3)"
+        base = rng.choice(("s0", "s1"))
+        imm = 4 * rng.randrange(PANE_BYTES // 4)
+        return f"{imm}({base})"
+
+    def load_block(self) -> None:
+        self.emit(f"lw {self.rng.choice(VALUE_REGS)}, "
+                  f"{self._base_and_imm()}")
+
+    def store_block(self) -> None:
+        self.emit(f"sw {self.rng.choice(VALUE_REGS)}, "
+                  f"{self._base_and_imm()}")
+
+    def if_block(self) -> None:
+        """A one-sided, forward, data-dependent branch — the pattern the
+        conv model's one-sided convergence detection targets."""
+        rng = self.rng
+        cond = rng.choice(VALUE_REGS)
+        self.emit(f"lw {cond}, {self._base_and_imm()}")
+        skip = self.label("skip")
+        if rng.random() < 0.6:
+            self.emit(f"{rng.choice(_BRANCH_Z)} {cond}, {skip}")
+        else:
+            self.emit(f"{rng.choice(_BRANCH_2)} {cond}, "
+                      f"{rng.choice(VALUE_REGS)}, {skip}")
+        for _ in range(rng.randrange(1, 4)):
+            kind = rng.random()
+            if kind < 0.4:
+                self.load_block()
+            elif kind < 0.6:
+                self.store_block()
+            else:
+                self.emit(f"{rng.choice(_ALU3)} {rng.choice(VALUE_REGS)}, "
+                          f"{rng.choice(VALUE_REGS)}, "
+                          f"{rng.choice(VALUE_REGS)}")
+        self.lines.append(f"{skip}:")
+
+    def call_block(self) -> None:
+        if not self.functions:
+            return self.alu_block()
+        rng = self.rng
+        fn = rng.randrange(self.functions)
+        self.emit(f"mv a0, {rng.choice(VALUE_REGS)}")
+        self.emit(f"li a1, {rng.randrange(1, 32)}")
+        self.emit(f"call fn_{fn}")
+        self.emit("add s11, s11, a0")
+
+    def loop_block(self, counter: str = "s8") -> None:
+        rng = self.rng
+        trips = rng.randrange(2, 7)
+        head = self.label("loop")
+        self.emit(f"li {counter}, {trips}")
+        self.lines.append(f"{head}:")
+        step_index = (counter == "s8" and
+                      self.s2_max + 4 * trips <= S2_CAP and
+                      rng.random() < 0.7)
+        for _ in range(rng.randrange(2, 5)):
+            kind = rng.random()
+            if kind < 0.30:
+                self.alu_block()
+            elif kind < 0.50:
+                self.if_block()
+            elif kind < 0.65:
+                self.load_block()
+            elif kind < 0.75:
+                self.store_block()
+            elif kind < 0.85 and counter == "s8":
+                self.loop_block(counter="s9")   # one nesting level
+            else:
+                self.call_block()
+        if step_index:
+            self.emit("addi s2, s2, 4")
+            self.s2_max += 4 * trips
+        self.emit(f"addi {counter}, {counter}, -1")
+        self.emit(f"bnez {counter}, {head}")
+
+    # -- whole program ---------------------------------------------------------
+
+    def generate(self) -> str:
+        rng = self.rng
+        self.lines.append("_start:")
+        self.emit("la s0, arr")
+        self.emit(f"addi s1, s0, {PANE_BYTES}")
+        self.emit("li s2, 0")
+        self.emit("li s11, 0")
+        for reg in VALUE_REGS:
+            self.emit(f"li {reg}, {rng.randrange(-8, 9)}")
+        segments = rng.randrange(3, 9)
+        for _ in range(segments):
+            kind = rng.random()
+            if kind < 0.25:
+                self.alu_block()
+            elif kind < 0.45:
+                self.if_block()
+            elif kind < 0.80:
+                self.loop_block()
+            elif kind < 0.90:
+                self.call_block()
+            else:
+                self.load_block()
+                self.store_block()
+        self.emit("mv a0, s11")
+        self.emit("li a7, 1")
+        self.emit("ecall")
+        self.emit("li a0, 0")
+        self.emit("li a7, 93")
+        self.emit("ecall")
+        for fn in range(self.functions):
+            self.lines.append(f"fn_{fn}:")
+            for _ in range(rng.randrange(2, 6)):
+                if rng.random() < 0.5:
+                    self.emit(f"{rng.choice(_ALU3)} {rng.choice(FN_REGS)}, "
+                              f"{rng.choice(FN_REGS)}, "
+                              f"{rng.choice(FN_REGS)}")
+                else:
+                    self.emit(f"addi {rng.choice(FN_REGS)}, "
+                              f"{rng.choice(FN_REGS)}, "
+                              f"{rng.randrange(-16, 17)}")
+            self.emit("ret")
+        self.lines.append("    .data")
+        self.lines.append("arr:")
+        # Small, branchy values: direction-deciding loads flip often.
+        values = [rng.choice((0, 0, 1, 1, 2, 3)) for _ in
+                  range(ARRAY_WORDS)]
+        for i in range(0, ARRAY_WORDS, 16):
+            row = ", ".join(str(v) for v in values[i:i + 16])
+            self.lines.append(f"    .word {row}")
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_isa_program(rng: random.Random) -> str:
+    """One random, terminating, address-safe assembly source."""
+    return _Gen(rng).generate()

@@ -1,0 +1,170 @@
+"""The fuzz loop: generate, execute (optionally in parallel), shrink.
+
+:func:`fuzz` drives the whole subsystem: it derives one deterministic
+sub-seed per case index, generates the (program, config) pair, executes
+cases through the PR-1 :class:`~repro.engine.executor.ExperimentEngine`
+(``store=None`` — fuzz cases are one-shot, so there is no result cache
+to consult, and ``retries=0`` so a crashing case is reported rather
+than retried), then shrinks each failure in-process and writes it to
+the corpus.
+
+Everything observable is deterministic for a given ``(seed, budget,
+frontend, max_instructions)``: case sub-seeds are a pure function of
+the master seed and the case index, engine outcomes come back in input
+order regardless of ``jobs``, and the shrinker is deterministic — so
+two identical invocations produce identical
+:meth:`FuzzReport.findings_digest` values (a tested invariant, and the
+CI fuzz-smoke contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from typing import List, Optional
+
+from repro.engine.executor import ExperimentEngine
+from repro.fuzz.ccgen import generate_minicc_source
+from repro.fuzz.confgen import generate_config_overrides
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, save_case
+from repro.fuzz.oracle import FuzzCase, FuzzCaseJob, run_case
+from repro.fuzz.progen import generate_isa_program
+from repro.fuzz.shrink import shrink_case
+
+FRONTENDS = ("both", "isa", "minicc")
+
+
+def case_seed(seed: int, index: int) -> int:
+    """Deterministic per-case sub-seed (decorrelated across indices)."""
+    return (seed * 1_000_003 + index * 7919 + 17) & 0x7FFFFFFF
+
+
+def make_case(seed: int, index: int, frontend: str = "both",
+              max_instructions: int = 20000) -> FuzzCase:
+    """Generate case ``index`` of the run seeded with ``seed``."""
+    if frontend not in FRONTENDS:
+        raise ValueError(f"unknown frontend {frontend!r}; "
+                         f"choose from {FRONTENDS}")
+    sub = case_seed(seed, index)
+    rng = random.Random(sub)
+    kind = frontend
+    if kind == "both":
+        kind = "isa" if index % 2 == 0 else "minicc"
+    if kind == "isa":
+        source = generate_isa_program(rng)
+    else:
+        source = generate_minicc_source(rng)
+    overrides = generate_config_overrides(rng)
+    return FuzzCase(case_id=f"case-{seed}-{index:05d}-{kind}",
+                    frontend=kind, source=source,
+                    config_overrides=overrides,
+                    max_instructions=max_instructions, seed=sub)
+
+
+class FuzzReport:
+    """Summary of one fuzz run."""
+
+    def __init__(self, seed: int, budget: int, cases: int,
+                 failures: List[dict], wall_seconds: float,
+                 stopped_early: bool):
+        self.seed = seed
+        self.budget = budget
+        #: Cases actually executed (== budget unless time-boxed).
+        self.cases = cases
+        #: One entry per failing case: case_id, oracles, findings, and —
+        #: when shrinking ran — the shrunk case dict and corpus path.
+        self.failures = failures
+        self.wall_seconds = wall_seconds
+        self.stopped_early = stopped_early
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def findings_digest(self) -> str:
+        """SHA-256 over the canonical failure list — two deterministic
+        runs of the same parameters must agree on this value."""
+        basis = [{"case_id": f["case_id"], "oracles": f["oracles"],
+                  "findings": f["findings"]} for f in self.failures]
+        blob = json.dumps(basis, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def summary(self) -> str:
+        verdict = "clean" if self.ok else f"{len(self.failures)} failing"
+        return (f"fuzz seed={self.seed}: {self.cases}/{self.budget} "
+                f"cases, {verdict}, digest={self.findings_digest()[:16]} "
+                f"({self.wall_seconds:.1f}s)")
+
+    def __repr__(self) -> str:
+        return f"<FuzzReport {self.summary()}>"
+
+
+def fuzz(seed: int = 0, budget: int = 100, jobs: int = 1,
+         frontend: str = "both", corpus_dir: str = DEFAULT_CORPUS_DIR,
+         shrink: bool = True, shrink_budget: int = 250,
+         max_seconds: Optional[float] = None,
+         max_instructions: int = 20000,
+         progress=None) -> FuzzReport:
+    """Run ``budget`` generated cases through the oracle battery.
+
+    ``jobs > 1`` fans case execution out over the experiment engine's
+    process pool; shrinking always runs serially in-process (it is a
+    sequential search).  ``max_seconds`` time-boxes *case execution*
+    between engine chunks — already-submitted chunks finish, so the
+    box is approximate but the report stays deterministic up to the
+    number of cases executed.
+    """
+    start = time.perf_counter()
+    engine = ExperimentEngine(store=None, journal=None, jobs=jobs,
+                              retries=0)
+    failures: List[dict] = []
+    executed = 0
+    stopped_early = False
+    chunk_size = max(8, 4 * max(1, jobs))
+    indices = list(range(budget))
+
+    for base in range(0, budget, chunk_size):
+        if max_seconds is not None \
+                and time.perf_counter() - start >= max_seconds:
+            stopped_early = True
+            break
+        chunk = indices[base:base + chunk_size]
+        cases = [make_case(seed, i, frontend, max_instructions)
+                 for i in chunk]
+        outcomes = engine.run([FuzzCaseJob(case) for case in cases])
+        for case, outcome in zip(cases, outcomes):
+            executed += 1
+            if outcome.result is None:
+                failures.append({
+                    "case_id": case.case_id, "case": case.to_dict(),
+                    "oracles": ["engine"],
+                    "findings": [{"oracle": "engine", "technique": None,
+                                  "detail": outcome.error or
+                                  "executor failure"}]})
+            elif not outcome.result.ok:
+                result = outcome.result
+                failures.append({
+                    "case_id": case.case_id, "case": case.to_dict(),
+                    "oracles": result.oracles,
+                    "findings": result.findings})
+            if progress is not None:
+                progress(executed, budget, len(failures))
+
+    for failure in failures:
+        case = FuzzCase.from_dict(failure["case"])
+        if shrink and failure["oracles"] != ["engine"]:
+            shrunk, evals = shrink_case(case, failure["oracles"],
+                                        evaluate=run_case,
+                                        budget=shrink_budget)
+            failure["shrunk"] = shrunk.to_dict()
+            failure["shrink_evals"] = evals
+            case = shrunk
+        failure["corpus_path"] = save_case(corpus_dir, case,
+                                           failure["findings"])
+
+    return FuzzReport(seed=seed, budget=budget, cases=executed,
+                      failures=failures,
+                      wall_seconds=time.perf_counter() - start,
+                      stopped_early=stopped_early)

@@ -1,0 +1,124 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+Given a failing :class:`~repro.fuzz.oracle.FuzzCase` and the oracle ids
+it fired, :func:`shrink_case` looks for the smallest variant that still
+fires at least one of the *same* oracles:
+
+1. **ddmin over source lines** — the classic Zeller/Hildebrandt
+   algorithm on the program's line list.  Candidates that fail to
+   build, or fail with a *different* oracle (say a crash introduced by
+   deleting an exit sequence), do not reproduce and are rejected — the
+   generated ISA programs are constructed so line deletion preserves
+   the safety properties the oracles rely on (:mod:`repro.fuzz.progen`).
+2. **config simplification** — drop override keys one at a time back
+   toward the ``CoreConfig.scaled()`` defaults, keeping each drop that
+   still reproduces.
+
+The two passes alternate until a fixpoint or the evaluation budget is
+exhausted.  Everything is deterministic: candidate order is fixed, and
+the evaluator is the same :func:`~repro.fuzz.oracle.run_case` the
+fuzzer used to find the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set, Tuple
+
+from repro.fuzz.oracle import FuzzCase, run_case
+
+
+class _Budget:
+    """Evaluation counter shared across shrink passes."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _reproduces(case: FuzzCase, oracle_ids: Set[str],
+                evaluate: Callable[[FuzzCase], object]) -> bool:
+    outcome = evaluate(case)
+    return bool(set(outcome.oracles) & oracle_ids)
+
+
+def _ddmin_lines(case: FuzzCase, oracle_ids: Set[str],
+                 evaluate, budget: _Budget) -> FuzzCase:
+    """Minimize the source line list while the failure reproduces."""
+    lines = case.source.splitlines()
+
+    def attempt(candidate_lines: List[str]) -> bool:
+        if not budget.take():
+            return False
+        candidate = case.replace(
+            source="\n".join(candidate_lines) + "\n")
+        return _reproduces(candidate, oracle_ids, evaluate)
+
+    n = 2
+    while len(lines) >= 2:
+        chunk = max(1, len(lines) // n)
+        reduced = False
+        start = 0
+        while start < len(lines):
+            complement = lines[:start] + lines[start + chunk:]
+            if complement and attempt(complement):
+                lines = complement
+                n = max(n - 1, 2)
+                reduced = True
+                # Restart the scan on the smaller input.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if n >= len(lines):
+                break
+            n = min(n * 2, len(lines))
+        if budget.spent >= budget.limit:
+            break
+    return case.replace(source="\n".join(lines) + "\n")
+
+
+def _drop_overrides(case: FuzzCase, oracle_ids: Set[str],
+                    evaluate, budget: _Budget) -> FuzzCase:
+    """Drop config override keys that the failure does not need."""
+    changed = True
+    while changed:
+        changed = False
+        for key in sorted(case.config_overrides):
+            if not budget.take():
+                return case
+            trimmed = dict(case.config_overrides)
+            del trimmed[key]
+            candidate = case.replace(config_overrides=trimmed)
+            if _reproduces(candidate, oracle_ids, evaluate):
+                case = candidate
+                changed = True
+    return case
+
+
+def shrink_case(case: FuzzCase, oracle_ids,
+                evaluate: Callable[[FuzzCase], object] = run_case,
+                budget: int = 250) -> Tuple[FuzzCase, int]:
+    """Shrink ``case`` to a minimal variant still firing one of
+    ``oracle_ids``.  Returns ``(shrunk_case, evaluations_spent)``; when
+    nothing reproduces (a flaky or budget-starved failure) the original
+    case comes back unchanged.
+    """
+    oracle_ids = set(oracle_ids)
+    tracker = _Budget(budget)
+    if not tracker.take() or \
+            not _reproduces(case, oracle_ids, evaluate):
+        return case, tracker.spent
+
+    previous = None
+    while previous != (case.source, case.config_overrides) \
+            and tracker.spent < tracker.limit:
+        previous = (case.source, case.config_overrides)
+        case = _ddmin_lines(case, oracle_ids, evaluate, tracker)
+        case = _drop_overrides(case, oracle_ids, evaluate, tracker)
+    return case, tracker.spent

@@ -53,7 +53,8 @@ class Observability:
 
     def __init__(self, trace_dir: Optional[str] = None,
                  label: str = "run", keep_episodes: bool = False,
-                 buffer_records: int = 256):
+                 buffer_records: int = 256,
+                 record_addresses: bool = False):
         self.label = sanitize_label(label)
         self.trace_dir = os.path.abspath(trace_dir) if trace_dir else None
         self.metrics = MetricsRegistry()
@@ -70,6 +71,12 @@ class Observability:
         #: episode-open snapshot and episode-close diff; the core resets
         #: it before each wrong-path window.
         self.conv_point: Optional[int] = None
+        #: Opt-in per-episode address capture (``wp_addresses`` field):
+        #: when True, ``simulate_wrong_path_stream`` records the fetched
+        #: wrong-path items as ``[[pc, mem_addr], ...]`` here; the core
+        #: resets it before each window, like ``conv_point``.
+        self.record_addresses = record_addresses
+        self.wp_addresses: Optional[List[list]] = None
         self.summary: Optional[dict] = None
         self._frontend = None
         self._queue = None

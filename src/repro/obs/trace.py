@@ -34,6 +34,13 @@ in DESIGN.md §7.1):
 ``conv_point``
     PC where the wrong path reconverges with the correct path
     (``None`` unless the conv model found convergence).
+``wp_addresses``
+    The fetched wrong-path stream as ``[[pc, mem_addr], ...]`` —
+    one entry per fetched wrong-path item in order, ``mem_addr`` null
+    for non-memory instructions.  ``None`` unless the observer was
+    created with ``record_addresses=True`` (the differential fuzzer's
+    conv-vs-wpemul address oracle); address capture is opt-in because
+    it is the one episode field whose size grows with the window.
 ``cache``
     Per-level wrong-path accesses split hit/miss:
     ``{"l1i"|"l1d"|"l2"|"llc": {"wp_hits": n, "wp_misses": n}}``.
@@ -51,7 +58,8 @@ from typing import Iterator, List, Optional
 
 #: Bump when the episode record shape changes; readers reject other
 #: versions (recorded in the run manifest, not per record).
-TRACE_SCHEMA = 1
+#: Schema 2 added ``wp_addresses``.
+TRACE_SCHEMA = 2
 
 #: Every key of an episode record, in documentation order.
 EPISODE_FIELDS = (
@@ -60,7 +68,7 @@ EPISODE_FIELDS = (
     "window_limit", "wp_fetched", "wp_executed", "wp_loads", "wp_stores",
     "wp_mem_ops", "wp_addr_recovered", "wp_stop_code_cache",
     "wp_stop_prediction", "wp_trace_missing", "conv_attempted",
-    "conv_found", "conv_distance", "conv_point", "cache",
+    "conv_found", "conv_distance", "conv_point", "wp_addresses", "cache",
 )
 
 

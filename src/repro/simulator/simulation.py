@@ -198,6 +198,14 @@ class Simulator:
         # has no import-time dependency on the obs package): attached to
         # every component at run start, finalized with the result.
         self.obs = obs
+        # Populated by run(): the live components, kept so post-run
+        # inspection (the differential-fuzz oracles read final frontend
+        # architectural state) does not need to re-plumb them out through
+        # the result object.
+        self.frontend: Optional[FunctionalFrontend] = None
+        self.core: Optional[OoOCore] = None
+        self.hierarchy: Optional[CacheHierarchy] = None
+        self.bpu: Optional[BranchPredictorUnit] = None
 
     def run(self) -> SimulationResult:
         cfg = self.config
@@ -215,6 +223,10 @@ class Simulator:
                               batch_producer=frontend.produce_batch)
         hierarchy = CacheHierarchy.from_config(cfg)
         core = OoOCore(cfg, hierarchy, timing_bpu, wp_model, queue=queue)
+        self.frontend = frontend
+        self.core = core
+        self.hierarchy = hierarchy
+        self.bpu = timing_bpu
         obs = self.obs
         if obs is not None:
             obs.attach(frontend=frontend, queue=queue, core=core,

@@ -140,6 +140,13 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
     core = window.core
     cfg = core.cfg
     stats = core.stats
+    # One observer check per window (the batch-granularity hook contract,
+    # DESIGN.md §7.2).  Address capture needs the fetched prefix of the
+    # stream after the loop, so materialize lazy streams up front.
+    obs = core._obs
+    record_addresses = obs is not None and obs.record_addresses
+    if record_addresses and not isinstance(items, list):
+        items = list(items)
     hierarchy = core.hierarchy
     l1i_access = hierarchy.l1i.access   # access_instr minus the hop
     access_data = hierarchy.access_data
@@ -257,6 +264,9 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
             executed += 1
 
     ports.restore(snapshot)
+    if record_addresses:
+        obs.wp_addresses = [[item.pc, item.mem_addr]
+                            for item in items[:fetched]]
     stats.wp_fetched += fetched
     stats.wp_executed += executed
     stats.wp_loads += wp_loads

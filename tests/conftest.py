@@ -1,0 +1,47 @@
+"""Shared pytest configuration: hypothesis profiles + the slow marker.
+
+Hypothesis profiles
+    ``dev`` (default)  — fewer examples, no deadline: fast local edit
+    loops and timing-noise-immune CI boxes.
+    ``ci``             — full example counts, derandomized so a CI
+    failure reproduces exactly, and ``print_blob`` so the failing
+    example can be replayed locally.
+
+    Select with ``HYPOTHESIS_PROFILE=ci pytest`` (the CI workflow does).
+
+Slow tests
+    Deep fuzz runs and other long soaks are marked ``@pytest.mark.slow``
+    and skipped unless ``--runslow`` is passed (the nightly workflow
+    does).
+"""
+
+import os
+
+import pytest
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=100, deadline=None,
+                          derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser):
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="run tests marked @pytest.mark.slow "
+                          "(deep fuzz soaks)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running deep tests, skipped unless "
+                   "--runslow is given")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

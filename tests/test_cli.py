@@ -150,3 +150,35 @@ class TestCompile:
 
     def test_missing_file(self, capsys):
         assert main(["compile", "/nonexistent/file.c"]) == 1
+
+
+class TestFuzzCommand:
+    def test_fuzz_clean_run(self, tmp_path, capsys):
+        rc = main(["fuzz", "--seed", "5", "--budget", "3",
+                   "--max-instructions", "2000", "--quiet",
+                   "--corpus", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "findings digest:" in out
+
+    def test_fuzz_replay_missing_file(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent/case.json"]) == 1
+        assert "no such corpus file" in capsys.readouterr().err
+
+    def test_fuzz_replay_saved_case(self, tmp_path, capsys):
+        from repro.fuzz import make_case, save_case
+        # A clean case replays with exit 0 ("no longer reproduces").
+        case = make_case(5, 0, max_instructions=2000)
+        path = save_case(str(tmp_path), case,
+                         [{"oracle": "arch", "technique": "conv",
+                           "detail": "stale"}])
+        assert main(["fuzz", "--replay", path]) == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+    def test_fuzz_parser_defaults(self):
+        args = make_parser().parse_args(["fuzz"])
+        assert args.seed == 0
+        assert args.budget == 100
+        assert args.frontend == "both"
+        assert args.corpus == ".fuzz-corpus"

@@ -1,0 +1,78 @@
+"""Cross-technique architectural equivalence over the workload suite.
+
+Wrong-path modeling is a *microarchitectural* concern: whatever
+technique simulates the wrong path, the architectural execution —
+retired instruction count, final register file, final memory image,
+program output — must be identical, and identical to a pure functional
+emulation of the same program.  The fuzzer checks this on random
+programs (:mod:`repro.fuzz`); these tests pin it on every committed
+GAP and SPEC-like workload.
+
+Tier-1 keeps the caps small: every workload is compared on a capped
+prefix (where only the retired count is technique-comparable — the
+frontend legitimately runs ahead of the cap by a refill-dependent
+amount), plus a fast subset is run to halt for the full-state check.
+The ``slow`` marker extends run-to-halt coverage to the whole suite
+(the nightly job runs it).
+"""
+
+import pytest
+
+from repro import CoreConfig, Simulator
+from repro.functional.emulator import Emulator
+from repro.fuzz.oracle import _arch_snapshot, _reference_snapshot
+from repro.simulator.simulation import ALL_TECHNIQUES
+from repro.workloads import build_workload, workload_names
+
+#: Tiny-scale workloads that halt within ~25k instructions — cheap
+#: enough to run to completion under all four techniques in tier-1.
+RUN_TO_HALT = ("gap.bfs", "spec.fp.matvec_like", "spec.fp.reduce_like")
+
+
+def _snapshots(program, name, max_instructions=None):
+    snaps = {}
+    for technique in ALL_TECHNIQUES:
+        sim = Simulator(program, config=CoreConfig.scaled(),
+                        technique=technique,
+                        max_instructions=max_instructions, name=name)
+        result = sim.run()
+        snaps[technique] = _arch_snapshot(sim, result)
+    return snaps
+
+
+def _assert_halted_equivalence(name):
+    workload = build_workload(name, scale="tiny", check=False)
+    snaps = _snapshots(workload.program, name)
+    base = snaps["nowp"]
+    assert base["halted"], f"{name} did not halt at tiny scale"
+    for technique in ALL_TECHNIQUES[1:]:
+        diff = sorted(k for k in base if base[k] != snaps[technique][k])
+        assert not diff, f"{name}: {technique} diverges in {diff}"
+
+    reference = Emulator(workload.program)
+    reference.run(2_000_000)
+    ref = _reference_snapshot(reference)
+    diff = sorted(k for k in ref if ref[k] != base[k])
+    assert not diff, f"{name}: simulation diverges from emulator in {diff}"
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_retired_count_identical_under_cap(name):
+    workload = build_workload(name, scale="tiny", check=False)
+    snaps = _snapshots(workload.program, name, max_instructions=6000)
+    retired = {t: s["retired"] for t, s in snaps.items()}
+    assert len(set(retired.values())) == 1, retired
+
+
+@pytest.mark.parametrize("name", RUN_TO_HALT)
+def test_full_state_identical_at_halt(name):
+    _assert_halted_equivalence(name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", workload_names())
+def test_full_state_identical_at_halt_all_workloads(name):
+    if name in ("gap.tc", "spec.fp.fftpass_like"):
+        pytest.skip("does not halt within 300k instructions at tiny "
+                    "scale")
+    _assert_halted_equivalence(name)

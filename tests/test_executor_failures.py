@@ -21,7 +21,7 @@ from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.engine import ExperimentEngine, RunJournal, SimJob
-from repro.engine.executor import _execute_payload
+from repro.engine.executor import _execute_payload, _transport
 
 
 def _job(workload="gap.bfs", technique="nowp"):
@@ -61,7 +61,7 @@ class TestPerJobWallTime:
         before the other: the early one must report ~5s, the late one
         near zero — under the old code both reported time-since-batch."""
         engine = ExperimentEngine(jobs=2)
-        payload = _execute_payload(_job().to_dict())
+        payload = _execute_payload(_transport(_job()))
         slow, fast = Future(), Future()
         slow.set_result(payload)
         fast.set_result(payload)
@@ -111,7 +111,7 @@ class TestRunningFutureTimeout:
         # Survivor moved to the new pool, attempt count preserved.
         assert len(new_pool.submitted) == 1
         (moved_future, moved_payload), = new_pool.submitted
-        assert moved_payload == survivor_job.to_dict()
+        assert moved_payload == _transport(survivor_job)
         assert in_flight[moved_future][1] is survivor_job
         assert in_flight[moved_future][2] == 1
         # The expired attempt: out of retries, failed with a timeout.

@@ -140,22 +140,43 @@ class TestResourceProperties:
             window.commit(time + extra + 1)
             assert len(window) <= cap
 
+    @given(st.lists(st.integers(min_value=0, max_value=50),
+                    min_size=0, max_size=120),
+           st.lists(st.integers(min_value=0, max_value=2000),
+                    min_size=1, max_size=30))
+    def test_occupancy_at_matches_linear_scan(self, deltas, queries):
+        """``occupancy_at`` finds the released prefix by binary search;
+        a brute-force scan over the release list is the reference."""
+        window = WindowBuffer(max(len(deltas), 1))
+        release_cycles = []
+        cycle = 0
+        for delta in deltas:   # releases are committed FIFO-ordered
+            cycle += delta
+            window.commit(cycle)
+            release_cycles.append(cycle)
+        for query in queries:
+            expected = sum(1 for r in release_cycles if r > query)
+            assert window.occupancy_at(query) == expected
+
+
+def _dyn_items(count):
+    """``count`` straight-line DynInstrs with seq 0..count-1."""
+    from repro.frontend.dyninstr import DynInstr
+    from repro.isa.instructions import Instruction
+    out = []
+    for i in range(count):
+        ins = Instruction("add", rd=1, rs1=2, rs2=3)
+        ins.pc = 0x1000 + 4 * i
+        out.append(DynInstr(i, ins, ins.pc, ins.pc + 4, False, None))
+    return out
+
 
 class TestQueueProperties:
     @given(st.integers(min_value=0, max_value=200),
            st.integers(min_value=1, max_value=64),
            st.integers(min_value=0, max_value=32))
     def test_window_prefix_of_pops(self, count, depth, peek):
-        from repro.frontend.dyninstr import DynInstr
-        from repro.isa.instructions import Instruction
-
-        def items():
-            for i in range(count):
-                ins = Instruction("add", rd=1, rs1=2, rs2=3)
-                ins.pc = 0x1000 + 4 * i
-                yield DynInstr(i, ins, ins.pc, ins.pc + 4, False, None)
-
-        iterator = items()
+        iterator = iter(_dyn_items(count))
         queue = RunaheadQueue(lambda: next(iterator, None), depth=depth)
         window = [d.seq for d in queue.window(peek)]
         pops = []
@@ -166,6 +187,83 @@ class TestQueueProperties:
             pops.append(di.seq)
         assert pops == list(range(count))
         assert window == pops[:len(window)]
+
+    @given(st.integers(min_value=0, max_value=150),
+           st.integers(min_value=1, max_value=64),
+           st.lists(st.one_of(
+               st.tuples(st.just("pop")),
+               st.tuples(st.just("prepare")),
+               st.tuples(st.just("window"),
+                         st.integers(min_value=0, max_value=32))),
+               max_size=40))
+    def test_batch_refill_matches_scalar_producer(self, count, depth,
+                                                  ops):
+        """A batch_producer-backed queue is observationally identical
+        to the one-item-producer queue under any op interleaving."""
+        scalar_items = iter(_dyn_items(count))
+        scalar = RunaheadQueue(lambda: next(scalar_items, None),
+                               depth=depth)
+        remaining = _dyn_items(count)
+
+        def take(n):
+            out = remaining[:n]
+            del remaining[:n]
+            return out
+
+        batch = RunaheadQueue(lambda: None, depth=depth,
+                              batch_producer=take)
+        for op in ops:
+            if op[0] == "pop":
+                a, b = scalar.pop(), batch.pop()
+                assert (a.seq if a else None) == (b.seq if b else None)
+            elif op[0] == "prepare":
+                assert scalar.prepare() == batch.prepare()
+            else:
+                assert [d.seq for d in scalar.window(op[1])] \
+                    == [d.seq for d in batch.window(op[1])]
+            assert len(scalar) == len(batch)
+            assert scalar.exhausted == batch.exhausted
+
+    @given(st.integers(min_value=0, max_value=150),
+           st.integers(min_value=1, max_value=32),
+           st.lists(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=30))
+    def test_prepare_and_batch_consumption_match_naive_fifo(
+            self, count, depth, takes):
+        """The batched-consumer contract (prepare, then walk ``_buf``
+        and advance ``_head``, exactly as ``OoOCore.process_batch``
+        does) consumes the same FIFO stream a naive pop-queue would,
+        and ``prepare`` always refills to depth or runs the producer
+        dry."""
+        remaining = _dyn_items(count)
+
+        def take(n):
+            out = remaining[:n]
+            del remaining[:n]
+            return out
+
+        queue = RunaheadQueue(lambda: None, depth=depth,
+                              batch_producer=take)
+        reference = list(range(count))
+        consumed = []
+        for want in takes:
+            available = queue.prepare()
+            assert queue._head == 0          # compacted
+            assert available == len(queue)
+            # prepare refills to at least depth (a prior window() peek
+            # may have filled deeper) or runs the producer dry.
+            remaining_total = count - len(consumed)
+            assert min(depth, remaining_total) <= available \
+                <= remaining_total
+            grab = min(want, available)
+            for i in range(grab):
+                consumed.append(queue._buf[queue._head + i].seq)
+            queue._head += grab
+            # Mid-stream peeks stay coherent with what comes next.
+            peek = [d.seq for d in queue.window(5)]
+            assert peek == \
+                reference[len(consumed):len(consumed) + len(peek)]
+        assert consumed == reference[:len(consumed)]
 
 
 class TestFloatBitsProperties:

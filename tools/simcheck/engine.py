@@ -231,6 +231,14 @@ def _posix(path: str) -> str:
     return path.replace(os.sep, "/")
 
 
+#: Directories never scanned: bytecode caches and generated artifact
+#: trees (result cache, fuzz corpus) are not source.  Dot-prefixed
+#: directories are skipped wholesale below; the cache/corpus names are
+#: listed anyway so the exclusion survives a rename to a non-dot path.
+EXCLUDED_DIRS = frozenset({"__pycache__", ".repro-cache",
+                           ".fuzz-corpus", ".pytest_cache"})
+
+
 def collect_files(paths: Sequence[str]) -> List[SourceFile]:
     """Every ``.py`` file under the given files/directories, sorted (the
     suite must itself be deterministic)."""
@@ -241,7 +249,7 @@ def collect_files(paths: Sequence[str]) -> List[SourceFile]:
             continue
         for dirpath, dirnames, filenames in sorted(os.walk(root)):
             dirnames[:] = sorted(d for d in dirnames
-                                 if d != "__pycache__"
+                                 if d not in EXCLUDED_DIRS
                                  and not d.startswith("."))
             for name in sorted(filenames):
                 if name.endswith(".py"):
