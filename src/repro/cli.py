@@ -13,12 +13,24 @@
     python -m repro compile kernel.c -o kernel.s # minicc to assembly
     python -m repro fuzz --seed 1234 --budget 200 --jobs 2
     python -m repro fuzz --replay .fuzz-corpus/case-....json
+    python -m repro serve --socket /tmp/repro.sock --jobs 4
+    python -m repro sweep --workloads bfs --daemon /tmp/repro.sock
+    python -m repro cache stats
+    python -m repro cache gc --max-bytes 100000000
 
 ``sweep`` and ``compare --jobs`` run through the experiment engine
 (:mod:`repro.engine`): jobs fan out over worker processes and finished
 results are cached content-addressed under ``.repro-cache/`` (override
 with ``--cache-dir`` or ``REPRO_CACHE_DIR``), so re-running a grid only
 simulates jobs whose inputs — or the repro source tree — changed.
+
+``serve`` starts the long-running sweep daemon (:mod:`repro.service`):
+one shared warm cache and worker pool for any number of concurrent
+clients, with in-flight dedupe by content key.  ``sweep``/``compare``/
+``fuzz`` become thin clients with ``--daemon SOCKET`` and fall back to
+the embedded engine transparently when no daemon is listening.
+``cache`` inspects and garbage-collects a result store (LRU, via the
+store index) whether flat or sharded on disk.
 
 ``--trace DIR`` (on ``run``/``compare``/``sweep``) writes one episode
 trace per simulation into ``DIR`` (:mod:`repro.obs`); ``report DIR``
@@ -78,9 +90,29 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--refresh", action="store_true",
                         help="ignore cached results (still writes fresh "
                              "ones back)")
+    parser.add_argument("--daemon", default=None, metavar="SOCKET",
+                        help="submit through the sweep daemon listening "
+                             "on this Unix socket (repro serve); falls "
+                             "back to the embedded engine when no "
+                             "daemon is running")
+
+
+def _daemon_client(socket_path):
+    """Connected daemon client, or None (with a stderr note) so the
+    caller falls back to the embedded engine."""
+    from repro.service import connect_or_none
+    client = connect_or_none(socket_path)
+    if client is None:
+        print(f"note: no daemon listening on {socket_path}; "
+              f"falling back to the embedded engine", file=sys.stderr)
+    return client
 
 
 def _make_engine(args):
+    if getattr(args, "daemon", None):
+        client = _daemon_client(args.daemon)
+        if client is not None:
+            return client
     from repro.engine import ExperimentEngine, ResultStore
     store = None if args.no_cache else ResultStore(args.cache_dir)
     return ExperimentEngine(store=store, jobs=args.jobs,
@@ -325,6 +357,79 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.engine import ResultStore
+    from repro.service import ServiceDaemon
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    try:
+        daemon = ServiceDaemon(args.socket, store=store,
+                               workers=args.jobs, timeout=args.timeout,
+                               retries=args.retries,
+                               http_port=args.http)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    def ready() -> None:
+        line = f"repro daemon listening on {daemon.socket_path}"
+        if daemon.http_bound is not None:
+            line += f" (http {daemon.http_host}:{daemon.http_bound})"
+        print(line, flush=True)
+        if store is not None:
+            print(f"cache: {store.root}", flush=True)
+
+    try:
+        daemon.run(ready=ready)
+    except RuntimeError as exc:     # e.g. live daemon on the socket
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" \
+                else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"   # pragma: no cover
+
+
+def cmd_cache(args) -> int:
+    from repro.engine import ResultStore
+    store = ResultStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            ("root", stats["root"]),
+            ("entries", stats["entries"]),
+            ("bytes", f"{stats['bytes']} ({_human_bytes(stats['bytes'])})"),
+            ("shards used", f"{stats['shards_used']}/{stats['shards_max']}"),
+            ("flat (unmigrated) entries", stats["flat_entries"]),
+            ("indexed entries", stats["indexed"]),
+            ("read-through roots",
+             ", ".join(stats["read_roots"]) or "-"),
+        ]
+        print(render_table("result cache", ["metric", "value"], rows))
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            print("error: cache gc needs --max-bytes N", file=sys.stderr)
+            return 1
+        summary = store.gc(args.max_bytes)
+        print(f"evicted {summary['evicted']} entries "
+              f"({_human_bytes(summary['freed_bytes'])}); "
+              f"kept {summary['kept']} "
+              f"({_human_bytes(summary['bytes'])})")
+        return 0
+    # migrate: pull legacy flat blobs into their hash-prefix shards.
+    moved = store.migrate_flat()
+    print(f"migrated {moved} flat entries into shards under "
+          f"{store.root}")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from repro.fuzz import fuzz, replay_path
 
@@ -350,10 +455,14 @@ def cmd_fuzz(args) -> int:
         print(f"\r  {done}/{total} cases, {failing} failing",
               end="", file=sys.stderr, flush=True)
 
+    engine = None
+    if args.daemon:
+        engine = _daemon_client(args.daemon)
+
     report = fuzz(seed=args.seed, budget=args.budget,
                   jobs=args.jobs or 1, frontend=args.frontend,
                   corpus_dir=args.corpus, shrink=not args.no_shrink,
-                  max_seconds=args.max_seconds,
+                  max_seconds=args.max_seconds, engine=engine,
                   # main() maps 0 -> None for the sweep path; fuzz
                   # always caps, so fall back to the default there.
                   max_instructions=args.max_instructions or 20000,
@@ -508,6 +617,61 @@ def make_parser() -> argparse.ArgumentParser:
                             "oracle battery and exit")
     fuzz_.add_argument("--quiet", action="store_true",
                        help="suppress the progress line on stderr")
+    fuzz_.add_argument("--daemon", default=None, metavar="SOCKET",
+                       help="ship case execution to the sweep daemon on "
+                            "this Unix socket (falls back to the "
+                            "embedded engine when none is running)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep daemon: a shared warm cache + worker pool "
+             "serving many concurrent clients over a Unix socket",
+        description="Start the long-running simulation service "
+                    "(repro.service). Clients submit sweep/compare/fuzz "
+                    "jobs over a newline-JSON Unix-socket protocol "
+                    "(sweep/compare/fuzz --daemon SOCKET); identical "
+                    "in-flight jobs are deduplicated by their "
+                    "content-addressed key so N clients share one "
+                    "execution, and results land in the shared "
+                    "content-addressed cache. Stop with Ctrl-C, "
+                    "SIGTERM, or a client 'shutdown' request.")
+    serve.add_argument("--socket", required=True, metavar="PATH",
+                       help="Unix socket path to listen on")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="also serve a localhost HTTP front on this "
+                            "port (0 = pick a free port): GET /healthz, "
+                            "GET /status, POST /submit")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: os.cpu_count())")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="S", help="per-attempt job timeout")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="extra attempts per failed job (default: 1)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache root (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="run storeless (results are never cached)")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect a result store "
+             "(stats / gc --max-bytes N / migrate)",
+        description="Operate on a content-addressed result cache "
+                    "directly on disk, whether laid out flat (legacy) "
+                    "or sharded into hash-prefix directories. 'stats' "
+                    "reports entries, bytes and shard fill; 'gc' evicts "
+                    "least-recently-used entries (per the store index) "
+                    "down to a byte budget; 'migrate' moves legacy flat "
+                    "blobs into their shards.")
+    cache.add_argument("action", choices=("stats", "gc", "migrate"))
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="gc: evict LRU entries until the store "
+                            "holds at most N bytes")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache root (default: "
+                            "$REPRO_CACHE_DIR or .repro-cache)")
     return parser
 
 
@@ -517,7 +681,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.max_instructions = None    # sweep: 0 means uncapped
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
                 "sweep": cmd_sweep, "report": cmd_report,
-                "compile": cmd_compile, "fuzz": cmd_fuzz}
+                "compile": cmd_compile, "fuzz": cmd_fuzz,
+                "serve": cmd_serve, "cache": cmd_cache}
     handler = handlers[args.command]
     try:
         return handler(args)

@@ -64,12 +64,16 @@ from repro.engine.executor import ExperimentEngine, JobOutcome
 from repro.engine.grid import (expand_grid, parse_overrides,
                                resolve_techniques, resolve_workload,
                                resolve_workloads)
-from repro.engine.job import SimJob, code_fingerprint
+from repro.engine.job import (JOB_KINDS, SimJob, code_fingerprint,
+                              job_class, job_from_transport,
+                              job_to_transport, register_job_kind)
 from repro.engine.journal import RunJournal
-from repro.engine.store import ResultStore
+from repro.engine.store import ResultStore, StoreIndex
 
 __all__ = [
     "ExperimentEngine", "JobOutcome", "SimJob", "code_fingerprint",
-    "ResultStore", "RunJournal", "expand_grid", "parse_overrides",
-    "resolve_techniques", "resolve_workload", "resolve_workloads",
+    "ResultStore", "RunJournal", "StoreIndex", "expand_grid",
+    "parse_overrides", "resolve_techniques", "resolve_workload",
+    "resolve_workloads", "JOB_KINDS", "job_class", "job_from_transport",
+    "job_to_transport", "register_job_kind",
 ]

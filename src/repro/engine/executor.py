@@ -36,23 +36,18 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, List, Optional, Sequence
 
-from repro.engine.job import job_class
+from repro.engine.job import job_from_transport, job_to_transport
 from repro.engine.journal import RunJournal
 from repro.engine.store import ResultStore
 
-
-def _transport(job) -> dict:
-    """Cross-process form of a job: its kind tag plus its plain-dict
-    spec.  The kind routes the payload back through :func:`job_class`
-    on the worker side, so the executor runs any registered job kind
-    (``SimJob``, ``FuzzCaseJob``, ...) without importing it."""
-    return {"kind": job.kind, "job": job.to_dict()}
+# Kept as the executor's vocabulary (and the sweep daemon's): a job
+# crosses process/socket boundaries as {"kind": ..., "job": {...}}.
+_transport = job_to_transport
 
 
 def _execute_payload(payload: dict) -> dict:
     """Worker-side entry point (module-level so it pickles)."""
-    cls = job_class(payload["kind"])
-    return cls.from_dict(payload["job"]).run().to_dict()
+    return job_from_transport(payload).run().to_dict()
 
 
 class JobOutcome:
@@ -171,12 +166,16 @@ class ExperimentEngine:
 
     @staticmethod
     def summarize(outcomes: Sequence[JobOutcome]) -> dict:
-        """Aggregate counts the CLI and benches report."""
+        """Aggregate counts the CLI and benches report.  ``"shared"``
+        outcomes (a sweep daemon coalescing this submission onto another
+        client's in-flight execution of the same key) count as
+        simulated: the work ran live, just once for everyone."""
         hits = sum(1 for o in outcomes if o.status == "hit")
-        simulated = sum(1 for o in outcomes if o.status == "ok")
+        simulated = sum(1 for o in outcomes
+                        if o.status in ("ok", "shared"))
         failed = sum(1 for o in outcomes if o.status == "failed")
         sim_wall = sum(o.result.wall_seconds for o in outcomes
-                       if o.status == "ok")
+                       if o.status in ("ok", "shared"))
         return {"total": len(outcomes), "hits": hits,
                 "simulated": simulated, "failed": failed,
                 "sim_wall_seconds": sim_wall}

@@ -31,11 +31,30 @@ BASE_CONFIGS = ("scaled", "full")
 #: class provides ``kind`` (a bare class attribute matching its registry
 #: entry), ``to_dict``/``from_dict``, ``run`` (returning a result with a
 #: ``to_dict``), a ``result_from_dict`` staticmethod, ``key`` and
-#: ``label``.
-JOB_KINDS: Dict[str, Tuple[str, str]] = {
-    "sim": ("repro.engine.job", "SimJob"),
-    "fuzz": ("repro.fuzz.oracle", "FuzzCaseJob"),
-}
+#: ``label``.  Populate through :func:`register_job_kind`, never by
+#: mutating the dict: duplicate registration must fail loudly, or two
+#: subsystems would silently fight over one transport tag.
+JOB_KINDS: Dict[str, Tuple[str, str]] = {}
+
+
+def register_job_kind(kind: str, module: str, attr: str) -> None:
+    """Register a job kind for executor/daemon transport.
+
+    Raises ``ValueError`` when ``kind`` is already taken by a different
+    class; re-registering the identical entry is a no-op so repeated
+    imports stay safe.
+    """
+    existing = JOB_KINDS.get(kind)
+    if existing is not None and existing != (module, attr):
+        raise ValueError(
+            f"job kind {kind!r} is already registered to "
+            f"{existing[0]}.{existing[1]}; refusing to rebind it to "
+            f"{module}.{attr}")
+    JOB_KINDS[kind] = (module, attr)
+
+
+register_job_kind("sim", "repro.engine.job", "SimJob")
+register_job_kind("fuzz", "repro.fuzz.oracle", "FuzzCaseJob")
 
 
 def job_class(kind: str):
@@ -46,6 +65,19 @@ def job_class(kind: str):
         raise ValueError(f"unknown job kind {kind!r}; "
                          f"choose from {sorted(JOB_KINDS)}") from None
     return getattr(importlib.import_module(module), attr)
+
+
+def job_to_transport(job) -> dict:
+    """Cross-process/cross-socket form of a job: its kind tag plus its
+    plain-dict spec.  The kind routes the payload back through
+    :func:`job_class` on the receiving side, so the executor and the
+    sweep daemon run any registered job kind without importing it."""
+    return {"kind": job.kind, "job": job.to_dict()}
+
+
+def job_from_transport(data: dict):
+    """Rebuild a live job from :func:`job_to_transport` output."""
+    return job_class(data["kind"]).from_dict(data["job"])
 
 #: :class:`SimJob` fields folded into the content hash: every one of
 #: these is reachable from :meth:`SimJob.spec`, so two jobs differing in

@@ -15,6 +15,16 @@ the throughput number the paper's speed section (V-B) is about.  The
 journal is the audit trail for sweep regressions ("which job got slow /
 started missing the cache / started failing"), cheap enough to leave on
 always.
+
+Writer safety: several processes append to one journal concurrently —
+pool workers via their parent engines, the sweep daemon, and ad-hoc CLI
+runs sharing a cache directory.  Each record therefore goes down as a
+**single** ``os.write`` on an ``O_APPEND`` descriptor
+(:func:`append_jsonl_line`): POSIX serializes appends per write call, so
+concurrent records interleave only at line granularity and never corrupt
+each other.  A buffered ``open(..., "a").write(...)`` gives no such
+guarantee — the buffer layer may split one record across several
+syscalls, letting another writer land mid-record.
 """
 
 from __future__ import annotations
@@ -23,6 +33,38 @@ import json
 import os
 import time
 from typing import List, Optional
+
+
+def append_jsonl_line(path: str, entry: dict) -> None:
+    """Append ``entry`` to ``path`` as one JSON line with a single
+    ``write()`` on an ``O_APPEND`` descriptor — safe under concurrent
+    writers (records interleave whole, never torn)."""
+    data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """All readable JSONL records of ``path`` (corrupt lines skipped,
+    missing file reads as empty)."""
+    if not os.path.exists(path):
+        return []
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+    return out
 
 
 class RunJournal:
@@ -55,25 +97,12 @@ class RunJournal:
             "error": error,
         }
         os.makedirs(os.path.dirname(self.path), exist_ok=True)
-        with open(self.path, "a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        append_jsonl_line(self.path, entry)
         return entry
 
     def entries(self) -> List[dict]:
         """All readable journal records (corrupt lines are skipped)."""
-        if not os.path.exists(self.path):
-            return []
-        out = []
-        with open(self.path) as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    out.append(json.loads(line))
-                except ValueError:
-                    continue
-        return out
+        return read_jsonl(self.path)
 
     def __repr__(self) -> str:
         return f"<RunJournal {self.path}>"

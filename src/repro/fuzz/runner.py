@@ -106,7 +106,7 @@ def fuzz(seed: int = 0, budget: int = 100, jobs: int = 1,
          shrink: bool = True, shrink_budget: int = 250,
          max_seconds: Optional[float] = None,
          max_instructions: int = 20000,
-         progress=None) -> FuzzReport:
+         progress=None, engine=None) -> FuzzReport:
     """Run ``budget`` generated cases through the oracle battery.
 
     ``jobs > 1`` fans case execution out over the experiment engine's
@@ -115,10 +115,16 @@ def fuzz(seed: int = 0, budget: int = 100, jobs: int = 1,
     between engine chunks — already-submitted chunks finish, so the
     box is approximate but the report stays deterministic up to the
     number of cases executed.
+
+    ``engine`` substitutes any engine-shaped runner (``.run(jobs)`` →
+    outcomes in input order) for the default in-process pool — this is
+    how ``repro fuzz --daemon`` ships cases to a sweep daemon while
+    keeping report semantics (and the findings digest) identical.
     """
     start = time.perf_counter()
-    engine = ExperimentEngine(store=None, journal=None, jobs=jobs,
-                              retries=0)
+    if engine is None:
+        engine = ExperimentEngine(store=None, journal=None, jobs=jobs,
+                                  retries=0)
     failures: List[dict] = []
     executed = 0
     stopped_early = False

@@ -173,6 +173,77 @@ class TestJournal:
         assert [e["status"] for e in entries] == ["ok", "hit"]
         assert entries[1]["host_ips"] is None
 
+    def test_concurrent_multiprocess_appends_never_tear(self, tmp_path):
+        """N processes hammering one journal concurrently must leave
+        every line parseable — the single-write O_APPEND contract."""
+        path = str(tmp_path / "j.jsonl")
+        script = (
+            "import sys\n"
+            "from repro.engine.journal import append_jsonl_line\n"
+            "path, worker = sys.argv[1], int(sys.argv[2])\n"
+            "for i in range(200):\n"
+            "    append_jsonl_line(path, {'worker': worker, 'i': i,\n"
+            "                             'pad': 'x' * 200})\n"
+        )
+        procs = [subprocess.Popen([sys.executable, "-c", script,
+                                   path, str(w)])
+                 for w in range(4)]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        with open(path) as fh:
+            lines = fh.readlines()
+        assert len(lines) == 4 * 200
+        seen = set()
+        for line in lines:
+            record = json.loads(line)     # raises if any line tore
+            assert len(record["pad"]) == 200
+            seen.add((record["worker"], record["i"]))
+        assert len(seen) == 4 * 200       # nothing lost or duplicated
+
+
+class TestJobKinds:
+    def test_registered_kinds(self):
+        from repro.engine import JOB_KINDS
+        assert set(JOB_KINDS) >= {"sim", "fuzz"}
+
+    def test_unknown_kind_rejected(self):
+        from repro.engine import job_class
+        with pytest.raises(ValueError, match="unknown job kind"):
+            job_class("warp")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.engine import register_job_kind
+        with pytest.raises(ValueError, match="already registered"):
+            register_job_kind("sim", "somewhere.else", "Other")
+
+    def test_identical_reregistration_is_idempotent(self):
+        from repro.engine import JOB_KINDS, register_job_kind
+        module, attr = JOB_KINDS["sim"]
+        register_job_kind("sim", module, attr)   # must not raise
+        assert JOB_KINDS["sim"] == (module, attr)
+
+    def test_transport_round_trip_preserves_key(self):
+        from repro.engine import job_from_transport, job_to_transport
+        transport = job_to_transport(JOB)
+        assert transport["kind"] == "sim"
+        back = job_from_transport(transport)
+        assert type(back) is type(JOB)
+        assert back.key == JOB.key
+
+    def test_transport_round_trip_survives_json(self):
+        from repro.engine import job_from_transport, job_to_transport
+        wire = json.dumps(job_to_transport(JOB), sort_keys=True)
+        assert job_from_transport(json.loads(wire)).key == JOB.key
+
+    def test_fuzz_job_round_trips_too(self):
+        from repro.engine import job_from_transport, job_to_transport
+        from repro.fuzz import make_case
+        from repro.fuzz.oracle import FuzzCaseJob
+        job = FuzzCaseJob(make_case(1, 0))
+        back = job_from_transport(job_to_transport(job))
+        assert isinstance(back, FuzzCaseJob)
+        assert back.key == job.key
+
 
 class TestGrid:
     def test_short_names_resolve(self):

@@ -1,0 +1,311 @@
+"""Tests for the sharded result store: the recency index, LRU garbage
+collection, read-through roots, legacy flat-layout migration, and the
+``repro cache`` CLI over both layouts."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ResultStore, SimJob, StoreIndex
+from repro.cli import main
+
+#: Fabricated 64-hex keys (content is irrelevant to store mechanics).
+K1 = "a" * 64
+K2 = "b" * 64
+K3 = "ab" + "c" * 62
+
+
+def fake_job(workload="gap.bfs", seed=0, cap=8000):
+    return SimJob(workload=workload, technique="conv", scale="tiny",
+                  seed=seed, max_instructions=cap)
+
+
+def plant_blob(store, key, payload=None, flat=False):
+    """Write a well-formed blob for ``key`` directly (no simulation),
+    optionally in the legacy flat location, bypassing the index."""
+    path = (store.flat_path_for(key) if flat
+            else store.path_for(key))
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    blob = {"key": key, "job": {}, "result": payload or {"ipc": 1.0}}
+    with open(path, "w") as fh:
+        json.dump(blob, fh)
+    return path
+
+
+class TestStoreIndex:
+    def test_put_order_is_lru_order(self, tmp_path):
+        index = StoreIndex(str(tmp_path / "index.jsonl"))
+        index.put(K1, 10)
+        index.put(K2, 20)
+        assert list(index.load().items()) == [(K1, 10), (K2, 20)]
+
+    def test_touch_moves_to_most_recent(self, tmp_path):
+        index = StoreIndex(str(tmp_path / "index.jsonl"))
+        index.put(K1, 10)
+        index.put(K2, 20)
+        index.touch(K1)
+        assert list(index.load()) == [K2, K1]
+
+    def test_touch_of_unknown_key_is_ignored(self, tmp_path):
+        index = StoreIndex(str(tmp_path / "index.jsonl"))
+        index.touch(K1)
+        assert index.load() == {}
+
+    def test_drop_removes(self, tmp_path):
+        index = StoreIndex(str(tmp_path / "index.jsonl"))
+        index.put(K1, 10)
+        index.drop(K1)
+        assert index.load() == {}
+
+    def test_re_put_updates_size_and_recency(self, tmp_path):
+        index = StoreIndex(str(tmp_path / "index.jsonl"))
+        index.put(K1, 10)
+        index.put(K2, 20)
+        index.put(K1, 30)
+        assert list(index.load().items()) == [(K2, 20), (K1, 30)]
+
+    def test_garbage_records_are_skipped(self, tmp_path):
+        path = tmp_path / "index.jsonl"
+        index = StoreIndex(str(path))
+        index.put(K1, 10)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"op": "put", "key": "short"}) + "\n")
+            fh.write(json.dumps({"op": "warp", "key": K2}) + "\n")
+        assert index.load() == {K1: 10}
+
+    def test_rewrite_compacts(self, tmp_path):
+        path = tmp_path / "index.jsonl"
+        index = StoreIndex(str(path))
+        for _ in range(5):
+            index.put(K1, 10)
+            index.touch(K1)
+        index.rewrite(index.load())
+        with open(path) as fh:
+            assert len(fh.readlines()) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert StoreIndex(str(tmp_path / "absent.jsonl")).load() == {}
+
+
+class TestShardedLayout:
+    def test_blob_lands_in_shard_dir(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = fake_job()
+        store.put_payload(job, {"x": 1})
+        assert os.path.exists(
+            tmp_path / job.key[:2] / f"{job.key}.json")
+        assert store.get_payload(job) == {"x": 1}
+
+    def test_put_indexes(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = fake_job()
+        store.put_payload(job, {"x": 1})
+        assert job.key in store.index.load()
+
+    def test_stats_shape(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put_payload(fake_job(seed=1), {"x": 1})
+        store.put_payload(fake_job(seed=2), {"x": 2})
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["shards_max"] == 256
+        assert 1 <= stats["shards_used"] <= 2
+        assert stats["flat_entries"] == 0
+        assert stats["indexed"] == 2
+
+
+class TestGC:
+    def test_evicts_lru_first(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        jobs = [fake_job(seed=s) for s in (1, 2, 3)]
+        for job in jobs:
+            store.put_payload(job, {"seed": job.seed})
+        store.get_payload(jobs[0])      # touch: jobs[0] now MRU
+        sizes = store._scan()
+        keep = sizes[jobs[0].key] + sizes[jobs[2].key]
+        summary = store.gc(max_bytes=keep)
+        assert summary["evicted"] == 1
+        assert store.get_payload(jobs[1]) is None       # LRU went
+        assert store.get_payload(jobs[0]) is not None
+        assert store.get_payload(jobs[2]) is not None
+
+    def test_gc_noop_when_under_budget(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put_payload(fake_job(), {"x": 1})
+        summary = store.gc(max_bytes=10**9)
+        assert summary["evicted"] == 0
+        assert summary["kept"] == 1
+
+    def test_gc_to_zero_empties_store(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for s in (1, 2):
+            store.put_payload(fake_job(seed=s), {"x": s})
+        summary = store.gc(max_bytes=0)
+        assert summary["kept"] == 0
+        assert len(store) == 0
+        assert store.index.load() == {}
+
+    def test_unindexed_blobs_evict_before_indexed(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = fake_job()
+        store.put_payload(job, {"x": 1})        # indexed
+        plant_blob(store, K1)                   # never indexed
+        sizes = store._scan()
+        summary = store.gc(max_bytes=sizes[job.key])
+        assert summary["evicted"] == 1
+        assert store.get_payload(job) is not None
+        assert not os.path.exists(store.path_for(K1))
+
+    def test_gc_works_on_flat_layout(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        plant_blob(store, K1, flat=True)
+        plant_blob(store, K2, flat=True)
+        summary = store.gc(max_bytes=0)
+        assert summary["evicted"] == 2
+        assert len(store) == 0
+
+    def test_reindex_recovers_lost_index(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for s in (1, 2):
+            store.put_payload(fake_job(seed=s), {"x": s})
+        os.unlink(store.index.path)
+        assert store.reindex() == 2
+        assert len(store.index.load()) == 2
+
+
+class TestReadThrough:
+    def test_miss_reads_through_and_localizes(self, tmp_path):
+        warm = ResultStore(str(tmp_path / "warm"))
+        job = fake_job()
+        warm.put_payload(job, {"x": 42})
+        local = ResultStore(str(tmp_path / "local"),
+                            read_roots=[str(tmp_path / "warm")])
+        assert local.get_payload(job) == {"x": 42}
+        # Localized: a second read no longer needs the warm root.
+        alone = ResultStore(str(tmp_path / "local"), read_roots=[])
+        assert alone.get_payload(job) == {"x": 42}
+
+    def test_read_root_flat_blob_resolves(self, tmp_path):
+        warm = ResultStore(str(tmp_path / "warm"))
+        job = fake_job()
+        plant_blob(warm, job.key, payload={"x": 7}, flat=True)
+        local = ResultStore(str(tmp_path / "local"),
+                            read_roots=[str(tmp_path / "warm")])
+        assert local.get_payload(job) == {"x": 7}
+
+    def test_read_roots_never_written(self, tmp_path):
+        warm = ResultStore(str(tmp_path / "warm"))
+        local = ResultStore(str(tmp_path / "local"),
+                            read_roots=[str(tmp_path / "warm")])
+        job = fake_job()
+        local.put_payload(job, {"x": 1})
+        assert warm.get_payload(job) is None
+
+    def test_env_read_roots(self, tmp_path, monkeypatch):
+        roots = os.pathsep.join([str(tmp_path / "a"), str(tmp_path / "b")])
+        monkeypatch.setenv("REPRO_CACHE_READ_ROOTS", roots)
+        store = ResultStore(str(tmp_path / "local"))
+        assert store.read_roots == [str(tmp_path / "a"),
+                                    str(tmp_path / "b")]
+
+    def test_primary_root_excluded_from_read_roots(self, tmp_path):
+        store = ResultStore(str(tmp_path),
+                            read_roots=[str(tmp_path)])
+        assert store.read_roots == []
+
+
+class TestFlatMigration:
+    def test_flat_blob_reads_as_hit_and_migrates(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = fake_job()
+        plant_blob(store, job.key, payload={"x": 5}, flat=True)
+        assert store.get_payload(job) == {"x": 5}
+        assert not os.path.exists(store.flat_path_for(job.key))
+        assert os.path.exists(store.path_for(job.key))
+        assert job.key in store.index.load()
+
+    def test_bulk_migrate(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        plant_blob(store, K1, flat=True)
+        plant_blob(store, K2, flat=True)
+        assert store.migrate_flat() == 2
+        assert store.stats()["flat_entries"] == 0
+        assert sorted(store.keys()) == sorted([K1, K2])
+
+    def test_migrate_on_empty_store(self, tmp_path):
+        assert ResultStore(str(tmp_path / "absent")).migrate_flat() == 0
+
+
+class TestMixedLayoutOps:
+    def test_len_keys_count_both_layouts(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        plant_blob(store, K1, flat=True)
+        plant_blob(store, K3)
+        assert len(store) == 2
+        assert sorted(store.keys()) == sorted([K1, K3])
+
+    def test_invalidate_flat_blob(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = fake_job()
+        plant_blob(store, job.key, flat=True)
+        assert store.invalidate(job)
+        assert store.get_payload(job) is None
+
+    def test_clear_drops_both_layouts(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        plant_blob(store, K1, flat=True)
+        plant_blob(store, K2)
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestCacheCLI:
+    def test_stats(self, tmp_path, capsys):
+        store = ResultStore(str(tmp_path))
+        store.put_payload(fake_job(), {"x": 1})
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "1" in out
+
+    def test_gc_requires_max_bytes(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 1
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_gc_evicts(self, tmp_path, capsys):
+        store = ResultStore(str(tmp_path))
+        store.put_payload(fake_job(), {"x": 1})
+        assert main(["cache", "gc", "--max-bytes", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert len(store) == 0
+
+    def test_migrate(self, tmp_path, capsys):
+        store = ResultStore(str(tmp_path))
+        plant_blob(store, K1, flat=True)
+        assert main(["cache", "migrate",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "migrated 1" in capsys.readouterr().out
+
+    def test_stats_on_flat_layout(self, tmp_path, capsys):
+        store = ResultStore(str(tmp_path))
+        plant_blob(store, K1, flat=True)
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "1" in capsys.readouterr().out
+
+
+class TestEngineIntegration:
+    def test_engine_hit_through_sharded_store(self, tmp_path):
+        from repro.engine import ExperimentEngine
+        engine = ExperimentEngine(store=ResultStore(str(tmp_path)),
+                                  jobs=1)
+        job = fake_job(cap=6000)
+        first = engine.run([job])[0]
+        second = engine.run([job])[0]
+        assert first.status == "ok" and second.status == "hit"
+        a, b = first.result.to_dict(), second.result.to_dict()
+        assert a == b   # hit serves the exact stored payload
