@@ -53,6 +53,15 @@ class BimodalPredictor:
         elif ctr > 0:
             self.table[idx] = ctr - 1
 
+    def state_dict(self) -> dict:
+        return {"table": list(self.table)}
+
+    def load_state(self, state: dict) -> None:
+        table = state["table"]
+        if len(table) != len(self.table):
+            raise ValueError("bimodal table size mismatch")
+        self.table = list(table)
+
 
 class GSharePredictor:
     """Global-history XOR-indexed 2-bit counter table."""
@@ -82,6 +91,16 @@ class GSharePredictor:
             self.table[idx] = ctr - 1
         self.history = ((self.history << 1) | int(taken)) \
             & self.history_mask
+
+    def state_dict(self) -> dict:
+        return {"table": list(self.table), "history": self.history}
+
+    def load_state(self, state: dict) -> None:
+        table = state["table"]
+        if len(table) != len(self.table):
+            raise ValueError("gshare table size mismatch")
+        self.table = list(table)
+        self.history = state["history"]
 
 
 class TournamentPredictor:
@@ -142,6 +161,19 @@ class TournamentPredictor:
         gshare.history = ((history << 1) | int(taken)) \
             & gshare.history_mask
 
+    def state_dict(self) -> dict:
+        return {"bimodal": self.bimodal.state_dict(),
+                "gshare": self.gshare.state_dict(),
+                "chooser": list(self.chooser)}
+
+    def load_state(self, state: dict) -> None:
+        chooser = state["chooser"]
+        if len(chooser) != len(self.chooser):
+            raise ValueError("tournament chooser size mismatch")
+        self.bimodal.load_state(state["bimodal"])
+        self.gshare.load_state(state["gshare"])
+        self.chooser = list(chooser)
+
 
 class ReturnAddressStack:
     """Bounded circular return-address stack."""
@@ -166,6 +198,15 @@ class ReturnAddressStack:
     def __len__(self) -> int:
         return len(self._stack)
 
+    def state_dict(self) -> dict:
+        return {"stack": list(self._stack)}
+
+    def load_state(self, state: dict) -> None:
+        stack = list(state["stack"])
+        if len(stack) > self.depth:
+            raise ValueError("RAS deeper than configured depth")
+        self._stack = stack
+
 
 class IndirectPredictor:
     """Last-target table for indirect jumps, history-hashed (ITTAGE-lite)."""
@@ -182,6 +223,15 @@ class IndirectPredictor:
 
     def update(self, pc: int, history: int, target: int) -> None:
         self.table[self._index(pc, history)] = target
+
+    def state_dict(self) -> dict:
+        return {"table": list(self.table)}
+
+    def load_state(self, state: dict) -> None:
+        table = state["table"]
+        if len(table) != len(self.table):
+            raise ValueError("indirect table size mismatch")
+        self.table = list(table)
 
 
 class SpeculativeState:
@@ -305,6 +355,34 @@ class BranchPredictorUnit:
         if instr.is_call:
             self.ras.push(pc + INSTRUCTION_SIZE)
         return instr.target if instr.target is not None else next_pc
+
+    # -- warm-state capture/restore ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Predictive state only (tables, histories, RAS, indirect targets).
+
+        Stats counters are deliberately excluded: checkpointed sampling
+        restores warm images into fresh units whose counters must start at
+        zero for each detailed interval.  Mutating loads keep the unit's
+        hot-path bindings (``_predict_direction`` etc.) valid.
+        """
+        return {
+            "kind": self.kind,
+            "direction": None if self._perfect
+            else self.direction.state_dict(),
+            "ras": self.ras.state_dict(),
+            "indirect": self.indirect.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state["kind"] != self.kind:
+            raise ValueError(
+                f"predictor kind mismatch: snapshot has "
+                f"{state['kind']!r}, unit is {self.kind!r}")
+        if not self._perfect:
+            self.direction.load_state(state["direction"])
+        self.ras.load_state(state["ras"])
+        self.indirect.load_state(state["indirect"])
 
     # -- wrong-path (speculative, non-mutating) interface -----------------------
 

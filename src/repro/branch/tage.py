@@ -82,6 +82,32 @@ class TagePredictor:
         self.history = 0
         self._decay_tick = 0
 
+    # -- warm-state capture/restore --------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "base": list(self.base),
+            "history": self.history,
+            "decay_tick": self._decay_tick,
+            "tables": [{"ctr": list(t.ctr), "tag": list(t.tag),
+                        "useful": list(t.useful)} for t in self.tables],
+        }
+
+    def load_state(self, state: dict) -> None:
+        if len(state["base"]) != len(self.base):
+            raise ValueError("tage base table size mismatch")
+        if len(state["tables"]) != len(self.tables):
+            raise ValueError("tage component count mismatch")
+        self.base = list(state["base"])
+        self.history = state["history"]
+        self._decay_tick = state["decay_tick"]
+        for table, img in zip(self.tables, state["tables"]):
+            if len(img["ctr"]) != len(table.ctr):
+                raise ValueError("tage component size mismatch")
+            table.ctr = list(img["ctr"])
+            table.tag = list(img["tag"])
+            table.useful = list(img["useful"])
+
     # -- indexing -------------------------------------------------------------
 
     def _index(self, table: _TaggedTable, pc: int, history: int) -> int:

@@ -160,6 +160,25 @@ class Cache:
         for set_ in self._sets:
             set_.clear()
 
+    # -- warm-state capture/restore -----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Resident lines, LRU-first per set (no stats — fresh intervals
+        restore warm content into zeroed counters)."""
+        return {"sets": [[[tag, int(dirty)] for tag, dirty in set_.items()]
+                         for set_ in self._sets]}
+
+    def load_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(f"{self.name}: set count mismatch")
+        for set_, lines in zip(self._sets, sets):
+            if len(lines) > self.assoc:
+                raise ValueError(f"{self.name}: set deeper than assoc")
+            set_.clear()
+            for tag, dirty in lines:
+                set_[tag] = bool(dirty)
+
     @property
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)

@@ -103,6 +103,35 @@ class CacheHierarchy:
             prefetcher.on_access(pc, addr, wrong_path)
         return latency
 
+    # -- warm-state capture/restore ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Warm content of every level (LRU order preserved), the DTLB,
+        and any stateful prefetcher.  Stats are excluded — see
+        :meth:`Cache.state_dict`."""
+        state = {
+            "l1i": self.l1i.state_dict(),
+            "l1d": self.l1d.state_dict(),
+            "l2": self.l2.state_dict(),
+            "llc": self.llc.state_dict(),
+            "dtlb": self.dtlb.state_dict(),
+            "prefetcher": None,
+        }
+        if self._l2_prefetcher_kind == "stride":
+            state["prefetcher"] = self._l2_prefetcher.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        self.l1i.load_state(state["l1i"])
+        self.l1d.load_state(state["l1d"])
+        self.l2.load_state(state["l2"])
+        self.llc.load_state(state["llc"])
+        self.dtlb.load_state(state["dtlb"])
+        if self._l2_prefetcher_kind == "stride":
+            if state["prefetcher"] is None:
+                raise ValueError("snapshot missing stride prefetcher state")
+            self._l2_prefetcher.load_state(state["prefetcher"])
+
     # -- reporting ------------------------------------------------------------------
 
     def stats(self) -> dict:

@@ -67,3 +67,17 @@ class StridePrefetcher:
             for i in range(1, self.degree + 1):
                 self.cache.prefetch(addr + i * new_stride, wrong_path)
                 self.issued += 1
+
+    def state_dict(self) -> dict:
+        """Table entries in insertion order (eviction pops the oldest
+        insertion, so order is part of the predictive state)."""
+        return {"table": [[pc, last, stride, conf]
+                          for pc, (last, stride, conf)
+                          in self._table.items()]}
+
+    def load_state(self, state: dict) -> None:
+        table = state["table"]
+        if len(table) > self.table_size:
+            raise ValueError("stride table image larger than configured")
+        self._table = {pc: [last, stride, conf]
+                       for pc, last, stride, conf in table}

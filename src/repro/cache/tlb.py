@@ -51,3 +51,15 @@ class TLB:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def state_dict(self) -> dict:
+        """Resident pages, LRU-first (no stats)."""
+        return {"pages": list(self._pages)}
+
+    def load_state(self, state: dict) -> None:
+        pages = state["pages"]
+        if len(pages) > self.entries:
+            raise ValueError("TLB image larger than configured entries")
+        self._pages.clear()
+        for page in pages:
+            self._pages[page] = True

@@ -8,6 +8,8 @@
     python -m repro compare gap.sssp --jobs 4    # engine-backed, cached
     python -m repro sweep --workloads bfs,pr --techniques nowp,conv \
         --jobs 4                                 # parallel grid sweep
+    python -m repro sample --workloads bfs --techniques conv \
+        --jobs 4 --validate conv                 # checkpointed sampling
     python -m repro run gap.bfs --trace traces   # + episode trace
     python -m repro report traces                # Tables II/III from it
     python -m repro compile kernel.c -o kernel.s # minicc to assembly
@@ -316,6 +318,89 @@ def cmd_sweep(args) -> int:
     return 1 if summary["failed"] else 0
 
 
+def cmd_sample(args) -> int:
+    import hashlib
+
+    from repro.engine import (parse_overrides, resolve_techniques,
+                              resolve_workloads)
+    from repro.simulator.sampling import sample_workload
+
+    workloads = resolve_workloads(args.workloads.split(","))
+    techniques = resolve_techniques(args.techniques.split(","))
+    points = [parse_overrides(text) for text in (args.set or [])] or [{}]
+    base_config = "full" if args.full_config else "scaled"
+    engine = _make_engine(args)
+
+    start = time.perf_counter()
+    rows = []
+    digests = []
+    errors = []
+    failed = 0
+    for workload in workloads:
+        for overrides in points:
+            over = _overrides_label(overrides)
+            full_ipc = None
+            if args.validate:
+                from repro.engine import SimJob
+                ref = engine.run([SimJob(
+                    workload=workload, technique=args.validate,
+                    scale=args.scale, seed=args.seed,
+                    max_instructions=args.max_instructions,
+                    base_config=base_config,
+                    config_overrides=overrides)])[0]
+                if ref.result is not None:
+                    full_ipc = ref.result.ipc
+            for technique in techniques:
+                try:
+                    result = sample_workload(
+                        workload, technique=technique, scale=args.scale,
+                        seed=args.seed, base_config=base_config,
+                        config_overrides=overrides,
+                        detail_length=args.detail_length,
+                        fastforward_length=args.ff_length,
+                        max_instructions=args.max_instructions,
+                        engine=engine, fresh=args.refresh)
+                except RuntimeError as exc:
+                    failed += 1
+                    rows.append((workload, technique, over, "-", "-",
+                                 "-", "-", f"FAILED: {exc}"))
+                    continue
+                digests.append(result.digest())
+                error = "-"
+                if full_ipc and technique == args.validate:
+                    rel = abs(result.ipc - full_ipc) / full_ipc
+                    errors.append(rel)
+                    error = f"{rel * 100:.2f}%"
+                rows.append((workload, technique, over,
+                             f"{result.ipc:.4f}", error,
+                             result.intervals,
+                             f"{result.detail_fraction * 100:.0f}%",
+                             result.total_instructions))
+    wall = time.perf_counter() - start
+
+    print(render_table(
+        f"sample: {len(rows)} runs (detail={args.detail_length}, "
+        f"ff={args.ff_length}, scale={args.scale})",
+        ["workload", "technique", "config", "IPC",
+         "err vs full" if args.validate else "err", "intervals",
+         "detail", "instructions"], rows))
+
+    combined = hashlib.sha256(
+        "\n".join(digests).encode()).hexdigest()
+    print(f"\n{len(rows)} sampled runs, {failed} failed; "
+          f"wall {wall:.2f}s; combined digest {combined[:16]}")
+    if errors:
+        print(f"validate ({args.validate}): mean |IPC error| "
+              f"{100.0 * sum(errors) / len(errors):.2f}% "
+              f"over {len(errors)} run(s)")
+    if engine.store is not None:
+        print(f"cache: {engine.store.root} "
+              f"({len(engine.store)} entries)")
+    if _warn_abandoned(engine):
+        return 1
+    return 1 if failed else 0
+
+
 def cmd_report(args) -> int:
     from repro.obs import build_report, render_report
     if not os.path.isdir(args.trace_dir):
@@ -546,6 +631,59 @@ def make_parser() -> argparse.ArgumentParser:
                             "DIR (implies --refresh)")
     _add_engine(sweep)
 
+    sample = sub.add_parser(
+        "sample",
+        help="checkpointed sampled simulation: fast functional pass + "
+             "parallel detailed intervals restored from snapshots",
+        description="Run each (workload x technique) point as a "
+                    "checkpointed sampled simulation: one fast "
+                    "functional pass warms caches/predictors and emits "
+                    "a snapshot at every detailed-interval boundary; "
+                    "the detailed intervals then restore their "
+                    "snapshots and run independently through the "
+                    "experiment engine (parallel worker processes or "
+                    "the sweep daemon, content-addressed caching).  "
+                    "Results are bit-identical for any --jobs count.  "
+                    "--validate TECH additionally runs the full "
+                    "(unsampled) simulation for that technique and "
+                    "reports the sampled-vs-full IPC error.")
+    sample.add_argument("--workloads", default="gap",
+                        help="comma list of workload names, short names "
+                             "(bfs -> gap.bfs) or groups "
+                             "(gap, spec, spec.int, spec.fp, all); "
+                             "default: gap")
+    sample.add_argument("--techniques", default="all",
+                        help="comma list of techniques or 'all' "
+                             "(default: all)")
+    sample.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"),
+                        help="workload input scale (default: small)")
+    sample.add_argument("--seed", type=int, default=None,
+                        help="workload data seed")
+    sample.add_argument("--detail-length", type=int, default=10_000,
+                        metavar="N",
+                        help="instructions per detailed interval "
+                             "(default: 10000)")
+    sample.add_argument("--ff-length", type=int, default=40_000,
+                        metavar="N",
+                        help="instructions fast-forwarded (functionally "
+                             "warmed) between detailed intervals "
+                             "(default: 40000)")
+    sample.add_argument("--max-instructions", type=int, default=None,
+                        help="truncate the sampling plan after N "
+                             "instructions (0 = uncapped)")
+    sample.add_argument("--full-config", action="store_true",
+                        help="use the full-scale Table I configuration")
+    sample.add_argument("--set", action="append", metavar="K=V[,K=V...]",
+                        help="one CoreConfig override point per flag; "
+                             "repeat to add a config axis to the grid")
+    sample.add_argument("--validate", default=None, metavar="TECH",
+                        choices=sorted(TECHNIQUES),
+                        help="also run the full (unsampled) simulation "
+                             "under TECH and report the sampled IPC "
+                             "error against it")
+    _add_engine(sample)
+
     report = sub.add_parser(
         "report",
         help="aggregate --trace output (and engine journals) into the "
@@ -680,9 +818,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "max_instructions", None) == 0:
         args.max_instructions = None    # sweep: 0 means uncapped
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
-                "sweep": cmd_sweep, "report": cmd_report,
-                "compile": cmd_compile, "fuzz": cmd_fuzz,
-                "serve": cmd_serve, "cache": cmd_cache}
+                "sweep": cmd_sweep, "sample": cmd_sample,
+                "report": cmd_report, "compile": cmd_compile,
+                "fuzz": cmd_fuzz, "serve": cmd_serve, "cache": cmd_cache}
     handler = handlers[args.command]
     try:
         return handler(args)

@@ -55,6 +55,8 @@ def register_job_kind(kind: str, module: str, attr: str) -> None:
 
 register_job_kind("sim", "repro.engine.job", "SimJob")
 register_job_kind("fuzz", "repro.fuzz.oracle", "FuzzCaseJob")
+register_job_kind("sample", "repro.simulator.sampling",
+                  "SampleIntervalJob")
 
 
 def job_class(kind: str):

@@ -216,12 +216,15 @@ class ResultStore:
 
     def get(self, job: SimJob) -> Optional[SimulationResult]:
         """The cached result for ``job``, or None.  Corrupt or
-        schema-mismatched blobs read as misses, never as errors."""
+        schema-mismatched blobs read as misses, never as errors.
+        Rehydration dispatches through the job kind's own
+        ``result_from_dict`` (same contract as the executor's harvest
+        path), so non-``sim`` kinds get real cache hits too."""
         payload = self.get_payload(job)
         if payload is None:
             return None
         try:
-            return SimulationResult.from_dict(payload)
+            return type(job).result_from_dict(payload)
         except (KeyError, TypeError, ValueError):
             return None
 

@@ -112,3 +112,27 @@ class CodeCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- warm-state capture/restore -----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Cached pcs in insertion order (FIFO eviction makes order part
+        of the state).  Decode info is *not* serialized — restore rebuilds
+        it from the program's static instructions."""
+        return {"pcs": list(self._entries)}
+
+    def load_state(self, state: dict, pc_index) -> None:
+        """Restore from a pc list, resolving decode info via ``pc_index``
+        (a pc -> :class:`Instruction` mapping, e.g. ``program.pc_index``)."""
+        pcs = state["pcs"]
+        if self.capacity is not None and len(pcs) > self.capacity:
+            raise ValueError("code-cache image larger than capacity")
+        entries = OrderedDict()
+        for pc in pcs:
+            instr = pc_index.get(pc)
+            if instr is None:
+                raise ValueError(
+                    f"code-cache pc {pc:#x} not in program text")
+            entries[pc] = instr
+        self._entries = entries
+        self._blocks.clear()

@@ -24,7 +24,19 @@ from repro.isa.program import Program
 
 
 class FunctionalFrontend:
-    """Produces the dynamic correct-path instruction stream."""
+    """Produces the dynamic correct-path instruction stream.
+
+    When a ``predictor`` copy is attached it observes *every* dynamic
+    control instruction regardless of :attr:`emulate_wrong_path` — the
+    lockstep contract with the timing model's copy must hold even while
+    emulation itself is gated off (sampled simulation disables the
+    wrong-path walks during fast-forward warming, where the traces would
+    be discarded, but the predictor copies must keep training in program
+    order or they diverge at the next detailed interval).  The gate is
+    read once per :meth:`produce_batch` call, so toggling it between
+    queue refills is safe: instructions already produced keep the traces
+    they were produced with.
+    """
 
     def __init__(self, program: Program, memory: Optional[Memory] = None,
                  emulate_wrong_path: bool = False,
@@ -53,10 +65,10 @@ class FunctionalFrontend:
             return None
         instr, pc, next_pc, taken, mem_addr = result
         wp_trace = None
-        if self.emulate_wrong_path and instr.is_control:
+        if self.predictor is not None and instr.is_control:
             prediction = self.predictor.predict_and_update(instr, taken,
                                                            next_pc)
-            if prediction != next_pc:
+            if self.emulate_wrong_path and prediction != next_pc:
                 wp_trace = self.emulator.emulate_wrong_path(prediction,
                                                             self.wp_limit)
                 self.wp_emulations += 1
@@ -110,10 +122,10 @@ class FunctionalFrontend:
             state.pc = next_pc
             taken = emu._taken
             wp_trace = None
-            if emulate_wp and instr.is_control:
+            if predictor is not None and instr.is_control:
                 prediction = predictor.predict_and_update(instr, taken,
                                                           next_pc)
-                if prediction != next_pc:
+                if emulate_wp and prediction != next_pc:
                     wp_trace = emu.emulate_wrong_path(prediction, wp_limit)
                     self.wp_emulations += 1
                     self.wp_instructions_emulated += len(wp_trace)

@@ -115,3 +115,20 @@ class Memory:
         clone = Memory()
         clone._words = dict(self._words)
         return clone
+
+    # -- warm-state capture/restore ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Architecturally visible contents as sorted ``[idx, word]``
+        pairs.  Zero words are skipped (same observability argument as
+        :meth:`digest`), so the image is canonical: two memories with
+        equal digests produce byte-identical images."""
+        return {"words": [[idx, value]
+                          for idx, value in sorted(self._words.items())
+                          if value]}
+
+    def load_state(self, state: dict) -> None:
+        """Replace the *entire* contents with an image — words absent
+        from it read as zero afterwards, even if previously written
+        (e.g. by the emulator's initial data-segment loads)."""
+        self._words = {idx: value for idx, value in state["words"]}

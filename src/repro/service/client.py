@@ -166,14 +166,15 @@ class ServiceClient:
             fresh: bool = False) -> List[JobOutcome]:
         """Submit ``jobs``; outcomes come back in input order, shaped
         exactly like :meth:`ExperimentEngine.run` outcomes.  The store
-        flag follows the job kinds: only content-addressed ``sim`` jobs
-        read/write the daemon's result cache (fuzz cases are one-shot
-        by design, matching the embedded runner's storeless engine)."""
+        flag follows the job kinds: content-addressed ``sim`` and
+        ``sample`` jobs read/write the daemon's result cache (fuzz
+        cases are one-shot by design, matching the embedded runner's
+        storeless engine)."""
         jobs = list(jobs)
         self.abandoned = []
         if not jobs:
             return []
-        use_store = all(getattr(job, "kind", None) == "sim"
+        use_store = all(getattr(job, "kind", None) in ("sim", "sample")
                         for job in jobs)
         request = {"op": "submit",
                    "jobs": [job_to_transport(job) for job in jobs],

@@ -1,0 +1,197 @@
+"""Simulation snapshots for checkpointed sampling.
+
+A :class:`SimSnapshot` freezes everything a detailed interval needs to
+start executing mid-stream as if the whole prefix had been simulated:
+
+* **architectural state** — pc, integer/FP registers, memory contents
+  (with a SHA-256 digest verified on restore), emulator flags
+  (halted/exit code/instret) and the accumulated program output, plus the
+  frontend's stream position so ``DynInstr.seq`` numbering continues
+  seamlessly;
+* **warm microarchitectural images** — every cache level's resident
+  lines in LRU order, the DTLB, any stateful prefetcher, the branch
+  predictor unit (direction tables, histories, RAS, indirect targets)
+  and the code cache's pc set.
+
+Snapshots are produced by the fast functional pass
+(:func:`repro.simulator.sampling.functional_pass`) at detailed-interval
+boundaries and restored into *fresh* components by each interval job, so
+intervals are independent of one another: they can run in any order, in
+parallel worker processes, or on the sweep daemon, and produce
+bit-identical results every time (the property the ``sample-smoke`` CI
+job asserts).
+
+Serialization follows the repo's result-type discipline: ``to_dict`` /
+``from_dict`` with a ``SCHEMA`` tag (stale blobs are rejected, simcheck
+SC005 audits field coverage), plus a canonical :meth:`digest` used to
+fold the snapshot into the interval job's content-addressed cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Optional
+
+#: Stats deliberately not captured: counters (cache/TLB/predictor/code
+#: cache hit rates, wp counts) restart at zero inside each detailed
+#: interval — the warm images carry *predictive* state only.
+
+
+class SimSnapshot:
+    """Frozen mid-stream state of one decoupled simulation."""
+
+    #: Bump when the serialized shape changes; ``from_dict`` rejects
+    #: blobs from other schema versions.
+    SCHEMA = 1
+
+    def __init__(self, index: int, position: int, pc: int,
+                 x: List[int], f: List[float], halted: bool,
+                 exit_code: Optional[int], instret: int, output: list,
+                 memory: dict, memory_digest: str, code_cache: dict,
+                 bpu: dict, hierarchy: dict):
+        self.index = index              # interval number (0-based)
+        self.position = position        # instructions produced so far
+        self.pc = pc
+        self.x = x
+        self.f = f
+        self.halted = halted
+        self.exit_code = exit_code
+        self.instret = instret
+        self.output = output
+        self.memory = memory            # Memory.state_dict() image
+        self.memory_digest = memory_digest
+        self.code_cache = code_cache    # CodeCache.state_dict() image
+        self.bpu = bpu                  # BranchPredictorUnit.state_dict()
+        self.hierarchy = hierarchy      # CacheHierarchy.state_dict()
+
+    # -- capture -----------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, index: int, frontend, hierarchy, bpu,
+                code_cache) -> "SimSnapshot":
+        """Freeze the live warming components at the current position.
+
+        ``frontend`` supplies the architectural half (its emulator owns
+        registers and memory); ``hierarchy``/``bpu``/``code_cache`` the
+        warm microarchitectural images.
+        """
+        emu = frontend.emulator
+        state = emu.state
+        memory = emu.memory
+        return cls(
+            index=index,
+            position=frontend.instructions_produced,
+            pc=state.pc,
+            x=list(state.x),
+            f=list(state.f),
+            halted=emu.halted,
+            exit_code=emu.exit_code,
+            instret=emu.instret,
+            output=list(emu.output),
+            memory=memory.state_dict(),
+            memory_digest=memory.digest(),
+            code_cache=code_cache.state_dict(),
+            bpu=bpu.state_dict(),
+            hierarchy=hierarchy.state_dict(),
+        )
+
+    # -- restore -----------------------------------------------------------------
+
+    def restore(self, frontend, hierarchy=None, bpu=None,
+                code_cache=None) -> None:
+        """Load this snapshot into fresh components.
+
+        The frontend's emulator gets the full architectural state; its
+        memory contents are *replaced* by the snapshot image (the
+        emulator constructor pre-loads initial data segments, which the
+        image supersedes) and the result is verified against
+        :attr:`memory_digest` — a mismatch raises ``ValueError`` rather
+        than silently simulating a corrupt interval.  A frontend that
+        carries a predictor copy (wpemul) has it restored from the same
+        image as the timing ``bpu``, so the two copies start the
+        interval in lockstep by construction.
+        """
+        emu = frontend.emulator
+        state = emu.state
+        state.pc = self.pc
+        # Registers are written in place: the emulator binds the lists
+        # (``emu.x is state.x``) once at construction.
+        state.x[:] = self.x
+        state.f[:] = self.f
+        emu.halted = self.halted
+        emu.exit_code = self.exit_code
+        emu.instret = self.instret
+        emu.output[:] = self.output
+        emu.memory.load_state(self.memory)
+        got = emu.memory.digest()
+        if got != self.memory_digest:
+            raise ValueError(
+                f"snapshot {self.index} memory digest mismatch: "
+                f"restored {got[:12]}…, expected "
+                f"{self.memory_digest[:12]}…")
+        frontend._seq = self.position
+        if frontend.predictor is not None:
+            frontend.predictor.load_state(self.bpu)
+        if hierarchy is not None:
+            hierarchy.load_state(self.hierarchy)
+        if bpu is not None:
+            bpu.load_state(self.bpu)
+        if code_cache is not None:
+            code_cache.load_state(self.code_cache,
+                                  emu.program.pc_index)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form: JSON-safe and canonical for a given state."""
+        return {
+            "schema": self.SCHEMA,
+            "index": self.index,
+            "position": self.position,
+            "pc": self.pc,
+            "x": list(self.x),
+            "f": list(self.f),
+            "halted": self.halted,
+            "exit_code": self.exit_code,
+            "instret": self.instret,
+            "output": list(self.output),
+            "memory": self.memory,
+            "memory_digest": self.memory_digest,
+            "code_cache": self.code_cache,
+            "bpu": self.bpu,
+            "hierarchy": self.hierarchy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimSnapshot":
+        if data.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"snapshot schema {data.get('schema')!r} != {cls.SCHEMA}")
+        return cls(
+            index=data["index"],
+            position=data["position"],
+            pc=data["pc"],
+            x=list(data["x"]),
+            f=list(data["f"]),
+            halted=data["halted"],
+            exit_code=data["exit_code"],
+            instret=data["instret"],
+            output=list(data["output"]),
+            memory=data["memory"],
+            memory_digest=data["memory_digest"],
+            code_cache=data["code_cache"],
+            bpu=data["bpu"],
+            hierarchy=data["hierarchy"],
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialized form (cache-key input
+        for interval jobs: same prefix state ⇒ same digest)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def __repr__(self) -> str:
+        return (f"<SimSnapshot #{self.index} @{self.position} "
+                f"pc={self.pc:#x} mem={len(self.memory['words'])}w>")

@@ -121,6 +121,40 @@ class TestSweep:
         assert "cache:" not in capsys.readouterr().out.splitlines()[-1]
 
 
+class TestSampleCommand:
+    ARGS = ["sample", "--workloads", "bfs", "--techniques", "nowp,conv",
+            "--scale", "tiny", "--detail-length", "2000",
+            "--ff-length", "6000"]
+
+    def test_cold_then_warm_share_digest(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(self.ARGS + cache + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert "gap.bfs" in cold and "intervals" in cold
+        digest = [line for line in cold.splitlines()
+                  if "combined digest" in line]
+        assert digest
+
+        assert main(self.ARGS + cache + ["--jobs", "1"]) == 0
+        warm = capsys.readouterr().out
+        assert digest[0].split("combined digest")[1] in warm
+
+    def test_validate_reports_error(self, tmp_path, capsys):
+        rc = main(self.ARGS + ["--cache-dir", str(tmp_path),
+                               "--jobs", "1", "--validate", "conv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "err vs full" in out
+        assert "mean |IPC error|" in out
+
+    def test_parser_defaults(self):
+        args = make_parser().parse_args(["sample"])
+        assert args.workloads == "gap"
+        assert args.detail_length == 10_000
+        assert args.ff_length == 40_000
+        assert args.validate is None
+
+
 class TestCompile:
     def test_compile_to_stdout(self, tmp_path, capsys):
         src = tmp_path / "k.c"

@@ -4,7 +4,8 @@ import pytest
 
 from repro import CoreConfig, Simulator
 from repro.minicc import compile_to_program
-from repro.simulator.sampling import simulate_sampled
+from repro.simulator.sampling import (SampledResult, simulate_sampled,
+                                      simulate_sampled_checkpointed)
 
 SOURCE = """
 int table[4096];
@@ -44,6 +45,27 @@ class TestSampling:
         assert 0.1 < result.detail_fraction < 0.4
         assert result.ipc > 0
 
+    def test_interval_count_and_duty_cycle(self, program):
+        """The stream partitions exactly: ff/detail alternation gives a
+        predictable interval count and a detail fraction equal to the
+        configured duty cycle (up to the final partial interval)."""
+        detail, ff = 5000, 15_000
+        result = simulate_sampled(program, technique="nowp",
+                                  config=CoreConfig.scaled(),
+                                  detail_length=detail,
+                                  fastforward_length=ff)
+        total = result.total_instructions
+        period = detail + ff
+        # Every full period contributes one detailed interval; a trailing
+        # partial period contributes at most one more.
+        assert total // period <= result.intervals <= total // period + 1
+        # All but the last detailed interval are exactly detail_length.
+        assert result.detailed_instructions <= result.intervals * detail
+        assert result.detailed_instructions > (result.intervals - 1) * detail
+        # Duty cycle: detail/(detail+ff) = 25%, within the tail's slack.
+        assert result.detail_fraction == pytest.approx(
+            detail / period, abs=0.05)
+
     def test_sampled_ipc_tracks_full_detail(self, program):
         """Sampling must approximate the full-detail IPC (SMARTS-style)."""
         cfg = CoreConfig.scaled()
@@ -70,6 +92,18 @@ class TestSampling:
         assert result.stats.wp_fetched > 0
         assert result.stats.conv_attempts > 0
 
+    def test_instrec_in_samples(self, program):
+        """instrec replays recorded wrong paths inside detailed
+        intervals: it must fetch and execute wrong-path instructions but
+        never recover data addresses (it models none)."""
+        result = simulate_sampled(program, technique="instrec",
+                                  config=CoreConfig.scaled(),
+                                  detail_length=6000,
+                                  fastforward_length=18_000)
+        assert result.stats.wp_fetched > 0
+        assert result.stats.wp_executed > 0
+        assert result.stats.wp_addr_recovered == 0
+
     def test_wpemul_in_samples(self, program):
         result = simulate_sampled(program, technique="wpemul",
                                   config=CoreConfig.scaled(),
@@ -77,6 +111,23 @@ class TestSampling:
                                   fastforward_length=20_000)
         assert result.stats.wp_trace_missing == 0
         assert result.stats.wp_executed > 0
+
+    def test_warm_gating_pins_detailed_results(self, program):
+        """Gating wrong-path emulation off during fast-forward warming is
+        pure wasted-work elimination: every counter of the detailed
+        intervals must be bit-identical with the gate on or off."""
+        cfg = CoreConfig.scaled()
+        gated = simulate_sampled(program, technique="wpemul", config=cfg,
+                                 detail_length=5000,
+                                 fastforward_length=15_000,
+                                 gate_warm_wp=True)
+        ungated = simulate_sampled(program, technique="wpemul", config=cfg,
+                                   detail_length=5000,
+                                   fastforward_length=15_000,
+                                   gate_warm_wp=False)
+        assert gated.stats.counters() == ungated.stats.counters()
+        assert gated.total_instructions == ungated.total_instructions
+        assert gated.intervals == ungated.intervals
 
     def test_parameter_validation(self, program):
         with pytest.raises(ValueError):
@@ -87,9 +138,113 @@ class TestSampling:
             simulate_sampled(program, technique="magic")
 
     def test_max_instructions_cap(self, program):
+        """The budget is a hard cap: no interval may overshoot it."""
         result = simulate_sampled(program, technique="nowp",
                                   config=CoreConfig.scaled(),
                                   detail_length=1000,
                                   fastforward_length=1000,
                                   max_instructions=5000)
-        assert result.total_instructions <= 6000
+        assert result.total_instructions <= 5000
+        # And the budget is actually used, not truncated a period early.
+        assert result.total_instructions > 5000 - 2000
+
+    def test_result_roundtrip(self, program):
+        result = simulate_sampled(program, technique="nowp",
+                                  config=CoreConfig.scaled(),
+                                  detail_length=2000,
+                                  fastforward_length=6000,
+                                  max_instructions=20_000)
+        clone = SampledResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+        assert clone.digest() == result.digest()
+        with pytest.raises(ValueError):
+            SampledResult.from_dict(
+                dict(result.to_dict(), schema=99))
+
+
+class TestCheckpointedSampling:
+    def test_matches_streaming_bit_exactly(self, program):
+        """Checkpoint/restore is lossless: running every detailed
+        interval from its snapshot in a fresh core must reproduce the
+        streaming sampler's counters bit-for-bit — including under
+        wpemul, whose frontend predictor copy rides in the snapshot."""
+        cfg = CoreConfig.scaled()
+        for technique in ("conv", "wpemul"):
+            stream = simulate_sampled(program, technique, cfg,
+                                      detail_length=5000,
+                                      fastforward_length=15_000)
+            chk = simulate_sampled_checkpointed(program, technique, cfg,
+                                                detail_length=5000,
+                                                fastforward_length=15_000)
+            assert chk.stats.counters() == stream.stats.counters()
+            assert chk.detailed_instructions == stream.detailed_instructions
+            assert chk.total_instructions == stream.total_instructions
+            assert chk.intervals == stream.intervals
+            assert chk.mode == "checkpoint"
+            assert len(chk.interval_results) == chk.intervals
+
+    def test_checkpointed_respects_cap(self, program):
+        result = simulate_sampled_checkpointed(
+            program, "nowp", CoreConfig.scaled(),
+            detail_length=1000, fastforward_length=1000,
+            max_instructions=5000)
+        assert result.total_instructions <= 5000
+
+
+class TestSampleIntervalJob:
+    def _job(self, **over):
+        from repro.simulator.sampling import SampleIntervalJob, \
+            functional_pass
+        from repro.workloads import build_workload
+        built = build_workload("gap.bfs", scale="tiny", check=False)
+        plan = functional_pass(built.program, CoreConfig.scaled(),
+                               detail_length=2000,
+                               fastforward_length=6000)
+        snap, length = plan.intervals[0]
+        kwargs = dict(workload="gap.bfs", technique="conv", scale="tiny",
+                      index=snap.index, length=length,
+                      snapshot=snap.to_dict())
+        kwargs.update(over)
+        return SampleIntervalJob(**kwargs)
+
+    def test_transport_round_trip(self):
+        from repro.engine import job_from_transport
+        from repro.engine.job import job_to_transport
+        job = self._job()
+        clone = job_from_transport(job_to_transport(job))
+        assert clone.to_dict() == job.to_dict()
+        assert clone.key == job.key
+
+    def test_key_covers_snapshot_state(self):
+        """Two interval jobs differing only in prefix state must never
+        share a cache entry."""
+        job = self._job()
+        mutated = dict(job.snapshot)
+        mutated = dict(mutated, position=mutated["position"] + 1)
+        other = self._job(snapshot=mutated)
+        assert other.key != job.key
+        assert self._job(technique="nowp").key != job.key
+
+    def test_run_and_result_round_trip(self):
+        from repro.simulator.sampling import SampleIntervalJob
+        job = self._job()
+        result = job.run()
+        assert result.instructions > 0
+        assert result.ipc > 0
+        clone = SampleIntervalJob.result_from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+
+    def test_engine_dispatch_matches_in_process(self, tmp_path):
+        """The tentpole parity property at unit scale: in-process,
+        engine-parallel and warm-cache runs share one digest."""
+        from repro.engine import ExperimentEngine, ResultStore
+        from repro.simulator.sampling import sample_workload
+        kwargs = dict(technique="conv", scale="tiny",
+                      detail_length=2000, fastforward_length=6000)
+        serial = sample_workload("gap.bfs", **kwargs)
+        engine = ExperimentEngine(store=ResultStore(str(tmp_path)),
+                                  jobs=2)
+        parallel = sample_workload("gap.bfs", engine=engine, **kwargs)
+        warm = sample_workload("gap.bfs", engine=engine, **kwargs)
+        assert parallel.digest() == serial.digest()
+        assert warm.digest() == serial.digest()

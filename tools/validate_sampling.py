@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Validate checkpointed sampling against full simulation.
+
+Runs every registry workload twice — once full-detail, once through
+:func:`repro.simulator.sampling.sample_workload` — and reports the
+per-workload and mean absolute IPC error.  Exits nonzero when the mean
+exceeds the threshold (default 5%), making this the acceptance gate for
+the sampling subsystem.
+
+Both sides share one experiment engine: the full runs fan out in
+parallel as ``sim`` jobs, each sampled run fans its detailed intervals
+out as ``sample`` jobs, and everything is cached content-addressed, so
+a re-run after an unrelated edit is mostly cache hits.
+
+Notes on methodology:
+
+* Runs are compared **uncapped by default** (``--max-instructions 0``)
+  apart from a per-workload feasibility cap (``--max-instructions N``):
+  capping both sides at a point inside a workload's warm-up transient
+  makes the full run transient-dominated while sampling's leading
+  fast-forward skips it, which inflates the apparent error (the bias is
+  the cap's, not the sampler's).
+* The default duty cycle (10k detailed / 40k fast-forwarded = 20%)
+  matches the sampled-simulation regime the paper targets.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/validate_sampling.py --jobs 8
+    PYTHONPATH=src python tools/validate_sampling.py --format md
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine import ExperimentEngine, ResultStore, SimJob  # noqa: E402
+from repro.simulator.sampling import sample_workload  # noqa: E402
+from repro.workloads import workload_names  # noqa: E402
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="sampled-vs-full IPC validation over all workloads")
+    parser.add_argument("--technique", default="conv",
+                        help="technique to validate (default: conv)")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"),
+                        help="workload input scale (default: small)")
+    parser.add_argument("--detail-length", type=int, default=10_000)
+    parser.add_argument("--ff-length", type=int, default=40_000)
+    parser.add_argument("--max-instructions", type=int, default=2_000_000,
+                        help="per-workload feasibility cap "
+                             "(default: 2000000; 0 = uncapped)")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="mean |IPC error| bound (default: 0.05)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="engine worker processes "
+                             "(default: os.cpu_count())")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache (default: a "
+                             "throwaway temporary directory)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma list to restrict to (default: all)")
+    parser.add_argument("--format", default="table",
+                        choices=("table", "md"),
+                        help="output format (default: table)")
+    return parser.parse_args(argv)
+
+
+def render(rows, mean_err, fmt):
+    headers = ("workload", "full IPC", "sampled IPC", "abs error",
+               "intervals", "detail")
+    if fmt == "md":
+        lines = ["| " + " | ".join(headers) + " |",
+                 "|" + "|".join("---" for _ in headers) + "|"]
+        for row in rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        lines.append(f"| **mean** | | | **{mean_err * 100:.2f}%** | | |")
+        return "\n".join(lines)
+    widths = [max(len(str(r[i])) for r in rows + [headers])
+              for i in range(len(headers))]
+    fmt_row = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt_row.format(*headers),
+             fmt_row.format(*("-" * w for w in widths))]
+    lines += [fmt_row.format(*(str(c) for c in row)) for row in rows]
+    lines.append(f"mean |IPC error| = {mean_err * 100:.2f}%")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    cap = args.max_instructions or None
+    names = (args.workloads.split(",") if args.workloads
+             else workload_names())
+
+    tmp = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-validate-")
+        cache_dir = tmp.name
+    engine = ExperimentEngine(store=ResultStore(cache_dir),
+                              jobs=args.jobs)
+
+    start = time.perf_counter()
+    full_jobs = [SimJob(workload=name, technique=args.technique,
+                        scale=args.scale, max_instructions=cap)
+                 for name in names]
+    full_outcomes = engine.run(full_jobs)
+    failed = [o for o in full_outcomes if o.result is None]
+    if failed:
+        for o in failed:
+            print(f"validate-sampling: full run failed: "
+                  f"{o.job.label}: {o.error}", file=sys.stderr)
+        return 1
+
+    rows = []
+    errors = []
+    for name, full in zip(names, full_outcomes):
+        sampled = sample_workload(
+            name, technique=args.technique, scale=args.scale,
+            detail_length=args.detail_length,
+            fastforward_length=args.ff_length,
+            max_instructions=cap, engine=engine)
+        err = abs(sampled.ipc - full.result.ipc) / full.result.ipc
+        errors.append(err)
+        rows.append((name, f"{full.result.ipc:.4f}",
+                     f"{sampled.ipc:.4f}", f"{err * 100:.2f}%",
+                     sampled.intervals,
+                     f"{sampled.detail_fraction * 100:.0f}%"))
+        print(f"validate-sampling: {name}: full={full.result.ipc:.4f} "
+              f"sampled={sampled.ipc:.4f} err={err * 100:.2f}%",
+              file=sys.stderr)
+
+    wall = time.perf_counter() - start
+    mean_err = sum(errors) / len(errors)
+    print(render(rows, mean_err, args.format))
+    print(f"\n{len(names)} workloads validated in {wall:.1f}s "
+          f"(scale={args.scale}, detail={args.detail_length}, "
+          f"ff={args.ff_length}, cap={cap})", file=sys.stderr)
+    if tmp is not None:
+        tmp.cleanup()
+    if mean_err > args.threshold:
+        print(f"validate-sampling: FAIL: mean |IPC error| "
+              f"{mean_err * 100:.2f}% exceeds "
+              f"{args.threshold * 100:.2f}%", file=sys.stderr)
+        return 1
+    print(f"validate-sampling: OK — mean |IPC error| "
+          f"{mean_err * 100:.2f}% <= {args.threshold * 100:.2f}%",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
