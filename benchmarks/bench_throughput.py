@@ -42,10 +42,28 @@ DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..",
 DEFAULT_WORKLOADS = "gap.bfs,spec.int.xz_like"
 
 
+def _assert_compiled_paths(sim, technique: str, key: str) -> None:
+    """Anti-silent-fallback guard (CI): the numbers this script records
+    are only meaningful while the compiled block layers actually run.
+    A refactor that quietly disables a layer (e.g. a changed warm-gate
+    or a cache that never resolves) would otherwise look like a mere
+    slowdown inside the regression tolerance."""
+    if sim.frontend.superblock_instructions <= 0:
+        raise AssertionError(
+            f"{key}: functional superblock path never engaged")
+    if sim.core.timingblock_instructions <= 0:
+        raise AssertionError(
+            f"{key}: timing superhandler path never engaged")
+    if technique != "nowp" and sim.core.streamblock_instructions <= 0:
+        raise AssertionError(
+            f"{key}: wrong-path stream block path never engaged")
+
+
 def measure(workload_name: str, technique: str, scale: str,
             max_instructions: int, repeat: int) -> dict:
     workload = build_workload(workload_name, scale=scale, check=False)
     best_wall, instructions = float("inf"), 0
+    sim = None
     for _ in range(repeat):
         sim = Simulator(workload.program, technique=technique,
                         max_instructions=max_instructions,
@@ -56,6 +74,8 @@ def measure(workload_name: str, technique: str, scale: str,
         if wall < best_wall:
             best_wall = wall
         instructions = result.instructions
+    _assert_compiled_paths(sim, technique,
+                           f"{workload_name}/{technique}")
     return {"instructions": instructions,
             "best_wall_seconds": round(best_wall, 6),
             "ips": round(instructions / best_wall, 1)}

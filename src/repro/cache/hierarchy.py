@@ -58,6 +58,10 @@ class CacheHierarchy:
         else:
             raise ValueError(f"unknown l2 prefetcher {l2_prefetcher!r}")
         self._l2_prefetcher_kind = l2_prefetcher
+        #: Flattened data-access path (see :meth:`_build_data_fastpath`).
+        #: Same signature and bit-identical behaviour to
+        #: :meth:`access_data`; hot loops bind this once instead.
+        self.data_fastpath = self._build_data_fastpath()
 
     @classmethod
     def from_config(cls, cfg) -> "CacheHierarchy":
@@ -87,7 +91,12 @@ class CacheHierarchy:
 
     def access_data(self, addr: int, write: bool = False, pc: int = 0,
                     wrong_path: bool = False) -> int:
-        """Access data at ``addr``; returns latency including TLB penalty."""
+        """Access data at ``addr``; returns latency including TLB penalty.
+
+        This is the readable reference implementation; hot loops bind
+        :attr:`data_fastpath` (its flattened, bit-identical twin) once
+        per batch instead.
+        """
         prefetcher = self._l2_prefetcher
         if prefetcher is None:
             # No prefetcher: skip the pre-access residency probe entirely
@@ -102,6 +111,126 @@ class CacheHierarchy:
         else:
             prefetcher.on_access(pc, addr, wrong_path)
         return latency
+
+    def _build_data_fastpath(self):
+        """Build the flattened twin of :meth:`access_data`.
+
+        The reference path costs three Python frames per access
+        (``access_data`` -> ``TLB.access`` -> ``Cache.access``); the data
+        side is the hottest edge in the whole simulator (every load, every
+        store drain, every known-address wrong-path access), so this
+        closure inlines the DTLB probe and the L1D hit/miss handling into
+        one frame, falling through to the ordinary recursive
+        ``l2.access`` only on an L1D miss.  Every counter, LRU movement,
+        eviction, writeback and prefetcher notification happens in
+        exactly the order the reference path produces — the superblock
+        property suite drives both against each other and compares
+        per-level stats and warm state bit-for-bit.
+
+        Captured objects (``_sets`` lists, ``_pages`` dict, stats) are
+        mutated in place by ``load_state``, never replaced, so the
+        closure stays valid across snapshot restores.
+        """
+        dtlb = self.dtlb
+        pages = dtlb._pages
+        pages_move = pages.move_to_end
+        pages_pop = pages.popitem
+        page_shift = dtlb.page_shift
+        tlb_entries = dtlb.entries
+        tlb_penalty = dtlb.miss_penalty
+        l1d = self.l1d
+        l1d_sets = l1d._sets
+        l1d_stats = l1d.stats
+        l1d_latency = l1d.latency
+        l1d_assoc = l1d.assoc
+        line_shift = l1d._line_shift
+        set_mask = l1d._set_mask
+        l2_access = self.l2.access
+        kind = self._l2_prefetcher_kind
+        prefetcher = self._l2_prefetcher
+        nl = prefetcher.on_access if kind == "next_line" else None
+        st = prefetcher.on_access if kind == "stride" else None
+
+        def data_fastpath(addr: int, write: bool = False, pc: int = 0,
+                          wrong_path: bool = False) -> int:
+            # -- DTLB (TLB.access inlined)
+            page = addr >> page_shift
+            dtlb.accesses += 1
+            if wrong_path:
+                dtlb.wp_accesses += 1
+            if page in pages:
+                pages_move(page)
+                latency = 0
+            else:
+                dtlb.misses += 1
+                if wrong_path:
+                    dtlb.wp_misses += 1
+                pages[page] = True
+                if len(pages) > tlb_entries:
+                    pages_pop(last=False)
+                latency = tlb_penalty
+            # -- L1D (Cache.access + Cache._insert inlined; the hit test
+            #    doubles as the prefetcher's pre-access residency probe)
+            line = addr >> line_shift
+            set_ = l1d_sets[line & set_mask]
+            l1d_stats.accesses += 1
+            if wrong_path:
+                l1d_stats.wp_accesses += 1
+            if line in set_:
+                set_.move_to_end(line)
+                if write:
+                    set_[line] = True
+                if nl is not None:
+                    nl(addr, False, wrong_path)
+                elif st is not None:
+                    st(pc, addr, wrong_path)
+                return latency + l1d_latency
+            l1d_stats.misses += 1
+            if wrong_path:
+                l1d_stats.wp_misses += 1
+            fill = l2_access(addr, False, wrong_path)
+            if len(set_) >= l1d_assoc:
+                victim, victim_dirty = set_.popitem(last=False)
+                if victim_dirty:
+                    l1d_stats.writebacks += 1
+                    l2_access(victim << line_shift, True, wrong_path)
+            set_[line] = write
+            if nl is not None:
+                nl(addr, True, wrong_path)
+            elif st is not None:
+                st(pc, addr, wrong_path)
+            return latency + l1d_latency + fill
+
+        return data_fastpath
+
+    def access_data_batch(self, addrs, writes=None, pcs=None,
+                          wrong_path: bool = False) -> list:
+        """Resolve an in-order data address stream in one call.
+
+        ``addrs`` is a sequence of byte addresses; ``writes`` (optional)
+        a parallel sequence of store flags, ``pcs`` (optional) a parallel
+        sequence of access pcs (only consulted by the stride prefetcher).
+        Returns the per-access latency list.
+
+        Accesses are resolved strictly left to right through
+        :attr:`data_fastpath` — the hierarchy is stateful and
+        order-sensitive (shared L2/LLC, LRU movement, writebacks), so
+        the batch form is a one-pass flattening, *not* a reordering:
+        per-level hit/miss splits, counters and warm state come out
+        bit-identical to the equivalent :meth:`access_data` loop.
+        """
+        fast = self.data_fastpath
+        if writes is None:
+            if pcs is None:
+                return [fast(addr, False, 0, wrong_path)
+                        for addr in addrs]
+            return [fast(addr, False, pc, wrong_path)
+                    for addr, pc in zip(addrs, pcs)]
+        if pcs is None:
+            return [fast(addr, write, 0, wrong_path)
+                    for addr, write in zip(addrs, writes)]
+        return [fast(addr, write, pc, wrong_path)
+                for addr, write, pc in zip(addrs, writes, pcs)]
 
     # -- warm-state capture/restore ---------------------------------------------------
 

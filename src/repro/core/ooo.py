@@ -31,6 +31,7 @@ from repro.branch.predictors import BranchPredictorUnit
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.config import CoreConfig
 from repro.core.ports import PortFile
+from repro.core import timingblock
 from repro.core.resources import SlotAllocator, WindowBuffer
 from repro.core.stats import CoreStats
 from repro.frontend.code_cache import CodeCache
@@ -88,6 +89,17 @@ class OoOCore:
         self._lq_rel = self.lq._releases
         self._sq_rel = self.sq._releases
         self._cc_entries = self.code_cache._entries
+        # Timing superhandlers (repro.core.timingblock): compiled
+        # per-block functions are pure (all mutable state passed per
+        # call), pooled process-wide under this fingerprint.
+        self._timing_key = timingblock.cfg_fingerprint(
+            cfg, self.ports.hot, self._line_shift)
+        #: Instructions retired through compiled timing blocks (CI's
+        #: silent-fallback guard reads this alongside the frontend's).
+        self.timingblock_instructions = 0
+        #: Wrong-path instructions run through compiled stream blocks
+        #: (repro.wrongpath.streamblock); same guard, wrong-path side.
+        self.streamblock_instructions = 0
 
     # -- main per-instruction path -------------------------------------------------
 
@@ -238,6 +250,34 @@ class OoOCore:
                     fetch.used = 0
                 self._cur_fetch_line = -1
 
+    def _compile_timing(self, pc: int):
+        """Resolve the timing superhandler for the block at ``pc``.
+
+        Gated on the shared warmup threshold (blocks executed once never
+        pay a render/compile) and cached in the code cache's pc map; the
+        compiled function itself comes from the process-wide pure pool,
+        so repeat cores for the same program and config skip compilation
+        entirely.  Returns a falsy value while cold or when no cached
+        run starts at ``pc`` (the caller's scalar path covers both).
+        """
+        cc = self.code_cache
+        warm = cc._timing_warm
+        seen = warm.get(pc, 0) + 1
+        if seen < timingblock.COMPILE_THRESHOLD:
+            warm[pc] = seen
+            return ()
+        instrs, stop = cc._block(pc)
+        if not instrs:
+            # Do not cache: the scalar path inserts this pc (flushing
+            # _timing anyway), and a miss block can grow on re-walk.
+            return ()
+        warm.pop(pc, None)
+        entry = timingblock.compile_timing(
+            instrs, self.cfg, self.ports.hot, self._line_shift,
+            self._timing_key, stop)
+        cc._timing[pc] = entry
+        return entry
+
     # simcheck: hotpath
     def process_batch(self, queue, count: int) -> int:
         """Consume and simulate ``count`` instructions directly from the
@@ -261,7 +301,7 @@ class OoOCore:
         stats = self.stats
         hierarchy = self.hierarchy
         l1i_access = hierarchy.l1i.access   # access_instr minus the hop
-        access_data = hierarchy.access_data
+        access_data = hierarchy.data_fastpath
         bpu_predict = self.bpu.predict_and_update
         cc_entries = self._cc_entries
         cc_insert = self.code_cache.insert
@@ -274,6 +314,12 @@ class OoOCore:
         regready = self.regready
         store_buffer = self._store_buffer
         sb_get = store_buffer.get
+        tb_get = self.code_cache._timing.get
+        tb_compile = self._compile_timing
+        lq_popleft = lq_rel.popleft
+        lq_append = lq_rel.append
+        sq_popleft = sq_rel.popleft
+        sq_append = sq_rel.append
         fetch = self.fetch
         dispatch = self.dispatch
         commit = self.commit
@@ -300,12 +346,77 @@ class OoOCore:
         forward_latency = cfg.forward_latency
         taken_bubble = cfg.taken_redirect_bubble
         n_instr = n_loads = n_stores = n_sysc = n_fwd = n_redir = 0
+        tb_count = 0
 
         while i < end:
             di = buf[i]
+            pc = di.pc
+            # ---- block fast path: the memoized code-cache block at
+            # ``pc`` runs through its compiled timing superhandler when
+            # the whole block fits the batch (entry[1] = length).  The
+            # control-flow handling below mirrors the scalar tail: the
+            # block ends *at* its control instruction, whose fetch and
+            # completion cycles the compiled run returns.
+            entry = tb_get(pc)
+            if entry is None:
+                entry = tb_compile(pc)
+            if entry and entry[1] <= end - i:
+                (fetch_cycle, fetch_used, disp_cycle, disp_used,
+                 com_cycle, com_used, cur_line, last_retire, fwd,
+                 fetch_c, complete) = entry[0](
+                    buf, i, regready, fetch_cycle, fetch_used,
+                    disp_cycle, disp_used, com_cycle, com_used,
+                    cur_line, last_retire, rob_rel, rob_popleft,
+                    rob_append, lq_rel, lq_popleft, lq_append, sq_rel,
+                    sq_popleft, sq_append, sb_get, store_buffer,
+                    access_data, l1i_access, port_hot)
+                length = entry[1]
+                i += length
+                tb_count += length
+                n_instr += length
+                n_loads += entry[3]
+                n_stores += entry[4]
+                n_sysc += entry[5]
+                n_fwd += fwd
+                if entry[2]:
+                    di = buf[i - 1]
+                    instr = di.instr
+                    next_pc = di.next_pc
+                    prediction = bpu_predict(instr, di.taken, next_pc)
+                    if prediction != next_pc:
+                        queue._head = i
+                        fetch.cycle = fetch_cycle
+                        fetch.used = fetch_used
+                        dispatch.cycle = disp_cycle
+                        dispatch.used = disp_used
+                        commit.cycle = com_cycle
+                        commit.used = com_used
+                        self._cur_fetch_line = cur_line
+                        self.last_retire = last_retire
+                        stats.instructions += n_instr
+                        stats.loads += n_loads
+                        stats.stores += n_stores
+                        stats.syscalls += n_sysc
+                        stats.store_forwards += n_fwd
+                        stats.taken_redirects += n_redir
+                        n_instr = n_loads = n_stores = n_sysc = 0
+                        n_fwd = n_redir = 0
+                        self._handle_mispredict(di, prediction, fetch_c,
+                                                complete)
+                        fetch_cycle = fetch.cycle
+                        fetch_used = fetch.used
+                        cur_line = self._cur_fetch_line
+                    elif next_pc != di.pc + isize:
+                        n_redir += 1
+                        at = fetch_c + taken_bubble
+                        if at > fetch_cycle or (at == fetch_cycle and
+                                                fetch_used):
+                            fetch_cycle = at
+                            fetch_used = 0
+                        cur_line = -1
+                continue
             i += 1
             instr = di.instr
-            pc = di.pc
             if pc not in cc_entries:
                 cc_insert(instr)
 
@@ -465,6 +576,7 @@ class OoOCore:
         stats.syscalls += n_sysc
         stats.store_forwards += n_fwd
         stats.taken_redirects += n_redir
+        self.timingblock_instructions += tb_count
         obs = self._obs
         if obs is not None:
             obs.core_batch(count)

@@ -36,6 +36,10 @@ BLOCK_CONTROL = "control"
 BLOCK_SYSCALL = "syscall"
 BLOCK_MISS = "miss"
 
+#: Distinguishes "no artifact cached" from a legitimately-None artifact
+#: (an empty block compiles to None).
+_ABSENT = object()
+
 
 class CodeCache:
     """Instruction-address -> decode-info store."""
@@ -47,8 +51,31 @@ class CodeCache:
         self._entries: "OrderedDict[int, Instruction]" = OrderedDict()
         # start pc -> (instructions, stop reason); flushed on any mutation.
         self._blocks: dict = {}
+        # Compiled artifacts attached to memoized blocks (see
+        # :meth:`block_compiled`).  ``_artifacts`` mirrors ``_blocks``'
+        # lifetime; ``_artifact_pool`` is keyed by content digest and
+        # survives invalidation, so a block whose contents come back
+        # after an insert/eviction reattaches without recompiling.
+        self._artifacts: dict = {}
+        self._artifact_pool: dict = {}
+        # Compiled timing superhandlers (repro.core.timingblock):
+        # start pc -> timing entry, mirrors ``_blocks``' lifetime.  The
+        # compiled functions themselves are pure and live in the
+        # process-wide content-addressed pool, so this map is only the
+        # pc -> artifact index.  ``_timing_warm`` holds pre-compile
+        # execution counts; it is a heuristic (never affects results)
+        # and survives block invalidation deliberately.
+        self._timing: dict = {}
+        self._timing_warm: dict = {}
+        # Same scheme for the wrong-path stream superhandlers
+        # (repro.wrongpath.streamblock): start pc -> (run, length) or
+        # () for an empty block; mirrors ``_blocks``' lifetime.
+        self._wpstream: dict = {}
+        self._wpstream_warm: dict = {}
         self.lookups = 0
         self.misses = 0
+        #: Compiler invocations (cache effectiveness + test hook).
+        self.artifact_compiles = 0
 
     def insert(self, instr: Instruction) -> None:
         """Record the decode info of a correct-path instruction."""
@@ -61,6 +88,9 @@ class CodeCache:
         # Contents changed: every memoized block is suspect (a former miss
         # may now continue; an evicted pc may now stop a run short).
         self._blocks.clear()
+        self._artifacts.clear()
+        self._timing.clear()
+        self._wpstream.clear()
 
     def lookup(self, pc: int) -> Optional[Instruction]:
         """Decode info for ``pc``, or None (reconstruction must stop)."""
@@ -82,6 +112,21 @@ class CodeCache:
         pc had been :meth:`lookup`-ed individually, so memoization is
         invisible to cache-statistics consumers.
         """
+        blk = self._block(start_pc)
+        self.lookups += len(blk[0])
+        if blk[1] is BLOCK_MISS:
+            self.lookups += 1
+            self.misses += 1
+        return blk
+
+    def _block(self, start_pc: int) -> Tuple[tuple, str]:
+        """:meth:`block` minus the lookup/miss charging.
+
+        The timing superhandler path uses this: the batched core loop
+        never charged per-instruction lookups (it only inserts), so its
+        block walks must stay invisible to the cache-statistics
+        consumers that :meth:`block`'s charging serves.
+        """
         blk = self._blocks.get(start_pc)
         if blk is None:
             instrs = []
@@ -101,11 +146,46 @@ class CodeCache:
                     break
                 pc += INSTRUCTION_SIZE
             self._blocks[start_pc] = blk
-        self.lookups += len(blk[0])
-        if blk[1] is BLOCK_MISS:
-            self.lookups += 1
-            self.misses += 1
         return blk
+
+    def block_digest(self, start_pc: int) -> Optional[tuple]:
+        """Content digest of the memoized block at ``start_pc`` (stop
+        reason + the (pc, op) pairs it covers), or None when the block
+        has not been memoized.  Hashable, deterministic, and a pure
+        function of cache contents — the key under which compiled
+        artifacts survive invalidation."""
+        blk = self._blocks.get(start_pc)
+        if blk is None:
+            return None
+        instrs, stop = blk
+        return (stop, tuple((ins.pc, ins.op) for ins in instrs))
+
+    def block_compiled(self, start_pc: int, compiler) -> Tuple:
+        """:meth:`block` plus a compiled artifact attached to the memo.
+
+        ``compiler(instrs, stop)`` renders the block once (it may return
+        None for an empty run); the result is cached beside the block
+        memo and additionally pooled under the block's content digest,
+        so invalidation (insert/eviction flushes ``_blocks``) costs a
+        re-walk but not a re-render unless the contents actually
+        changed.  Snapshot restore (:meth:`load_state`) drops *both*
+        maps — compiled state never round-trips through an image, it is
+        recompiled on first use (DESIGN.md "Hot path architecture").
+
+        Returns ``(instructions, stop, artifact)``; lookup/miss charging
+        is exactly :meth:`block`'s.
+        """
+        instrs, stop = self.block(start_pc)
+        artifact = self._artifacts.get(start_pc, _ABSENT)
+        if artifact is _ABSENT:
+            digest = (stop, tuple((ins.pc, ins.op) for ins in instrs))
+            artifact = self._artifact_pool.get(digest, _ABSENT)
+            if artifact is _ABSENT:
+                artifact = compiler(instrs, stop)
+                self.artifact_compiles += 1
+                self._artifact_pool[digest] = artifact
+            self._artifacts[start_pc] = artifact
+        return instrs, stop, artifact
 
     def __contains__(self, pc: int) -> bool:
         return pc in self._entries
@@ -136,3 +216,13 @@ class CodeCache:
             entries[pc] = instr
         self._entries = entries
         self._blocks.clear()
+        # Recompile-on-restore: compiled attachments never round-trip
+        # through snapshot images (the pool could only be trusted if the
+        # restoring process compiled it, which is exactly what first use
+        # will do anyway).
+        self._artifacts.clear()
+        self._artifact_pool.clear()
+        self._timing.clear()
+        self._timing_warm.clear()
+        self._wpstream.clear()
+        self._wpstream_warm.clear()

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.functional.memory import Memory, MemoryFault
 from repro.functional.state import ArchState
+from repro.functional.superblock import SuperblockCache
 from repro.isa.instructions import Instruction, INSTRUCTION_SIZE
 from repro.isa.program import Program
 
@@ -92,6 +93,12 @@ class Emulator:
         # Bound pc -> instruction map lookup (Program.instruction_at minus
         # the method hop — step() runs once per simulated instruction).
         self._instr_at = program.pc_index.get
+        # Lazily compiled per-basic-block superhandlers (DESIGN.md "Hot
+        # path architecture"); keyed over the immutable static text, so
+        # snapshot restores never invalidate them — and shared between
+        # every emulator of the same program, so repeated runs (bench
+        # repeats, sampled intervals) reuse the compiled set.
+        self.superblocks = SuperblockCache.shared(program)
         # Initialised data segments.
         for address, words in program.data:
             self.memory.write_words(address, words)
@@ -136,6 +143,7 @@ class Emulator:
 
     # -- wrong-path emulation (the "Pin ExecuteAt" analogue) -----------------
 
+    # simcheck: hotpath
     def emulate_wrong_path(self, start_pc: int,
                            max_instructions: int) -> List[WrongPathRecord]:
         """Emulate the wrong path starting at ``start_pc``.
@@ -145,6 +153,14 @@ class Emulator:
         addresses); syscalls and any fault terminate the walk, mirroring the
         paper's "we need to end the wrong path on system calls" and
         exception suppression.
+
+        The walk consumes compiled wrong-path superblocks where they fit
+        the remaining budget (one dispatch per straight-line run, records
+        appended by the rendered code) and falls back to per-instruction
+        handler dispatch for block tails, text holes, syscalls and
+        unknown opcodes.  A fault inside a block keeps the records of
+        the instructions that completed before it, exactly like the
+        scalar walk.
         """
         snapshot = self.state.checkpoint()
         self._suppress_side_effects = True
@@ -152,7 +168,27 @@ class Emulator:
         try:
             pc = start_pc
             instr_at = self._instr_at
-            for _ in range(max_instructions):
+            append = records.append
+            x = self.x
+            f = self.f
+            superblocks = self.superblocks
+            sb_get = superblocks._wrong.get
+            sb_compile = superblocks.compile_wrongpath
+            budget = max_instructions
+            while budget > 0:
+                entry = sb_get(pc)
+                if entry is None:
+                    entry = sb_compile(pc)
+                if entry and entry[1] <= budget:
+                    try:
+                        pc = entry[0](self, x, f, append)
+                    except (MemoryFault, EmulationFault, OverflowError,
+                            ValueError, ZeroDivisionError):
+                        break
+                    budget -= entry[1]
+                    continue
+                # Scalar fallback: block tails near the budget limit,
+                # holes, syscalls, unhandled opcodes.
                 instr = instr_at(pc)
                 if instr is None:
                     break  # fetched into a hole: wild wrong path, stop
@@ -171,9 +207,10 @@ class Emulator:
                 except (MemoryFault, EmulationFault, OverflowError,
                         ValueError, ZeroDivisionError):
                     break  # exceptions are suppressed: stop the wrong path
-                records.append(WrongPathRecord(instr, pc, self._mem_addr,
-                                               next_pc))
+                append(WrongPathRecord(instr, pc, self._mem_addr,
+                                       next_pc))
                 pc = next_pc
+                budget -= 1
         finally:
             self._suppress_side_effects = False
             self.state.restore(snapshot)

@@ -54,6 +54,9 @@ class FunctionalFrontend:
         self._seq = 0
         self.wp_emulations = 0
         self.wp_instructions_emulated = 0
+        # Correct-path instructions produced through compiled
+        # superhandler blocks (CI's silent-fallback guard reads this).
+        self.superblock_instructions = 0
         # Observability hook (repro.obs); None-checked once per
         # ``produce_batch`` call, never inside the unrolled loop.
         self._obs = None
@@ -83,12 +86,17 @@ class FunctionalFrontend:
         """Up to ``n`` correct-path instructions in one call.
 
         This is :meth:`produce` with the emulator's fetch/dispatch loop
-        (:meth:`Emulator.step`) unrolled into one frame — no per-instruction
-        call pair and no intermediate result tuple.  The queue uses it to
-        refill; a short return means the program exited.  Instruction
-        semantics, wrong-path emulation triggering and the produced
-        :class:`DynInstr` stream are identical to repeated ``produce()``
-        calls (the determinism goldens pin this down).
+        unrolled into one frame *and* specialized per basic block: runs
+        of straight-line code execute through compiled superhandlers
+        (:mod:`repro.functional.superblock`) — one dispatch per block,
+        constants baked, DynInstrs appended by the rendered code — with
+        scalar per-instruction dispatch covering syscalls, text holes
+        and block tails that no longer fit the batch.  The queue uses it
+        to refill; a short return means the program exited.  Instruction
+        semantics, predictor lockstep, wrong-path emulation triggering
+        and the produced :class:`DynInstr` stream are identical to
+        repeated ``produce()`` calls (the determinism goldens and the
+        superblock property suite pin this down).
         """
         out: List[DynInstr] = []
         emu = self.emulator
@@ -96,6 +104,11 @@ class FunctionalFrontend:
             return out
         append = out.append
         state = emu.state
+        x = emu.x
+        f = emu.f
+        superblocks = emu.superblocks
+        sb_get = superblocks._correct.get
+        sb_compile = superblocks.compile_correct
         instr_at = emu._instr_at
         handlers_get = _HANDLERS.get
         emulate_wp = self.emulate_wrong_path
@@ -104,8 +117,37 @@ class FunctionalFrontend:
         new_di = DynInstr.__new__
         di_cls = DynInstr
         seq = self._seq
-        for _ in range(n):
+        end = seq + n
+        sb_count = 0
+        while seq < end:
             pc = state.pc
+            entry = sb_get(pc)
+            if entry is None:
+                entry = sb_compile(pc)
+            if entry and entry[1] <= end - seq:
+                run = entry[0]
+                next_pc = run(emu, x, f, append, seq)
+                state.pc = next_pc
+                length = entry[1]
+                seq += length
+                sb_count += length
+                # A terminated block ends with its control instruction:
+                # the predictor copy observes it exactly as the scalar
+                # path would (lockstep contract), and a mispredict hangs
+                # the emulated trace off the already-appended DynInstr.
+                if entry[2] and predictor is not None:
+                    di = out[-1]
+                    prediction = predictor.predict_and_update(
+                        di.instr, di.taken, next_pc)
+                    if emulate_wp and prediction != next_pc:
+                        wp_trace = emu.emulate_wrong_path(prediction,
+                                                          wp_limit)
+                        self.wp_emulations += 1
+                        self.wp_instructions_emulated += len(wp_trace)
+                        di.wp_trace = wp_trace
+                continue
+            # Scalar path: syscalls, text holes (faults), unknown
+            # opcodes, and compiled blocks longer than the batch room.
             instr = instr_at(pc)
             if instr is None:
                 raise EmulationFault(pc, "pc outside text segment")
@@ -145,6 +187,7 @@ class FunctionalFrontend:
             if emu.halted:
                 break
         emu.instret += seq - self._seq
+        self.superblock_instructions += sb_count
         self._seq = seq
         if self._obs is not None:
             self._obs.frontend_batch(len(out))

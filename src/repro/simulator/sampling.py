@@ -183,7 +183,7 @@ def _warm(core: OoOCore, di) -> None:
         core._cur_fetch_line = line
         hierarchy.access_instr(di.pc)
     if instr.is_mem:
-        hierarchy.access_data(di.mem_addr, instr.is_store, pc=di.pc)
+        hierarchy.data_fastpath(di.mem_addr, instr.is_store, di.pc)
     if instr.is_control:
         core.bpu.predict_and_update(instr, di.taken, di.next_pc)
 
@@ -365,7 +365,7 @@ def functional_pass(program: Program, config: Optional[CoreConfig] = None,
     cur_line = -1
 
     access_instr = hierarchy.access_instr
-    access_data = hierarchy.access_data
+    access_data = hierarchy.data_fastpath
     predict = bpu.predict_and_update
     insert = code_cache.insert
 

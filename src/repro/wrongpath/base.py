@@ -37,7 +37,10 @@ from typing import Iterable, List, Optional
 from repro.core.ooo import OoOCore, WrongPathWindow
 from repro.frontend.code_cache import (BLOCK_CONTROL, BLOCK_MISS,
                                        BLOCK_SYSCALL)
+from repro.functional.superblock import (COMPILE_THRESHOLD,
+                                         compile_items_builder)
 from repro.isa.instructions import Instruction
+from repro.wrongpath import streamblock
 
 
 class WPItem:
@@ -78,6 +81,18 @@ class WrongPathModel(abc.ABC):
         """Handle one mispredict window."""
 
 
+def _compile_items(instrs, stop):
+    """Block-artifact compiler for :meth:`CodeCache.block_compiled`: a
+    flat appender of fresh :class:`WPItem` records (fresh per call — the
+    convergence model mutates ``mem_addr`` in place, so replay items can
+    never be shared between windows)."""
+    if not instrs:
+        return None
+    return compile_items_builder(instrs, WPItem,
+                                 "<wpitems:%#x>" % instrs[0].pc)
+
+
+# simcheck: hotpath
 def reconstruct_from_code_cache(core: OoOCore, start_pc: int,
                                 limit: int) -> List[WPItem]:
     """Walk the code cache from ``start_pc``, steering wrong-path branches
@@ -85,13 +100,16 @@ def reconstruct_from_code_cache(core: OoOCore, start_pc: int,
 
     Stops at the first address missing from the code cache, when an
     indirect target cannot be predicted, or after ``limit`` instructions.
-    The walk consumes memoized straight-line blocks; stop-condition stats
-    are charged exactly as the per-pc walk would charge them (a miss or a
-    failed peek only counts when it falls inside ``limit``).
+    The walk consumes memoized straight-line blocks through their
+    compiled item-appenders (one call per block, constants baked; see
+    :meth:`repro.frontend.code_cache.CodeCache.block_compiled`);
+    stop-condition stats are charged exactly as the per-pc walk would
+    charge them (a miss or a failed peek only counts when it falls
+    inside ``limit``).
     """
     items: List[WPItem] = []
     append = items.append
-    block = core.code_cache.block
+    block_compiled = core.code_cache.block_compiled
     bpu = core.bpu
     peek = bpu.peek_next
     spec = bpu.speculative_state()
@@ -99,14 +117,14 @@ def reconstruct_from_code_cache(core: OoOCore, start_pc: int,
     pc = start_pc
     n = 0
     while n < limit:
-        instrs, stop = block(pc)
+        instrs, stop, run = block_compiled(pc, _compile_items)
         room = limit - n
         if len(instrs) > room:
             for instr in instrs[:room]:
                 append(WPItem(instr, instr.pc))
             break  # window budget exhausted mid-block
-        for instr in instrs:
-            append(WPItem(instr, instr.pc))
+        if run is not None:
+            run(append)
         n += len(instrs)
         if stop is BLOCK_CONTROL:
             # The peek runs even when the budget is now exhausted — the
@@ -126,6 +144,38 @@ def reconstruct_from_code_cache(core: OoOCore, start_pc: int,
     return items
 
 
+def _compile_stream_block(core: OoOCore, pc: int) -> tuple:
+    """Compiled wrong-path stream entry for the block at ``pc``.
+
+    Warm-gated like the other superhandler layers: blocks that have
+    streamed fewer than :data:`COMPILE_THRESHOLD` times return the
+    empty (falsy) entry without caching, so one-shot code never pays a
+    render.  Empty blocks (pc not cached) *are* cached as empty — the
+    next insert flushes ``_wpstream`` and lets them grow.
+    """
+    cc = core.code_cache
+    warm = cc._wpstream_warm
+    seen = warm.get(pc, 0) + 1
+    if seen < COMPILE_THRESHOLD:
+        warm[pc] = seen
+        return ()
+    warm.pop(pc, None)
+    key = getattr(core, "_stream_key", None)
+    if key is None:
+        key = streamblock.cfg_fingerprint(core.cfg, core.ports.hot,
+                                          core._line_shift)
+        core._stream_key = key
+    instrs, _stop = cc._block(pc)
+    entry = streamblock.compile_stream(instrs, core.cfg,
+                                       core.ports.hot,
+                                       core._line_shift, key)
+    if entry is None:
+        entry = ()
+    cc._wpstream[pc] = entry
+    return entry
+
+
+# simcheck: hotpath
 def simulate_wrong_path_stream(window: WrongPathWindow,
                                items: Iterable) -> int:
     """Run wrong-path instructions through the pipeline inside the window.
@@ -145,14 +195,15 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
     # stream after the loop, so materialize lazy streams up front.
     obs = core._obs
     record_addresses = obs is not None and obs.record_addresses
-    if record_addresses and not isinstance(items, list):
+    # The block fast path (and address capture) index the stream.
+    if not isinstance(items, list):
         items = list(items)
     hierarchy = core.hierarchy
     l1i_access = hierarchy.l1i.access   # access_instr minus the hop
-    access_data = hierarchy.access_data
+    access_data = hierarchy.data_fastpath
     l1d_contains = hierarchy.l1d.contains
     ports = core.ports
-    port_bind = ports.bind
+    port_hot = ports.hot
     resolution = window.resolution
     max_instructions = window.max_instructions
     regready = core.regready
@@ -180,10 +231,45 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
     mshrs = []
     mshr_cap = cfg.mshr_entries
 
-    for item in items:
+    # Block fast path: streams only break fall-through at control
+    # instructions or end-of-stream, so whenever the compiled stream
+    # block starting at ``items[i].pc`` fits in the remaining stream
+    # and fetch budget, one call replays it bit-identically (see
+    # repro.wrongpath.streamblock).  Everything else — cold blocks,
+    # uncached pcs, stream tails shorter than their block — falls
+    # through to the scalar body below.
+    wp_map_get = core.code_cache._wpstream.get
+    n_items = len(items)
+    sb_count = 0
+    i = 0
+    while i < n_items:
         if fetched >= max_instructions:
             break
+        item = items[i]
         pc = item.pc
+        entry = wp_map_get(pc)
+        if entry is None:
+            entry = _compile_stream_block(core, pc)
+        if entry and entry[1] <= n_items - i \
+                and fetched + entry[1] <= max_instructions:
+            (done, fetch_cycle, fetch_used, cur_line, executed,
+             dl, ds, wa, rec) = entry[0](
+                items, i, wp_ready, regready, mshrs, port_hot,
+                l1i_access, access_data, l1d_contains,
+                fetch_cycle, fetch_used, cur_line, resolution,
+                executed)
+            fetched += done
+            sb_count += done
+            wp_loads += dl
+            wp_stores += ds
+            wp_mem_ops += dl + ds
+            wp_loads_with_addr += wa
+            wp_addr_recovered += rec
+            if done < entry[1]:
+                break  # squashed mid-block
+            i += done
+            continue
+        i += 1
         line = pc >> line_shift
         if line != cur_line:
             cur_line = line
@@ -208,8 +294,17 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
                 t = regready[reg]
             if t > ready:
                 ready = t
-        issue, fu_latency = port_bind[instr.fu]
-        issue_c = issue(ready)
+        # Inlined PortGroup.issue (same scan and first-of-equal
+        # tie-break as the batched core loop uses via ``ports.hot``).
+        free_at, busy, single, fu_latency = port_hot[instr.fu]
+        if single:
+            best = 0
+            best_cycle = free_at[0]
+        else:
+            best_cycle = min(free_at)
+            best = free_at.index(best_cycle)
+        issue_c = ready if ready >= best_cycle else best_cycle
+        free_at[best] = issue_c + busy
 
         if instr.is_load:
             wp_loads += 1
@@ -264,6 +359,7 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
             executed += 1
 
     ports.restore(snapshot)
+    core.streamblock_instructions += sb_count
     if record_addresses:
         obs.wp_addresses = [[item.pc, item.mem_addr]
                             for item in items[:fetched]]

@@ -128,6 +128,53 @@ class TestSimcheckRulePass:
                    for p in problems)
 
 
+class TestDesignSectionPass:
+    DESIGN = ("# t\n## 1. One\n### 1.1 Sub\n### 1.2 Sub\n## 2. Two\n"
+              "As §1.2 says.\n")
+
+    def _stub_tree(self, tmp_path, design):
+        for relpath in check_docs.CHECKED_FILES:
+            dest = tmp_path / relpath
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text("# stub\n")
+        (tmp_path / "DESIGN.md").write_text(design)
+
+    def test_real_docs_section_refs_resolve(self):
+        assert check_docs.check_design_sections() == []
+
+    def test_well_formed_numbering_passes(self, tmp_path):
+        self._stub_tree(tmp_path, self.DESIGN)
+        assert check_docs.check_design_sections(root=str(tmp_path)) == []
+
+    def test_dangling_reference_reported(self, tmp_path):
+        self._stub_tree(tmp_path, self.DESIGN)
+        (tmp_path / "README.md").write_text("See DESIGN.md §7 for it.\n")
+        problems = check_docs.check_design_sections(root=str(tmp_path))
+        assert len(problems) == 1 and "§7" in problems[0]
+        assert problems[0].startswith("README.md:1:")
+
+    def test_gap_after_insertion_reported(self, tmp_path):
+        # The renumbering failure mode: a chapter inserted as "2"
+        # without shifting the old "2" onward.
+        self._stub_tree(tmp_path, "# t\n## 1. One\n## 2. New\n## 2. Old\n")
+        problems = check_docs.check_design_sections(root=str(tmp_path))
+        assert any("duplicate section number 2" in p for p in problems)
+        self._stub_tree(tmp_path, "# t\n## 1. One\n## 3. Skipped\n")
+        problems = check_docs.check_design_sections(root=str(tmp_path))
+        assert any("section 3 out of sequence" in p for p in problems)
+
+    def test_orphan_subsection_reported(self, tmp_path):
+        self._stub_tree(tmp_path, "# t\n## 1. One\n### 2.1 Orphan\n")
+        problems = check_docs.check_design_sections(root=str(tmp_path))
+        assert any("subsection 2.1 out of sequence" in p
+                   for p in problems)
+
+    def test_references_inside_fences_ignored(self, tmp_path):
+        self._stub_tree(tmp_path, self.DESIGN)
+        (tmp_path / "README.md").write_text("```\n§9 in output\n```\n")
+        assert check_docs.check_design_sections(root=str(tmp_path)) == []
+
+
 class TestRealDocs:
     """The actual repo docs must pass every check."""
 

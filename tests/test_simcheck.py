@@ -240,3 +240,70 @@ class TestRealTree:
         hot = {os.path.basename(src.path)
                for src in files if src.markers.get("hotpath")}
         assert {"frontend.py", "queue.py", "ooo.py"} <= hot
+
+
+class TestBlockTemplateAudit:
+    """SC003's block-superhandler arm: the template tables of the three
+    rendering modules are dummy-rendered and AST-whitelisted, and the
+    second sanctioned exec site (`superblock._compile_block`) is scoped
+    to exactly that module."""
+
+    REAL_MODULES = (
+        "src/repro/functional/superblock.py",
+        "src/repro/core/timingblock.py",
+        "src/repro/wrongpath/streamblock.py",
+    )
+
+    def test_real_block_modules_clean(self):
+        for rel in self.REAL_MODULES:
+            findings = scan(REPO_ROOT / rel, include_fixtures=False)
+            assert findings == [], \
+                rel + "\n" + "\n".join(f.render() for f in findings)
+
+    def _streamblock_variant(self, tmp_path, old, new):
+        source = (REPO_ROOT / self.REAL_MODULES[2]).read_text()
+        assert old in source, "tamper target drifted out of the module"
+        mod = tmp_path / "src" / "repro" / "wrongpath" / "streamblock.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(source.replace(old, new))
+        return mod
+
+    def test_tampered_template_is_flagged(self, tmp_path):
+        # A template body reaching outside the whitelist (here, an
+        # __import__ call) must trip the dummy-render audit.
+        mod = self._streamblock_variant(
+            tmp_path,
+            '"exec_plain": "complete = issue_c + {latency}",',
+            '"exec_plain": "complete = __import__(\'os\').getpid()",')
+        findings = [f for f in scan(mod) if f.rule == "SC003"]
+        assert findings
+        assert any("whitelist" in f.message for f in findings)
+
+    def test_non_literal_table_is_flagged(self, tmp_path):
+        # Hiding the table behind a dynamic construction defeats the
+        # static audit, so it is a violation in itself.
+        mod = self._streamblock_variant(
+            tmp_path,
+            "STREAM_TEMPLATES = {",
+            "STREAM_TEMPLATES = dict()\n_UNAUDITED = {")
+        findings = [f for f in scan(mod) if f.rule == "SC003"]
+        assert any("STREAM_TEMPLATES" in f.message for f in findings)
+
+    def test_exec_outside_sanctioned_sites_still_flagged(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        mod = pkg / "scratch_exec.py"
+        mod.write_text("def build(src):\n    exec(src)\n")
+        findings = [f for f in scan(mod) if f.rule == "SC003"]
+        assert len(findings) == 1
+        assert "sanctioned" in findings[0].message
+
+    def test_compile_block_sanctioned_only_in_superblock(self, tmp_path):
+        # The _compile_block carve-out is keyed to superblock.py's path;
+        # the same function name elsewhere in repro stays forbidden.
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        mod = pkg / "sneaky.py"
+        mod.write_text("def _compile_block(src):\n    exec(src)\n")
+        findings = [f for f in scan(mod) if f.rule == "SC003"]
+        assert len(findings) == 1

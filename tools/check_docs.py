@@ -15,6 +15,14 @@ Four passes, all run by CI's docs job (and by ``tests/test_docs.py``):
    must exist in the registered suite (no docs for phantom rules), and
    every registered rule must be documented in DESIGN.md (no phantom
    rules for docs).
+5. **DESIGN section numbers** — both directions: every ``§N`` /
+   ``§N.M`` reference in a checked file must name an existing
+   DESIGN.md numbered heading (references always mean DESIGN.md — the
+   other docs say "DESIGN.md §N" explicitly), and DESIGN.md's own
+   numbering must be well-formed: top-level sections contiguous from
+   1, subsections contiguous from ``N.1`` under their parent.
+   Inserting a chapter without renumbering the rest (or renumbering
+   without chasing cross-references) fails this pass.
 
 Usage::
 
@@ -209,6 +217,81 @@ def check_simcheck_rules(root: str = REPO_ROOT) -> List[str]:
     return problems
 
 
+_SECTION_REF_RE = re.compile(r"§\s?(\d+(?:\.\d+)?)")
+_NUMBERED_HEADING_RE = re.compile(r"^(#{2,3})\s+(\d+(?:\.\d+)?)\.?\s+\S")
+
+
+def design_section_numbers(text: str) -> Tuple[Dict[str, int], List[str]]:
+    """DESIGN.md's numbered headings: (number -> line, numbering problems).
+
+    Numbering must be well-formed — ``## N.`` sections contiguous from
+    1, ``### N.M`` subsections contiguous from ``.1`` under the current
+    section — so a chapter insertion that forgets to renumber is caught
+    here even before any cross-reference dangles.
+    """
+    numbers: Dict[str, int] = {}
+    problems: List[str] = []
+    in_fence = False
+    last_section = 0
+    last_sub = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _NUMBERED_HEADING_RE.match(line)
+        if not m:
+            continue
+        level, number = m.group(1), m.group(2)
+        if number in numbers:
+            problems.append(f"DESIGN.md:{lineno}: duplicate section "
+                            f"number {number} (first at line "
+                            f"{numbers[number]})")
+            continue
+        numbers[number] = lineno
+        if level == "##":
+            if "." in number or int(number) != last_section + 1:
+                problems.append(
+                    f"DESIGN.md:{lineno}: section {number} out of "
+                    f"sequence (expected {last_section + 1})")
+            last_section = int(number.partition(".")[0])
+            last_sub = 0
+        else:
+            parent, _, sub = number.partition(".")
+            if (not sub or int(parent) != last_section
+                    or int(sub) != last_sub + 1):
+                problems.append(
+                    f"DESIGN.md:{lineno}: subsection {number} out of "
+                    f"sequence (expected {last_section}.{last_sub + 1})")
+            if sub:
+                last_sub = int(sub)
+    return numbers, problems
+
+
+def check_design_sections(root: str = REPO_ROOT) -> List[str]:
+    """Cross-check §N references against DESIGN.md's numbered headings."""
+    with open(os.path.join(root, "DESIGN.md"), encoding="utf-8") as fh:
+        numbers, problems = design_section_numbers(fh.read())
+    for relpath in CHECKED_FILES:
+        with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+            text = fh.read()
+        in_fence = False
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if _FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for ref in _SECTION_REF_RE.findall(line):
+                if ref not in numbers:
+                    problems.append(
+                        f"{relpath}:{lineno}: references DESIGN.md "
+                        f"§{ref}, which does not exist (sections run "
+                        f"1-{max(int(n) for n in numbers if '.' not in n)})")
+    return problems
+
+
 def main(argv: List[str] = ()) -> int:
     problems: List[str] = []
     for relpath in CHECKED_FILES:
@@ -217,6 +300,7 @@ def main(argv: List[str] = ()) -> int:
     for relpath in DOCTEST_FILES:
         problems += check_file_doctests(relpath)
     problems += check_simcheck_rules()
+    problems += check_design_sections()
     for problem in problems:
         print(problem, file=sys.stderr)
     n_files = len(set(CHECKED_FILES) | set(DOCTEST_FILES))
