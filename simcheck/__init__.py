@@ -14,13 +14,13 @@ __path__ = [os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "tools", "simcheck")]
 
-from simcheck.engine import (Baseline, Finding, Project,  # noqa: E402
-                             SourceFile, collect_files, main,
+from simcheck.engine import (Baseline, Finding, ParseFailure,  # noqa: E402
+                             Project, SourceFile, collect_files, main,
                              run_simcheck)
 from simcheck.rules import ALL_RULES, register  # noqa: E402
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["ALL_RULES", "Baseline", "Finding", "Project", "SourceFile",
-           "collect_files", "main", "register", "run_simcheck",
-           "__version__"]
+__all__ = ["ALL_RULES", "Baseline", "Finding", "ParseFailure",
+           "Project", "SourceFile", "collect_files", "main", "register",
+           "run_simcheck", "__version__"]

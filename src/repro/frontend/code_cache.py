@@ -44,6 +44,16 @@ _ABSENT = object()
 class CodeCache:
     """Instruction-address -> decode-info store."""
 
+    #: Mutable state deliberately outside ``state_dict`` (SC008): the
+    #: memoized blocks and every compiled-artifact layer are derived
+    #: caches — ``load_state`` re-decodes from the pc list and the
+    #: compilers rebuild on first execution, so snapshots stay small
+    #: and free of process-specific code objects.  The ``*_warm``
+    #: counters are compile heuristics that never affect results.
+    SNAPSHOT_EXCLUDE = ("_blocks", "_artifacts", "_artifact_pool",
+                        "_timing", "_timing_warm", "_wpstream",
+                        "_wpstream_warm")
+
     def __init__(self, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")

@@ -80,7 +80,9 @@ class ServiceDaemon:
         """Listen until stopped; ``ready()`` fires once listening."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
-        self._claim_socket_path()
+        # The claim probe does a synchronous connect() to detect a live
+        # daemon on the socket; keep it off the event loop (SC007).
+        await asyncio.to_thread(self._claim_socket_path)
         server = await asyncio.start_unix_server(
             self._on_connect, path=self.socket_path,
             limit=protocol.MAX_LINE_BYTES)

@@ -91,7 +91,7 @@ class Scheduler:
                 outcome = self._outcome(job, "hit", payload, cached=True,
                                         attempts=0,
                                         wall=time.perf_counter() - start)
-                self._journal(job, outcome)
+                await self._journal(job, outcome)
                 return outcome
 
         task = self._in_flight.get(job.key)
@@ -105,7 +105,7 @@ class Scheduler:
                 outcome["status"] = "shared"
             outcome["wall_seconds"] = time.perf_counter() - start
             outcome["abandoned"] = []
-            self._journal(job, outcome)
+            await self._journal(job, outcome)
             return outcome
 
         loop = asyncio.get_running_loop()
@@ -189,10 +189,12 @@ class Scheduler:
                             # attempt and would hold its slot forever:
                             # replace the pool (PR-2 semantics).
                             abandoned.append(
-                                self._abandon(job, attempt, start))
+                                await self._abandon(job, attempt, start))
                             self._replace_pool()
                         continue
-                    payload = wrapped.result()
+                    # The future is in `done`: await resolves
+                    # immediately, without .result()'s blocking API.
+                    payload = await wrapped
                 else:
                     payload = await wrapped
             except BrokenProcessPool:
@@ -215,7 +217,7 @@ class Scheduler:
                                     attempts=attempt,
                                     wall=time.perf_counter() - start,
                                     abandoned=abandoned)
-            self._journal(job, outcome)
+            await self._journal(job, outcome)
             return outcome
 
         self.counters["failed"] += 1
@@ -223,7 +225,7 @@ class Scheduler:
                                 attempts=attempt,
                                 wall=time.perf_counter() - start,
                                 error=error, abandoned=abandoned)
-        self._journal(job, outcome)
+        await self._journal(job, outcome)
         return outcome
 
     # -- pool plumbing -----------------------------------------------------------
@@ -253,11 +255,12 @@ class Scheduler:
             self._pool.shutdown(wait=False, cancel_futures=True)
         self._pool = self._make_pool()
 
-    def _abandon(self, job: Any, attempt: int, start: float) -> dict:
+    async def _abandon(self, job: Any, attempt: int,
+                       start: float) -> dict:
         """Journal one abandoned attempt (stuck worker past timeout)."""
         self.counters["abandoned"] += 1
         event = {"job": job.label, "key": job.key, "attempts": attempt}
-        self._record(
+        await self._record(
             key=job.key, job=job.label, status="abandoned",
             cached=False, attempts=attempt,
             wall_seconds=time.perf_counter() - start,
@@ -297,7 +300,7 @@ class Scheduler:
             "abandoned": list(abandoned or []),
         }
 
-    def _journal(self, job: Any, outcome: dict) -> None:
+    async def _journal(self, job: Any, outcome: dict) -> None:
         payload = outcome.get("result") or {}
         sim_wall = payload.get("wall_seconds")
         instructions = payload.get("instructions")
@@ -305,7 +308,7 @@ class Scheduler:
             stats = payload.get("stats")
             if isinstance(stats, dict):
                 instructions = stats.get("instructions")
-        self._record(
+        await self._record(
             key=outcome["key"], job=outcome["label"],
             status=outcome["status"], cached=outcome["cached"],
             attempts=outcome["attempts"],
@@ -316,9 +319,13 @@ class Scheduler:
             if isinstance(instructions, int) else None,
             error=outcome["error"])
 
-    def _record(self, **kwargs: Any) -> None:
+    async def _record(self, **kwargs: Any) -> None:
         if self.journal is not None:
-            entry = self.journal.record(**kwargs)
+            # The journal appends with synchronous os.write (O_APPEND
+            # keeps lines atomic); hop onto an executor thread so the
+            # event loop never blocks on disk (SC007).
+            entry = await asyncio.to_thread(self.journal.record,
+                                            **kwargs)
         else:
             entry = dict(kwargs)
             entry["ts"] = time.time()  # simcheck: allow=SC001 journal-event timestamp, not simulated data

@@ -45,6 +45,13 @@ class SimSnapshot:
     #: blobs from other schema versions.
     SCHEMA = 1
 
+    #: Simulator components deliberately not captured (SC008): the
+    #: timing core is cycle-accurate state that the restore path
+    #: rebuilds from scratch — intervals re-run timing from a cold
+    #: core by design (DESIGN.md §11), only the functional/warming
+    #: state crosses the snapshot boundary.
+    SNAPSHOT_EXCLUDE = ("core",)
+
     def __init__(self, index: int, position: int, pc: int,
                  x: List[int], f: List[float], halted: bool,
                  exit_code: Optional[int], instret: int, output: list,

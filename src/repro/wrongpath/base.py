@@ -249,6 +249,7 @@ def simulate_wrong_path_stream(window: WrongPathWindow,
         pc = item.pc
         entry = wp_map_get(pc)
         if entry is None:
+            # simcheck: allow=SC010 compile-once per block on cache miss; the sanctioned SC003 exec site, amortized across every later hit
             entry = _compile_stream_block(core, pc)
         if entry and entry[1] <= n_items - i \
                 and fetched + entry[1] <= max_instructions:

@@ -1,0 +1,35 @@
+# simcheck-fixture: SC007
+"""Async-safety violations: a direct time.sleep in a coroutine, a
+blocking open() hidden two synchronous hops away, and a threading lock
+held across an await."""
+
+import asyncio
+import threading
+import time
+
+
+def _write_raw(path, data):
+    with open(path, "wb") as fh:
+        fh.write(data)
+
+
+class JournalingService:
+    def __init__(self, path):
+        self.path = path
+        self._lock = threading.Lock()
+
+    async def handle_submit(self, payload):
+        time.sleep(0.01)  # expect: SC007
+        return payload
+
+    async def handle_flush(self):
+        self._flush_all()  # expect: SC007
+        return True
+
+    async def handle_locked(self):
+        with self._lock:  # expect: SC007
+            await asyncio.sleep(0)
+        return None
+
+    def _flush_all(self):
+        _write_raw(self.path, b"flush")

@@ -1,0 +1,36 @@
+# simcheck-fixture: SC007
+"""Async-safe versions of the bad fixture's patterns: blocking work is
+shipped to an executor thread as a function *value* (to_thread /
+run_in_executor), and awaits happen under an asyncio.Lock, never a
+threading one."""
+
+import asyncio
+
+
+def _write_raw(path, data):
+    with open(path, "wb") as fh:
+        fh.write(data)
+
+
+class JournalingService:
+    def __init__(self, path):
+        self.path = path
+        self._alock = asyncio.Lock()
+
+    async def handle_submit(self, payload):
+        await asyncio.sleep(0.01)
+        return payload
+
+    async def handle_flush(self):
+        await asyncio.to_thread(_write_raw, self.path, b"flush")
+        return True
+
+    async def handle_flush_executor(self):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, _write_raw, self.path, b"x")
+        return True
+
+    async def handle_locked(self):
+        async with self._alock:
+            await asyncio.sleep(0)
+        return None

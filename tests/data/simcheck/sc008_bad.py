@@ -1,0 +1,44 @@
+# simcheck-fixture: SC008
+"""Snapshot-completeness violations: a mutable field state_dict never
+serializes, a stale SNAPSHOT_EXCLUDE entry, and a capture() that skips
+one of the Simulator's declared components."""
+
+from typing import Optional
+
+
+class PageStore:
+    SNAPSHOT_EXCLUDE = ("scratch",)  # expect: SC008
+
+    def __init__(self, limit):
+        self.limit = limit
+        self._pages = {}
+        self._dirty = []  # expect: SC008
+
+    def state_dict(self):
+        return {"pages": dict(self._pages)}
+
+    def load_state(self, state):
+        self._pages = dict(state["pages"])
+
+
+class Frontend:
+    pass
+
+
+class Core:
+    pass
+
+
+class Simulator:
+    def __init__(self):
+        self.frontend: Optional[Frontend] = None
+        self.core: Optional[Core] = None
+
+
+class Snapshot:
+    @classmethod
+    def capture(cls, frontend):  # expect: SC008
+        return cls()
+
+    def restore(self, sim):
+        sim.frontend = None

@@ -1,0 +1,51 @@
+# simcheck-fixture: SC008
+"""Snapshot-complete versions: every mutable field round-trips through
+state_dict/load_state or sits in a justified SNAPSHOT_EXCLUDE, and
+capture() accounts for every Simulator component (core is excluded the
+same way the real SimSnapshot excludes it: timing state is rebuilt)."""
+
+from typing import Optional
+
+
+class PageStore:
+    # scratch buffers are recomputed on first access after restore
+    SNAPSHOT_EXCLUDE = ("_scratch",)
+
+    def __init__(self, limit):
+        self.limit = limit
+        self._pages = {}
+        self._dirty = []
+        self._scratch = []
+
+    def state_dict(self):
+        return {"pages": dict(self._pages),
+                "dirty": list(self._dirty)}
+
+    def load_state(self, state):
+        self._pages = dict(state["pages"])
+        self._dirty = list(state["dirty"])
+
+
+class Frontend:
+    pass
+
+
+class Core:
+    pass
+
+
+class Simulator:
+    def __init__(self):
+        self.frontend: Optional[Frontend] = None
+        self.core: Optional[Core] = None
+
+
+class Snapshot:
+    SNAPSHOT_EXCLUDE = ("core",)
+
+    @classmethod
+    def capture(cls, frontend):
+        return cls()
+
+    def restore(self, sim):
+        sim.frontend = None

@@ -1,0 +1,74 @@
+# simcheck-fixture: SC009
+"""Registry-closure violations: a registered class missing half its
+transport surface, dispatch on kind literals nobody registered, and a
+job-shaped class that is never registered."""
+
+
+def register_job_kind(kind, module, attr):
+    return None
+
+
+def job_class(kind):
+    return None
+
+
+class GoodJob:
+    kind = "good"
+
+    def to_dict(self):
+        return {}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+    def run(self):
+        return None
+
+    @classmethod
+    def result_from_dict(cls, data):
+        return data
+
+    def key(self):
+        return "good"
+
+    def label(self):
+        return "good"
+
+
+class BrokenJob:
+    kind = "broken"
+
+    def to_dict(self):
+        return {}
+
+    def run(self):
+        return None
+
+    def key(self):
+        return "broken"
+
+    def label(self):
+        return "broken"
+
+
+class StrayJob:  # expect: SC009
+    kind = "stray"
+
+    def to_dict(self):
+        return {}
+
+    def run(self):
+        return None
+
+
+register_job_kind("good", "sc009_bad", "GoodJob")
+register_job_kind("broken", "sc009_bad", "BrokenJob")  # expect: SC009
+
+
+def dispatch(job):
+    if job.kind == "good":
+        return job_class("good")
+    if job.kind == "mystery":  # expect: SC009
+        return job_class("phantom")  # expect: SC009
+    return None

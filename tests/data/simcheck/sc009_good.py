@@ -1,0 +1,45 @@
+# simcheck-fixture: SC009
+"""A closed registry: the registered class carries the full transport
+surface and a matching kind attribute, and every dispatch names a
+registered kind."""
+
+
+def register_job_kind(kind, module, attr):
+    return None
+
+
+def job_class(kind):
+    return None
+
+
+class DemoJob:
+    kind = "demo"
+
+    def to_dict(self):
+        return {}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+    def run(self):
+        return None
+
+    @classmethod
+    def result_from_dict(cls, data):
+        return data
+
+    def key(self):
+        return "demo"
+
+    def label(self):
+        return "demo"
+
+
+register_job_kind("demo", "sc009_good", "DemoJob")
+
+
+def dispatch(job):
+    if getattr(job, "kind", None) in ("demo",):
+        return job_class("demo")
+    return None

@@ -1,0 +1,27 @@
+# simcheck-fixture: SC010
+"""Transitive hot-path violations: the loop body looks clean, but one
+callee logs two hops away and another reads the wall clock."""
+
+import time
+
+
+def _trace(value):
+    print(value)
+
+
+def _lookup(value):
+    _trace(value)
+    return value + 1
+
+
+class Pipeline:
+    def _stamp(self):
+        return time.time()
+
+    # simcheck: hotpath
+    def process_batch(self, batch):
+        total = 0
+        for item in batch:
+            total += _lookup(item)  # expect: SC010
+            total += int(self._stamp())  # expect: SC010
+        return total

@@ -1,0 +1,24 @@
+# simcheck-fixture: SC010
+"""Transitively clean hot path: callees only compute and allocate their
+return values (allocation in a callee is not a violation — SC002 polices
+the loop body itself), and the one cold diagnostic call is explicitly
+allowed."""
+
+
+def _accumulate(value):
+    return [v * v for v in range(value)]
+
+
+def _log_rare(value):
+    print(value)
+
+
+class Pipeline:
+    # simcheck: hotpath
+    def process_batch(self, batch):
+        total = 0
+        for item in batch:
+            total += len(_accumulate(item))
+            # simcheck: allow=SC010 cold diagnostic, sampled offline
+            _log_rare(item)
+        return total

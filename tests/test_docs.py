@@ -110,8 +110,10 @@ class TestSimcheckRulePass:
             dest = tmp_path / relpath
             dest.parent.mkdir(parents=True, exist_ok=True)
             dest.write_text("# stub\n")
+        from simcheck import ALL_RULES
+        registered = " ".join(rule.id for rule in ALL_RULES)
         (tmp_path / "DESIGN.md").write_text(
-            "# stub\nSC001 SC002 SC003 SC004 SC005 SC006 and SC999.\n")
+            f"# stub\n{registered} and SC999.\n")
         problems = check_docs.check_simcheck_rules(root=str(tmp_path))
         assert len(problems) == 1 and "SC999" in problems[0]
 

@@ -236,6 +236,37 @@ class TestScheduler:
         assert out["abandoned"] == []
         assert sched.counters["pool_replacements"] == 0
 
+    def test_journal_write_stays_off_the_event_loop(self, tmp_path):
+        # Regression for the SC007 fix: journal appends go through
+        # asyncio.to_thread, so a slow disk write stalls the one
+        # submission, never the loop.
+        journal = RunJournal(str(tmp_path / "j.jsonl"))
+        release = threading.Event()
+        original = journal.record
+
+        def slow_record(**kwargs):
+            release.wait(timeout=10)
+            return original(**kwargs)
+
+        journal.record = slow_record
+
+        async def go():
+            sched = ScriptedScheduler([ok_after(PAYLOAD)],
+                                      journal=journal)
+            task = asyncio.ensure_future(sched.submit(JOB))
+            # While the write sits blocked in its worker thread, the
+            # loop must keep turning and the submit must still be
+            # pending on it.
+            for _ in range(5):
+                await asyncio.sleep(0.01)
+            assert not task.done()
+            release.set()
+            return await task
+
+        out = asyncio.run(go())
+        assert out["status"] == "ok"
+        assert [e["status"] for e in journal.entries()] == ["ok"]
+
     def test_journal_vocabulary(self, tmp_path):
         store = ResultStore(str(tmp_path))
         journal = RunJournal(store.journal_path)
@@ -470,6 +501,69 @@ class TestHTTPFront:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(url, timeout=30)
         assert err.value.code == 404
+
+    def _post(self, daemon, path, payload, headers=None):
+        url = f"http://127.0.0.1:{daemon.http_bound}{path}"
+        request = urllib.request.Request(
+            url, data=payload, method="POST",
+            headers=headers or {"Content-Type": "application/json"})
+        return urllib.request.urlopen(request, timeout=30)
+
+    @pytest.mark.parametrize("payload", [
+        b"not json at all",
+        b"[1, 2, 3]",
+        b'{"jobs": "nope"}',
+        b'{"jobs": []}',
+        b'{"jobs": [{"kind": "sim"}]}',
+    ])
+    def test_malformed_submit_body_is_400(self, http_daemon, payload):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._post(http_daemon, "/submit", payload)
+        assert err.value.code == 400
+        assert "error" in json.loads(err.value.read())
+        # The daemon shrugged it off: the next request still works.
+        status, body = self._get(http_daemon, "/healthz")
+        assert status == 200 and body["ok"]
+
+    def test_bad_job_spec_in_valid_envelope_is_400(self, http_daemon):
+        payload = json.dumps(
+            {"jobs": [{"kind": "warp", "job": {}}]}).encode()
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._post(http_daemon, "/submit", payload)
+        assert err.value.code == 400
+        assert "bad job spec" in json.loads(err.value.read())["error"]
+
+    @pytest.mark.parametrize("path,method", [
+        ("/healthz", "POST"), ("/status", "POST"),
+        ("/submit", "GET"), ("/submit", "DELETE"),
+    ])
+    def test_wrong_method_is_405(self, http_daemon, path, method):
+        url = f"http://127.0.0.1:{http_daemon.http_bound}{path}"
+        request = urllib.request.Request(
+            url, data=b"{}" if method != "GET" else None, method=method)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30)
+        assert err.value.code == 405
+
+    def test_client_disconnect_mid_request_is_harmless(self,
+                                                       http_daemon):
+        # Promise a body, send half of it, vanish: the handler's
+        # readexactly raises IncompleteReadError, which must tear down
+        # only that connection.
+        for partial in (b"",
+                        b"POST /submit HTTP/1.1\r\n",
+                        b"POST /submit HTTP/1.1\r\n"
+                        b"Content-Length: 4096\r\n\r\n"
+                        b'{"jobs": ['):
+            sock = socketlib.create_connection(
+                ("127.0.0.1", http_daemon.http_bound), timeout=10)
+            if partial:
+                sock.sendall(partial)
+            sock.close()
+        status, body = self._get(http_daemon, "/healthz")
+        assert status == 200 and body["ok"]
+        # No leaked half-open handlers left registered.
+        assert http_daemon.scheduler.counters["submitted"] == 0
 
 
 class TestFallback:

@@ -9,18 +9,20 @@ engine machinery: fixture quarantine, inline allows, the line-robust
 baseline workflow, CLI exit codes, and the real tree staying clean.
 """
 
+import json
 import os
 import pathlib
 import textwrap
 
 import pytest
 
-from simcheck import ALL_RULES, Baseline, run_simcheck
+from simcheck import ALL_RULES, Baseline, ParseFailure, run_simcheck
 from simcheck.engine import BASELINE_PATH, Project, collect_files, main
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 FIXTURE_DIR = REPO_ROOT / "tests" / "data" / "simcheck"
-RULE_IDS = ("SC001", "SC002", "SC003", "SC004", "SC005", "SC006")
+RULE_IDS = ("SC001", "SC002", "SC003", "SC004", "SC005", "SC006",
+            "SC007", "SC008", "SC009", "SC010")
 
 
 def expected_lines(path):
@@ -37,8 +39,8 @@ def scan(*paths, **kwargs):
 
 
 class TestRegistry:
-    def test_at_least_six_rules(self):
-        assert len(ALL_RULES) >= 6
+    def test_at_least_ten_rules(self):
+        assert len(ALL_RULES) >= 10
 
     def test_ids_unique_and_expected(self):
         ids = [rule.id for rule in ALL_RULES]
@@ -225,7 +227,8 @@ class TestRealTree:
     def test_repo_is_clean_under_committed_baseline(self):
         baseline = Baseline.load(BASELINE_PATH)
         new, _ = run_simcheck(
-            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+            [str(REPO_ROOT / part)
+             for part in ("src", "tests", "tools", "benchmarks")],
             baseline=baseline)
         assert new == [], "\n".join(f.render() for f in new)
 
@@ -307,3 +310,202 @@ class TestBlockTemplateAudit:
         mod.write_text("def _compile_block(src):\n    exec(src)\n")
         findings = [f for f in scan(mod) if f.rule == "SC003"]
         assert len(findings) == 1
+
+
+class TestExitCodes:
+    """The CLI's 0/1/2 contract: clean, findings, broken input."""
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_parse_failure_lists_every_bad_file(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text("def a(:\n")
+        (tmp_path / "b.py").write_text("def b(:\n")
+        assert main([str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "a.py" in err and "b.py" in err
+
+    def test_collect_files_raises_parse_failure(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        with pytest.raises(ParseFailure) as excinfo:
+            collect_files([str(tmp_path)])
+        assert any("bad.py" in err for err in excinfo.value.errors)
+
+    def test_jobs_zero_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("VALUE = 1\n")
+        assert main([str(tmp_path), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_findings_exit_one_clean_exit_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        mod = pkg / "scratch.py"
+        mod.write_text("import time\nSTAMP = time.time()\n")
+        assert main([str(mod), "--no-baseline"]) == 1
+        mod.write_text("STAMP = 0\n")
+        assert main([str(mod), "--no-baseline"]) == 0
+        capsys.readouterr()
+
+
+class TestParallelParse:
+    def test_jobs_identical_output(self):
+        kwargs = dict(include_fixtures=True, select=RULE_IDS)
+        serial, _ = run_simcheck([str(FIXTURE_DIR)], jobs=1, **kwargs)
+        parallel, _ = run_simcheck([str(FIXTURE_DIR)], jobs=4, **kwargs)
+        assert serial, "fixture scan found nothing; comparison is vacuous"
+        assert [(f.render(), f.fingerprint) for f in serial] == \
+               [(f.render(), f.fingerprint) for f in parallel]
+
+    def test_jobs_identical_collection(self, tmp_path):
+        for name in ("b.py", "a.py", "c.py"):
+            (tmp_path / name).write_text("VALUE = 1\n")
+        serial = [f.path for f in collect_files([str(tmp_path)])]
+        parallel = [f.path for f in collect_files([str(tmp_path)],
+                                                  jobs=3)]
+        assert serial == parallel == sorted(serial)
+
+
+class TestBaselineMaintenance:
+    def _tree_with_baseline(self, tmp_path):
+        """A scratch tree whose one violation is baselined."""
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        mod = pkg / "scratch.py"
+        mod.write_text("import time\nSTAMP = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([str(mod), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        return mod, baseline
+
+    def test_stale_entry_warns_on_stderr(self, tmp_path, capsys):
+        mod, baseline = self._tree_with_baseline(tmp_path)
+        mod.write_text("STAMP = 0\n")  # fix -> entry goes stale
+        capsys.readouterr()
+        assert main([str(mod), "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "--prune-baseline" in err
+
+    def test_strict_baseline_fails_on_stale(self, tmp_path, capsys):
+        mod, baseline = self._tree_with_baseline(tmp_path)
+        assert main([str(mod), "--baseline", str(baseline),
+                     "--strict-baseline"]) == 0  # entry still live
+        mod.write_text("STAMP = 0\n")
+        assert main([str(mod), "--baseline", str(baseline),
+                     "--strict-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_prune_drops_only_stale_entries(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        keep = pkg / "keep.py"
+        keep.write_text("import time\nSTAMP = time.time()\n")
+        gone = pkg / "gone.py"
+        gone.write_text("import time\nSTART = time.time_ns()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([str(pkg), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        gone.write_text("START = 0\n")
+        capsys.readouterr()
+        assert main([str(pkg), "--baseline", str(baseline),
+                     "--prune-baseline"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        entries = json.loads(baseline.read_text())["entries"]
+        assert len(entries) == 1
+        assert entries[0]["path"].endswith("keep.py")
+        # After the prune the file is authoritative again.
+        assert main([str(pkg), "--baseline", str(baseline),
+                     "--strict-baseline"]) == 0
+        capsys.readouterr()
+
+
+class TestSarif:
+    def _violating(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        mod = pkg / "scratch.py"
+        mod.write_text("import time\nSTAMP = time.time()\n")
+        return mod
+
+    def test_sarif_report_structure(self, tmp_path, capsys):
+        mod = self._violating(tmp_path)
+        assert main([str(mod), "--no-baseline",
+                     "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simcheck"
+        assert {r["id"] for r in driver["rules"]} >= set(RULE_IDS)
+        result, = run["results"]
+        assert result["ruleId"] == "SC001"
+        assert driver["rules"][result["ruleIndex"]]["id"] == "SC001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("scratch.py")
+        assert "\\" not in location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] == 2
+        fingerprint = result["partialFingerprints"]
+        assert "simcheckFingerprint/v1" in fingerprint
+
+    def test_sarif_fingerprint_matches_baseline(self, tmp_path, capsys):
+        # GitHub dedups alerts on the partial fingerprint; it must be
+        # the very hash the baseline workflow keys on.
+        mod = self._violating(tmp_path)
+        finding, = scan(mod)
+        main([str(mod), "--no-baseline", "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        result, = log["runs"][0]["results"]
+        assert result["partialFingerprints"]["simcheckFingerprint/v1"] \
+            == finding.fingerprint
+
+    def test_sarif_output_file_and_clean_run(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "fine.py").write_text("VALUE = 1\n")
+        out = tmp_path / "scan.sarif"
+        assert main([str(pkg), "--format", "sarif",
+                     "--output", str(out)]) == 0
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"] == []
+        capsys.readouterr()
+
+
+class TestInterproceduralIndexes:
+    """The lazily-built call graph / effect index behind SC007-SC010."""
+
+    def test_graph_resolves_cross_function_chain(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "chain.py").write_text(textwrap.dedent("""\
+            def leaf():
+                return open("x")
+
+
+            def mid():
+                return leaf()
+
+
+            def top():
+                return mid()
+            """))
+        project = Project(collect_files([str(pkg)]))
+        top = next(f for f in project.graph.functions.values()
+                   if f.name == "top")
+        callees = [callee.name for _, callee
+                   in project.graph.calls_in(top)]
+        assert callees == ["mid"]
+        witness = project.effects.sync_blocking_witness(top)
+        assert witness is not None
+        assert "leaf" in witness.describe()
+
+    def test_indexes_are_lazy(self, tmp_path):
+        (tmp_path / "mod.py").write_text("VALUE = 1\n")
+        project = Project(collect_files([str(tmp_path)]))
+        assert project._graph is None and project._effects is None
+        project.effects
+        assert project._graph is not None

@@ -5,7 +5,7 @@ on (DESIGN.md §8): bit-identical determinism across techniques, the
 ≥2x hot path with zero-cost-when-disabled observability, and lossless
 content-addressed serialization.  Run it from the repo root::
 
-    python -m simcheck src/ tests/
+    python -m simcheck src/ tests/ tools/ benchmarks/
 
 Rules (each an AST visitor with fixture-tested good/bad examples under
 ``tests/data/simcheck/``):
@@ -18,21 +18,35 @@ SC003  exec-handler safety: generated handlers pass an AST whitelist
 SC004  cache-key completeness for job-spec dataclasses
 SC005  round-trip completeness for ``to_dict``/``from_dict`` classes
 SC006  ``__slots__`` coverage for per-instruction classes
+SC007  async-safety: no blocking work reachable from service
+       coroutines; no sync lock held across ``await``
+SC008  snapshot completeness: ``state_dict`` covers mutable fields,
+       ``capture`` covers Simulator components
+SC009  registry closure over ``JOB_KINDS``: registered kinds are
+       complete + CLI-reachable, dispatched kinds are registered
+SC010  transitive hot-path discipline through the call graph
 =====  ==============================================================
+
+SC001–SC006 are per-file AST rules; SC007–SC010 run on the
+whole-program call graph and effect index (:mod:`simcheck.graph`,
+:mod:`simcheck.effects`) built lazily over the scanned set.
 
 Suppressions: an inline ``# simcheck: allow=SCnnn <why>`` on (or above)
 the flagged line, or an entry in the committed baseline
 (``tools/simcheck/baseline.json``, regenerated with
-``--write-baseline``).  CI runs the suite in the ``lint`` job next to
-``ruff`` and ``mypy``; see CONTRIBUTING.md ("Lint gate").
+``--write-baseline``, pruned with ``--prune-baseline``).  CI runs the
+suite in the ``lint`` job next to ``ruff`` and ``mypy`` and uploads the
+``--format sarif`` report for inline annotations; see CONTRIBUTING.md
+("Lint gate").
 """
 
-from simcheck.engine import (Baseline, Finding, Project, SourceFile,
-                             collect_files, main, run_simcheck)
+from simcheck.engine import (Baseline, Finding, ParseFailure, Project,
+                             SourceFile, collect_files, main,
+                             run_simcheck)
 from simcheck.rules import ALL_RULES, register
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["ALL_RULES", "Baseline", "Finding", "Project", "SourceFile",
-           "collect_files", "main", "register", "run_simcheck",
-           "__version__"]
+__all__ = ["ALL_RULES", "Baseline", "Finding", "ParseFailure",
+           "Project", "SourceFile", "collect_files", "main", "register",
+           "run_simcheck", "__version__"]

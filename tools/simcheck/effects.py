@@ -1,0 +1,307 @@
+"""Effect inference over the call graph.
+
+Each project function gets a *direct* effect set from its own body —
+syntactic detection of calls that block, log, allocate, read clocks,
+touch the filesystem, draw randomness, or ``exec`` — and a *closed*
+effect set computed by fixpointing those sets over the
+:class:`~simcheck.graph.CallGraph` edges.  Every inherited effect keeps
+a **witness**: the category, a human-readable detail, the line it was
+detected at, and the qname chain from the asking function down to the
+sinning one, so rule messages can say *why* (``submit → _journal →
+append_jsonl_line: os.write``) instead of just *that*.
+
+Categories (:class:`Effect`):
+
+* ``BLOCKING`` — event-loop starvation hazards: ``time.sleep``, sync
+  file/socket/subprocess IO, ``input``, un-awaited ``.result()`` /
+  ``.connect()`` / ``.recv()``-style calls on untracked receivers.
+* ``LOGGING`` — ``print``/``logging``/``warnings``/stdio writes.
+* ``FORMAT`` — f-strings / ``.format`` / ``%``-format outside ``raise``.
+* ``TIME`` — wall-clock reads (the SC001 table).
+* ``RNG`` — the global ``random`` / ``np.random`` RNGs.
+* ``EXEC`` — ``exec``/``eval``/``compile``.
+* ``FS`` — filesystem mutation/enumeration (``os.makedirs``, ``shutil``,
+  ``glob`` …).  Read-side ``open`` is classified BLOCKING, not FS.
+* ``ALLOC`` — comprehensions/lambdas outside ``raise`` (recorded for
+  completeness; SC010 keys off the other categories).
+
+Conservatism mirrors the graph's: effects flow only along *resolved*
+edges, so a callee reached through dynamic dispatch contributes nothing
+— but the direct tables are receiver-independent where they can be
+(``anything.result()`` un-awaited is BLOCKING), which covers the
+``Future.result()`` class of bug without type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from simcheck.graph import CallGraph, FuncNode
+from simcheck.rules._util import dotted_name, enclosing_raise_spans, \
+    in_spans, scoped_walk
+
+
+class Effect:
+    BLOCKING = "blocking-io"
+    LOGGING = "logging"
+    FORMAT = "formatting"
+    TIME = "wall-clock"
+    RNG = "global-rng"
+    EXEC = "exec"
+    FS = "filesystem"
+    ALLOC = "allocation"
+
+
+class Witness:
+    """One effect occurrence with its provenance chain."""
+
+    __slots__ = ("effect", "detail", "line", "chain")
+
+    def __init__(self, effect: str, detail: str, line: int,
+                 chain: Tuple[str, ...]):
+        self.effect = effect
+        self.detail = detail
+        self.line = line          # line in the *defining* file
+        self.chain = chain        # qnames, caller-first
+
+    def via(self, qname: str) -> "Witness":
+        return Witness(self.effect, self.detail, self.line,
+                       (qname,) + self.chain)
+
+    def describe(self) -> str:
+        path = " -> ".join(q.rsplit(".", 2)[-1] if q.count(".") < 2
+                           else ".".join(q.rsplit(".", 2)[-2:])
+                           for q in self.chain)
+        return f"{self.detail} (via {path})" if len(self.chain) > 1 \
+            else self.detail
+
+    def __repr__(self) -> str:
+        return f"<Witness {self.effect}: {self.describe()}>"
+
+
+#: Dotted-call → (effect, detail).  Matched on the full resolved-alias
+#: name (``time.sleep``) and, for single-part entries, the bare name.
+DIRECT_CALLS: Dict[str, Tuple[str, str]] = {
+    # blocking
+    "time.sleep": (Effect.BLOCKING, "time.sleep() blocks the thread"),
+    "open": (Effect.BLOCKING, "open() does synchronous file IO"),
+    "io.open": (Effect.BLOCKING, "io.open() does synchronous file IO"),
+    "os.open": (Effect.BLOCKING, "os.open() does synchronous file IO"),
+    "os.read": (Effect.BLOCKING, "os.read() does synchronous file IO"),
+    "os.write": (Effect.BLOCKING, "os.write() does synchronous file IO"),
+    "os.fsync": (Effect.BLOCKING, "os.fsync() does synchronous file IO"),
+    "input": (Effect.BLOCKING, "input() blocks on stdin"),
+    "select.select": (Effect.BLOCKING, "select.select() blocks"),
+    "socket.create_connection":
+        (Effect.BLOCKING, "socket.create_connection() blocks"),
+    "urllib.request.urlopen":
+        (Effect.BLOCKING, "urlopen() does synchronous network IO"),
+    # wall clock (the SC001 table, minus monotonic measurement clocks)
+    "time.time": (Effect.TIME, "time.time() wall-clock read"),
+    "time.time_ns": (Effect.TIME, "time.time_ns() wall-clock read"),
+    "datetime.datetime.now": (Effect.TIME, "datetime.now() read"),
+    "datetime.datetime.utcnow": (Effect.TIME, "datetime.utcnow() read"),
+    "datetime.now": (Effect.TIME, "datetime.now() read"),
+    "datetime.date.today": (Effect.TIME, "date.today() read"),
+    # logging
+    "print": (Effect.LOGGING, "print() call"),
+    # exec
+    "exec": (Effect.EXEC, "exec() call"),
+    "eval": (Effect.EXEC, "eval() call"),
+    "compile": (Effect.EXEC, "compile() call"),
+    # filesystem
+    "os.makedirs": (Effect.FS, "os.makedirs() filesystem mutation"),
+    "os.mkdir": (Effect.FS, "os.mkdir() filesystem mutation"),
+    "os.unlink": (Effect.FS, "os.unlink() filesystem mutation"),
+    "os.remove": (Effect.FS, "os.remove() filesystem mutation"),
+    "os.rename": (Effect.FS, "os.rename() filesystem mutation"),
+    "os.replace": (Effect.FS, "os.replace() filesystem mutation"),
+    "os.rmdir": (Effect.FS, "os.rmdir() filesystem mutation"),
+    "os.listdir": (Effect.FS, "os.listdir() filesystem enumeration"),
+    "os.scandir": (Effect.FS, "os.scandir() filesystem enumeration"),
+    "os.walk": (Effect.FS, "os.walk() filesystem enumeration"),
+    "os.stat": (Effect.FS, "os.stat() filesystem read"),
+}
+
+#: Module prefixes whose every call carries one effect.
+PREFIX_CALLS: Tuple[Tuple[str, str, str], ...] = (
+    ("subprocess.", Effect.BLOCKING, "subprocess call blocks"),
+    ("requests.", Effect.BLOCKING, "requests does synchronous HTTP"),
+    ("logging.", Effect.LOGGING, "logging call"),
+    ("warnings.", Effect.LOGGING, "warnings call"),
+    ("shutil.", Effect.FS, "shutil filesystem operation"),
+    ("glob.", Effect.FS, "glob filesystem enumeration"),
+)
+
+#: Method names that block when called un-awaited on *any* receiver.
+#: ``.result()`` only with no arguments — ``result(timeout=0)`` is a
+#: non-blocking poll, and positional args usually mean something else.
+BLOCKING_METHODS = {
+    "result": "un-awaited .result() blocks on the future",
+    "connect": "synchronous .connect() blocks",
+    "accept": "synchronous .accept() blocks",
+    "recv": "synchronous .recv() blocks",
+    "recv_into": "synchronous .recv_into() blocks",
+    "sendall": "synchronous .sendall() blocks",
+    "acquire": "synchronous .acquire() can block the loop",
+}
+
+#: Receiver attribute/name hints that make a LOGGING write: the write
+#: method itself is too generic to blacklist globally.
+_STDIO_NAMES = {"stdout", "stderr"}
+
+_RNG_OK = {"Random", "SystemRandom", "default_rng", "Generator",
+           "SeedSequence", "PCG64", "Philox", "SFC64", "MT19937",
+           "BitGenerator", "RandomState"}
+
+
+def classify_call(call: ast.Call, awaited: bool,
+                  imports: Dict[str, str]) -> Optional[Tuple[str, str]]:
+    """(effect, detail) for one call node, or None.
+
+    ``imports`` is the module's alias map, used to resolve
+    ``from time import sleep``-style bare names back to their dotted
+    origin before matching the tables.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    resolved = name
+    if parts[0] in imports:
+        target = imports[parts[0]]
+        if target != parts[0]:
+            resolved = ".".join([target] + parts[1:])
+    for candidate in (resolved, name):
+        if candidate in DIRECT_CALLS:
+            return DIRECT_CALLS[candidate]
+        for prefix, effect, detail in PREFIX_CALLS:
+            if candidate.startswith(prefix):
+                return effect, detail
+    rparts = resolved.split(".")
+    if len(rparts) >= 2 and rparts[-2] == "random" and \
+            rparts[0] in ("np", "numpy") and rparts[-1] not in _RNG_OK:
+        return Effect.RNG, f"numpy global RNG `{name}()`"
+    if len(rparts) == 2 and rparts[0] == "random" and \
+            rparts[1] not in _RNG_OK:
+        return Effect.RNG, f"global random RNG `{name}()`"
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr == "write" and parts[-2] in _STDIO_NAMES:
+            return Effect.LOGGING, f"`{name}()` stdio write"
+        if not awaited and attr in BLOCKING_METHODS:
+            if attr == "result" and (call.args or call.keywords):
+                return None
+            return Effect.BLOCKING, BLOCKING_METHODS[attr]
+    return None
+
+
+def direct_witnesses(func: FuncNode) -> List[Witness]:
+    """Effects detected in one function's own body (no propagation)."""
+    imports = func.module.imports
+    node = func.node
+    awaited = {id(n.value) for n in ast.walk(node)
+               if isinstance(n, ast.Await)}
+    raise_spans = enclosing_raise_spans(node)
+    out: List[Witness] = []
+    chain = (func.qname,)
+    for child in scoped_walk(node):
+        if isinstance(child, ast.Call):
+            hit = classify_call(child, id(child) in awaited, imports)
+            if hit is not None:
+                out.append(Witness(hit[0], hit[1], child.lineno, chain))
+            if isinstance(child.func, ast.Attribute) and \
+                    child.func.attr == "format" and \
+                    not in_spans(child.lineno, raise_spans):
+                out.append(Witness(Effect.FORMAT, "str.format() call",
+                                   child.lineno, chain))
+        elif isinstance(child, ast.JoinedStr) and \
+                not in_spans(child.lineno, raise_spans):
+            out.append(Witness(Effect.FORMAT, "f-string build",
+                               child.lineno, chain))
+        elif isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                ast.GeneratorExp, ast.Lambda)) and \
+                not in_spans(child.lineno, raise_spans):
+            out.append(Witness(Effect.ALLOC,
+                               f"{type(child).__name__} allocation",
+                               child.lineno, chain))
+    return out
+
+
+class EffectIndex:
+    """Closed per-function effect sets over a call graph."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        #: qname → direct witnesses (own body only).
+        self.direct: Dict[str, List[Witness]] = {}
+        #: qname → closed witnesses: one representative witness per
+        #: (effect, immediate-callee) pair, transitive closure included.
+        self.closed: Dict[str, List[Witness]] = {}
+        for qname, func in graph.functions.items():
+            self.direct[qname] = direct_witnesses(func)
+        self._fixpoint()
+
+    def _fixpoint(self) -> None:
+        # Seed with direct witnesses, then propagate caller ← callee
+        # until no function's (effect, origin-qname) summary grows.
+        # Summaries are keyed coarsely so cycles terminate: at most one
+        # witness per (effect, origin function) survives per function.
+        for qname in self.graph.functions:
+            self.closed[qname] = list(self.direct[qname])
+        keys = {qname: {(w.effect, w.chain[-1])
+                        for w in self.closed[qname]}
+                for qname in self.closed}
+        changed = True
+        while changed:
+            changed = False
+            for qname, func in self.graph.functions.items():
+                for call, callee in self.graph.calls_in(func):
+                    for w in self.closed.get(callee.qname, ()):
+                        key = (w.effect, w.chain[-1])
+                        if key in keys[qname]:
+                            continue
+                        keys[qname].add(key)
+                        self.closed[qname].append(w.via(qname))
+                        changed = True
+
+    # -- queries -----------------------------------------------------------------
+
+    def effects_of(self, func: FuncNode) -> set:
+        return {w.effect for w in self.closed.get(func.qname, ())}
+
+    def witnesses(self, func: FuncNode,
+                  categories: Sequence[str]) -> List[Witness]:
+        wanted = set(categories)
+        return [w for w in self.closed.get(func.qname, ())
+                if w.effect in wanted]
+
+    def sync_blocking_witness(self, func: FuncNode) -> Optional[Witness]:
+        """First BLOCKING witness reachable from ``func`` through
+        *synchronous* callees only (an async callee is its own SC007
+        subject, so traversal stops there), memoized per function."""
+        return self._sync_blocking(func, {}, ())
+
+    def _sync_blocking(self, func: FuncNode, memo, stack):
+        if func.qname in stack:
+            return None
+        cached = memo.get(func.qname, "missing")
+        if cached != "missing":
+            return cached
+        result = None
+        for w in self.direct.get(func.qname, ()):
+            if w.effect == Effect.BLOCKING:
+                result = w
+                break
+        if result is None:
+            for call, callee in self.graph.calls_in(func):
+                if callee.is_async:
+                    continue
+                deeper = self._sync_blocking(callee, memo,
+                                             stack + (func.qname,))
+                if deeper is not None:
+                    result = deeper.via(func.qname)
+                    break
+        memo[func.qname] = result
+        return result

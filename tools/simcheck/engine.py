@@ -15,7 +15,9 @@ The suite is deliberately simple machinery around :mod:`ast`:
 * :func:`run_simcheck` / :func:`main` — collect files, run every rule,
   filter inline allows and the baseline, report ``path:line: SCnnn ...``.
 
-Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+Exit codes: 0 clean, 1 findings (or stale baseline entries under
+``--strict-baseline``), 2 usage error / unparseable file / internal
+error — so CI can tell "the tree has violations" from "the tool died".
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Default scan roots when the CLI is given no paths (repo-root relative).
-DEFAULT_PATHS = ("src", "tests")
+DEFAULT_PATHS = ("src", "tests", "tools", "benchmarks")
 
 #: Default committed baseline, next to this file.
 BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -38,6 +40,19 @@ BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 _MARKER_RE = re.compile(r"#\s*simcheck:\s*([A-Za-z-]+)(?:=([A-Z0-9,]+))?")
 _FIXTURE_RE = re.compile(r"#\s*simcheck-fixture\b")
+
+
+class ParseFailure(Exception):
+    """One or more scanned files could not be read or parsed.
+
+    ``errors`` lists one pre-formatted message per bad file.  The CLI
+    maps this to exit code 2: an unparseable tree is a broken *input*,
+    not a lint finding, and CI must not confuse the two.
+    """
+
+    def __init__(self, errors: Sequence[str]):
+        super().__init__("\n".join(errors))
+        self.errors = list(errors)
 
 
 class Finding:
@@ -162,6 +177,27 @@ class Project:
                         src.has_marker("per-instruction", node):
                     self.per_instruction[node.name] = (
                         src, node, class_slots(node))
+        self._graph = None
+        self._effects = None
+
+    # The interprocedural indexes are built on first use: a --select run
+    # of the per-file rules never pays for whole-program analysis.
+
+    @property
+    def graph(self):
+        """Lazily built :class:`simcheck.graph.CallGraph`."""
+        if self._graph is None:
+            from simcheck.graph import CallGraph
+            self._graph = CallGraph(self.files)
+        return self._graph
+
+    @property
+    def effects(self):
+        """Lazily built :class:`simcheck.effects.EffectIndex`."""
+        if self._effects is None:
+            from simcheck.effects import EffectIndex
+            self._effects = EffectIndex(self.graph)
+        return self._effects
 
 
 def class_slots(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
@@ -239,9 +275,36 @@ EXCLUDED_DIRS = frozenset({"__pycache__", ".repro-cache",
                            ".fuzz-corpus", ".pytest_cache"})
 
 
-def collect_files(paths: Sequence[str]) -> List[SourceFile]:
+def _load_source(item: Tuple[str, str]) -> Tuple[str, object]:
+    """Read and parse one file: ``("ok", SourceFile)`` or ``("err", msg)``.
+
+    Module-level (not a closure) so :func:`collect_files` can ship it to
+    a :class:`~concurrent.futures.ProcessPoolExecutor` worker.  Errors
+    come back as values rather than exceptions so a parallel run reports
+    *every* bad file in one pass instead of dying on the first.
+    """
+    abspath, display = item
+    try:
+        with open(abspath, encoding="utf-8") as fh:
+            text = fh.read()
+        return "ok", SourceFile(abspath, text, display_path=display)
+    except (SyntaxError, ValueError, OSError) as exc:
+        return "err", f"simcheck: cannot parse {display}: {exc}"
+
+
+def collect_files(paths: Sequence[str],
+                  jobs: int = 1) -> List[SourceFile]:
     """Every ``.py`` file under the given files/directories, sorted (the
-    suite must itself be deterministic)."""
+    suite must itself be deterministic).
+
+    ``jobs > 1`` parses with a process pool.  ``pool.map`` preserves the
+    submission order and the submission list is sorted, so the returned
+    list — and therefore every downstream index, finding order, and
+    fingerprint set — is bit-identical to a serial run.
+
+    Raises :class:`ParseFailure` listing every unreadable/unparseable
+    file.
+    """
     seen = {}
     for root in paths:
         if os.path.isfile(root):
@@ -255,34 +318,37 @@ def collect_files(paths: Sequence[str]) -> List[SourceFile]:
                 if name.endswith(".py"):
                     path = os.path.join(dirpath, name)
                     seen[os.path.abspath(path)] = path
-    files = []
-    for abspath in sorted(seen):
-        with open(abspath, encoding="utf-8") as fh:
-            text = fh.read()
-        try:
-            files.append(SourceFile(abspath, text,
-                                    display_path=_posix(
-                                        os.path.relpath(seen[abspath]))))
-        except SyntaxError as exc:
-            raise SystemExit(f"simcheck: cannot parse {seen[abspath]}: "
-                             f"{exc}")
-    return files
+    items = [(abspath, _posix(os.path.relpath(seen[abspath])))
+             for abspath in sorted(seen)]
+    if jobs > 1 and len(items) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_load_source, items))
+    else:
+        results = [_load_source(item) for item in items]
+    errors = [payload for status, payload in results if status == "err"]
+    if errors:
+        raise ParseFailure(errors)
+    return [payload for status, payload in results]
 
 
 def run_simcheck(paths: Sequence[str],
                  include_fixtures: bool = False,
                  baseline: Optional[Baseline] = None,
                  select: Optional[Sequence[str]] = None,
+                 jobs: int = 1,
                  ) -> Tuple[List[Finding], List[Finding]]:
     """Run the suite; returns ``(new_findings, suppressed_findings)``.
 
     ``suppressed_findings`` are those silenced by the baseline (inline
     ``allow`` comments are filtered earlier and never reported).
+    ``jobs`` parallelizes the parse only (analysis shares one cross-file
+    index and stays serial); output is identical for any jobs value.
     """
     from simcheck.rules import ALL_RULES
     rules = [r for r in ALL_RULES
              if select is None or r.id in select]
-    files = collect_files(paths)
+    files = collect_files(paths, jobs=jobs)
     checked = [f for f in files if include_fixtures or not f.is_fixture]
     project = Project(checked)
     findings: List[Finding] = []
@@ -291,6 +357,17 @@ def run_simcheck(paths: Sequence[str],
             for finding in rule.check(src, project):
                 if not src.is_allowed(finding.rule, finding.line):
                     findings.append(finding)
+    # Project-scope rules run once over the whole set and may anchor
+    # findings in any scanned file; inline allows still apply.
+    by_path = {src.display_path: src for src in checked}
+    for rule in rules:
+        if getattr(rule, "scope", "file") != "project":
+            continue
+        for finding in rule.check_project(project):
+            src = by_path.get(finding.path)
+            if src is None or \
+                    not src.is_allowed(finding.rule, finding.line):
+                findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     if baseline is None:
         return findings, []
@@ -306,7 +383,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "hot-path discipline, and serialization invariants.")
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
                         help="files or directories to scan "
-                             "(default: src/ tests/)")
+                             "(default: src/ tests/ tools/ benchmarks/)")
     parser.add_argument("--baseline", default=BASELINE_PATH,
                         help="baseline file of accepted pre-existing "
                              "violations")
@@ -315,15 +392,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept all current findings into the "
                              "baseline file and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries no current finding "
+                             "matches, rewrite the file, and exit 0")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="exit 1 when the baseline has stale "
+                             "entries, even if the tree is clean")
     parser.add_argument("--include-fixtures", action="store_true",
                         help="also scan # simcheck-fixture files "
                              "(rule test data)")
     parser.add_argument("--select", default=None,
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text",
+                        help="report format (sarif: SARIF 2.1.0 for "
+                             "code-scanning upload)")
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parse files with N worker processes "
+                             "(output is identical for any N)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print("simcheck: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     from simcheck.rules import ALL_RULES
     if args.list_rules:
@@ -346,16 +442,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     baseline = None
-    if not args.no_baseline and not args.write_baseline:
+    if args.prune_baseline or \
+            not (args.no_baseline or args.write_baseline):
         try:
             baseline = Baseline.load(args.baseline)
         except ValueError as exc:
             print(f"simcheck: {exc}", file=sys.stderr)
             return 2
 
-    findings, suppressed = run_simcheck(
-        args.paths, include_fixtures=args.include_fixtures,
-        baseline=baseline, select=select)
+    try:
+        findings, suppressed = run_simcheck(
+            args.paths, include_fixtures=args.include_fixtures,
+            baseline=baseline, select=select, jobs=args.jobs)
+    except ParseFailure as exc:
+        for err in exc.errors:
+            print(err, file=sys.stderr)
+        return 2
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"simcheck: internal error: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 2
 
     if args.write_baseline:
         Baseline.from_findings(findings).save(args.baseline)
@@ -363,14 +469,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"-> {args.baseline}")
         return 0
 
-    for finding in findings:
-        print(finding.render())
+    # A baseline entry is stale when no current finding — suppressed or
+    # not — carries its fingerprint: the violation it grandfathers was
+    # fixed (or its line edited, which re-surfaces the finding anyway).
+    matched = {f.fingerprint for f in findings} | \
+              {f.fingerprint for f in suppressed}
+    if args.prune_baseline:
+        kept = [e for e in baseline.entries
+                if e["fingerprint"] in matched]
+        dropped = len(baseline.entries) - len(kept)
+        Baseline(kept).save(args.baseline)
+        print(f"simcheck: pruned {dropped} stale baseline entr"
+              f"{'y' if dropped == 1 else 'ies'} ({len(kept)} kept) "
+              f"-> {args.baseline}")
+        return 0
+
+    stale = [] if baseline is None else \
+        [e for e in baseline.entries if e["fingerprint"] not in matched]
+    for entry in stale:
+        print(f"simcheck: warning: stale baseline entry "
+              f"{entry['fingerprint']} ({entry.get('rule', '?')} in "
+              f"{entry.get('path', '?')}) matches no current finding; "
+              f"run --prune-baseline", file=sys.stderr)
+
+    if args.format == "sarif":
+        from simcheck.sarif import render_sarif
+        report = render_sarif(findings, ALL_RULES)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report)
+        else:
+            sys.stdout.write(report)
+    else:
+        out = open(args.output, "w", encoding="utf-8") \
+            if args.output else sys.stdout
+        try:
+            for finding in findings:
+                print(finding.render(), file=out)
+        finally:
+            if out is not sys.stdout:
+                out.close()
+
     n_rules = len(select) if select else len(ALL_RULES)
     if findings:
         print(f"simcheck: {len(findings)} finding(s) "
               f"({len(suppressed)} baselined), {n_rules} rule(s)",
               file=sys.stderr)
         return 1
+    if args.strict_baseline and stale:
+        print(f"simcheck: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} "
+              f"(--strict-baseline)", file=sys.stderr)
+        return 1
     print(f"simcheck: clean ({n_rules} rule(s), "
-          f"{len(suppressed)} baselined finding(s))")
+          f"{len(suppressed)} baselined finding(s))",
+          file=sys.stderr if args.format == "sarif" and not args.output
+          else sys.stdout)
     return 0

@@ -1,0 +1,523 @@
+"""Project-wide module index and conservative call graph.
+
+The per-file rules (SC001–SC006) see one AST at a time; the
+interprocedural rules (SC007–SC010) need to know *who calls whom across
+module boundaries*.  This module builds that view from the same parsed
+:class:`~simcheck.engine.SourceFile` objects, with no imports executed:
+
+* **Module index** — every scanned file is assigned a dotted module name
+  derived from its path (``src/repro/service/daemon.py`` →
+  ``repro.service.daemon``, ``tools/simcheck/graph.py`` →
+  ``simcheck.graph``), and its ``import``/``from … import`` statements
+  (function-local ones included) are recorded as an alias → target map.
+* **Class index** — classes with their directly defined methods, their
+  base-class links (project classes only), and an *attribute type map*:
+  ``self.x`` is given a class type when ``__init__`` (or any method)
+  assigns it from an annotated parameter, a resolvable constructor call,
+  or an annotated ``self.x: Optional[C]`` declaration.
+* **Call graph** — edges from each function to every call it makes that
+  resolves to a project function: plain names (local defs, module
+  functions, from-imports, nested defs), ``self.m()`` / ``cls.m()``
+  (walking project base classes), ``module.f()`` / ``module.C()`` via
+  the import map, and ``obj.m()`` when ``obj`` is a parameter, local, or
+  ``self`` attribute with a tracked class type.  Constructor calls edge
+  to ``__init__``.
+
+Where it is conservative (documented in DESIGN.md §8): calls through
+untracked receivers produce **no** edge (they are recorded as
+*unresolved* with their attribute name, so rules can blacklist specific
+method names like ``Future.result``); values passed as arguments —
+``asyncio.to_thread(self._lookup, job)`` — are references, not calls,
+and therefore never produce an edge, which is exactly what makes
+``to_thread``/``run_in_executor`` the sanctioned blocking-call escape
+hatch; lambdas and calls through containers are invisible.  The graph
+over-approximates nothing and under-approximates dynamic dispatch — the
+rules built on it are tuned so that the *checked* properties (effects of
+statically named callees) stay sound for the patterns this repo uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from simcheck.rules._util import dotted_name, scoped_walk
+
+#: Wrapper calls that *sanction* blocking work from async code: their
+#: function arguments run on an executor thread, never the event loop.
+SANCTIONED_WRAPPERS = ("to_thread", "run_in_executor")
+
+
+def module_name_for(posix_path: str) -> str:
+    """Dotted module name for a scanned file path.
+
+    ``src`` and ``tools`` are the repo's two import roots (``PYTHONPATH=src``
+    plus the repo-root ``simcheck`` bootstrap stub); anything else —
+    fixtures, scratch files in tests — is treated as a top-level module
+    named after its stem.
+    """
+    parts = posix_path.split("/")
+    for root in ("src", "tools"):
+        if root in parts:
+            idx = len(parts) - 1 - parts[::-1].index(root)
+            tail = parts[idx + 1:]
+            break
+    else:
+        tail = parts[-1:]
+    if not tail:
+        tail = parts[-1:]
+    if tail[-1].endswith(".py"):
+        tail = tail[:-1] + [tail[-1][:-3]]
+    if tail and tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail) or posix_path
+
+
+class FuncNode:
+    """One (async) function or method definition."""
+
+    __slots__ = ("qname", "node", "src", "module", "cls", "parent",
+                 "is_async")
+
+    def __init__(self, qname, node, src, module, cls=None, parent=None):
+        self.qname = qname
+        self.node = node
+        self.src = src
+        self.module = module            # ModuleNode
+        self.cls = cls                  # ClassNode or None
+        self.parent = parent            # enclosing FuncNode or None
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def __repr__(self) -> str:
+        return f"<FuncNode {self.qname}>"
+
+
+class ClassNode:
+    """One class definition with method and attribute-type indexes."""
+
+    __slots__ = ("qname", "node", "src", "module", "methods", "bases",
+                 "attr_types")
+
+    def __init__(self, qname, node, src, module):
+        self.qname = qname
+        self.node = node
+        self.src = src
+        self.module = module
+        self.methods: Dict[str, FuncNode] = {}
+        #: Base-class ClassNodes that resolved inside the project.
+        self.bases: List["ClassNode"] = []
+        #: ``self.<attr>`` → ClassNode (or the sentinel string
+        #: ``"threading-lock"`` for synchronous lock objects).
+        self.attr_types: Dict[str, object] = {}
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def resolve_method(self, name: str,
+                       _seen=None) -> Optional[FuncNode]:
+        """Method lookup through the project-visible base chain."""
+        if _seen is None:
+            _seen = set()
+        if self.qname in _seen:
+            return None
+        _seen.add(self.qname)
+        if name in self.methods:
+            return self.methods[name]
+        for base in self.bases:
+            found = base.resolve_method(name, _seen)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:
+        return f"<ClassNode {self.qname}>"
+
+
+class ModuleNode:
+    """One scanned file as a module: defs, classes, imports."""
+
+    __slots__ = ("name", "src", "functions", "classes", "imports",
+                 "imported_modules")
+
+    def __init__(self, name, src):
+        self.name = name
+        self.src = src
+        self.functions: Dict[str, FuncNode] = {}    # top-level defs
+        self.classes: Dict[str, ClassNode] = {}
+        #: local alias → dotted import target (``"repro.engine.job"`` for
+        #: ``import repro.engine.job``; ``"repro.engine.job.SimJob"`` for
+        #: ``from repro.engine.job import SimJob``), function-local
+        #: imports included.
+        self.imports: Dict[str, str] = {}
+        #: Every module this file imports (transport for reachability).
+        self.imported_modules: set = set()
+
+    def __repr__(self) -> str:
+        return f"<ModuleNode {self.name}>"
+
+
+#: Calls to ``threading`` synchronization primitives: holding one of
+#: these across an ``await`` starves the event loop (SC007).
+_SYNC_LOCK_CTORS = {"Lock", "RLock", "Semaphore", "BoundedSemaphore",
+                    "Condition"}
+
+
+def _is_sync_lock_ctor(call: ast.AST, imports: Dict[str, str]) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    name = dotted_name(call.func) or ""
+    parts = name.split(".")
+    if len(parts) == 2 and parts[0] == "threading" and \
+            parts[1] in _SYNC_LOCK_CTORS:
+        return True
+    if len(parts) == 1 and parts[0] in _SYNC_LOCK_CTORS and \
+            imports.get(parts[0], "").startswith("threading."):
+        return True
+    return False
+
+
+class CallGraph:
+    """Whole-program index + call edges over the scanned files."""
+
+    def __init__(self, files: Sequence):
+        self.modules: Dict[str, ModuleNode] = {}
+        self.functions: Dict[str, FuncNode] = {}
+        self.classes: Dict[str, ClassNode] = {}
+        #: caller qname → [(ast.Call, callee FuncNode)]
+        self.edges: Dict[str, List[Tuple[ast.Call, FuncNode]]] = {}
+        #: caller qname → [(ast.Call, attr name, awaited?)] for calls the
+        #: resolver could not bind to a project function.
+        self.unresolved: Dict[str, List[Tuple[ast.Call, str, bool]]] = {}
+
+        for src in files:
+            self._index_module(src)
+        self._link_bases()
+        for cls in self.classes.values():
+            self._infer_attr_types(cls)
+        for func in self.functions.values():
+            self._resolve_calls(func)
+
+    # -- pass 1: indexing --------------------------------------------------------
+
+    def _index_module(self, src) -> None:
+        mod = ModuleNode(module_name_for(src.display_path), src)
+        # Last writer wins on duplicate module names (fixture scratch
+        # trees); real src/tools paths are unique.
+        self.modules[mod.name] = mod
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    mod.imports[local] = alias.name if alias.asname \
+                        else alias.name.split(".")[0]
+                    if alias.asname:
+                        mod.imports[alias.asname] = alias.name
+                    mod.imported_modules.add(alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module and \
+                    node.level == 0:
+                mod.imported_modules.add(node.module)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    mod.imports[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+        for stmt in src.tree.body:
+            self._index_stmt(stmt, mod, cls=None, parent=None,
+                             prefix=mod.name)
+
+    def _index_stmt(self, stmt, mod, cls, parent, prefix) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = f"{prefix}.{stmt.name}"
+            func = FuncNode(qname, stmt, mod.src, mod, cls=cls,
+                            parent=parent)
+            self.functions[qname] = func
+            if cls is not None and parent is None:
+                cls.methods[stmt.name] = func
+            elif parent is None:
+                mod.functions[stmt.name] = func
+            for inner in stmt.body:
+                self._index_stmt(inner, mod, cls=None, parent=func,
+                                 prefix=qname)
+        elif isinstance(stmt, ast.ClassDef):
+            qname = f"{prefix}.{stmt.name}"
+            node = ClassNode(qname, stmt, mod.src, mod)
+            self.classes[qname] = node
+            if cls is None and parent is None:
+                mod.classes[stmt.name] = node
+            for inner in stmt.body:
+                self._index_stmt(inner, mod, cls=node, parent=None,
+                                 prefix=qname)
+        elif isinstance(stmt, (ast.If, ast.Try, ast.With,
+                               ast.For, ast.While)):
+            for inner in ast.iter_child_nodes(stmt):
+                if isinstance(inner, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    self._index_stmt(inner, mod, cls=cls, parent=parent,
+                                     prefix=prefix)
+
+    # -- pass 2: name resolution -------------------------------------------------
+
+    def resolve_name(self, mod: ModuleNode, name: str):
+        """Resolve a dotted name in a module's scope to a
+        ``ClassNode`` / ``FuncNode`` / ``ModuleNode``, or None."""
+        parts = name.split(".")
+        head = parts[0]
+        target: Optional[object] = None
+        if head in mod.classes:
+            target = mod.classes[head]
+        elif head in mod.functions:
+            target = mod.functions[head]
+        elif head in mod.imports:
+            target = self._resolve_import(mod.imports[head])
+        elif head in self.modules:
+            target = self.modules[head]
+        for attr in parts[1:]:
+            if isinstance(target, ModuleNode):
+                if attr in target.classes:
+                    target = target.classes[attr]
+                elif attr in target.functions:
+                    target = target.functions[attr]
+                elif f"{target.name}.{attr}" in self.modules:
+                    target = self.modules[f"{target.name}.{attr}"]
+                else:
+                    return None
+            elif isinstance(target, ClassNode):
+                target = target.resolve_method(attr)
+            else:
+                return None
+        return target
+
+    def _resolve_import(self, dotted: str):
+        """An import target as a ModuleNode / ClassNode / FuncNode."""
+        if dotted in self.modules:
+            return self.modules[dotted]
+        mod_name, _, attr = dotted.rpartition(".")
+        if mod_name in self.modules:
+            owner = self.modules[mod_name]
+            if attr in owner.classes:
+                return owner.classes[attr]
+            if attr in owner.functions:
+                return owner.functions[attr]
+        return None
+
+    def find_class(self, name: str) -> Optional[ClassNode]:
+        """Any project class with this bare name (fixture fallback for
+        registry entries whose module is not in the scanned set);
+        lowest qname wins so lookup order is deterministic."""
+        matches = sorted((qname for qname, cls in self.classes.items()
+                          if cls.name == name))
+        return self.classes[matches[0]] if matches else None
+
+    def _link_bases(self) -> None:
+        for cls in self.classes.values():
+            for base in cls.node.bases:
+                name = dotted_name(base)
+                if not name:
+                    continue
+                resolved = self.resolve_name(cls.module, name)
+                if isinstance(resolved, ClassNode):
+                    cls.bases.append(resolved)
+
+    # -- pass 3: attribute types -------------------------------------------------
+
+    def _annotation_class(self, mod: ModuleNode,
+                          anno) -> Optional[ClassNode]:
+        """``C`` / ``Optional[C]`` / ``"C"`` → ClassNode, best effort."""
+        if anno is None:
+            return None
+        if isinstance(anno, ast.Constant) and isinstance(anno.value, str):
+            try:
+                anno = ast.parse(anno.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(anno, ast.Subscript):
+            outer = dotted_name(anno.value) or ""
+            if outer.split(".")[-1] == "Optional":
+                anno = anno.slice
+            else:
+                return None
+        name = dotted_name(anno)
+        if not name:
+            return None
+        resolved = self.resolve_name(mod, name)
+        return resolved if isinstance(resolved, ClassNode) else None
+
+    def _infer_attr_types(self, cls: ClassNode) -> None:
+        for method in cls.methods.values():
+            params: Dict[str, Optional[ClassNode]] = {}
+            args = method.node.args
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+                params[arg.arg] = self._annotation_class(
+                    cls.module, arg.annotation)
+            for node in scoped_walk(method.node):
+                target = None
+                value = None
+                if isinstance(node, ast.Assign) and \
+                        len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                attr = target.attr
+                if attr in cls.attr_types:
+                    continue
+                if isinstance(node, ast.AnnAssign):
+                    anno_cls = self._annotation_class(cls.module,
+                                                      node.annotation)
+                    if anno_cls is not None:
+                        cls.attr_types[attr] = anno_cls
+                        continue
+                if _is_sync_lock_ctor(value, cls.module.imports):
+                    cls.attr_types[attr] = "threading-lock"
+                elif isinstance(value, ast.Name) and \
+                        params.get(value.id) is not None:
+                    cls.attr_types[attr] = params[value.id]
+                elif isinstance(value, ast.Call):
+                    name = dotted_name(value.func)
+                    if name:
+                        resolved = self.resolve_name(cls.module, name)
+                        if isinstance(resolved, ClassNode):
+                            cls.attr_types[attr] = resolved
+
+    # -- pass 4: call edges ------------------------------------------------------
+
+    def _local_env(self, func: FuncNode) -> Dict[str, object]:
+        """name → ClassNode / ``"threading-lock"`` for the function's
+        annotated parameters and simple local assignments."""
+        env: Dict[str, object] = {}
+        mod = func.module
+        args = func.node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            cls = self._annotation_class(mod, arg.annotation)
+            if cls is not None:
+                env[arg.arg] = cls
+        if func.cls is not None:
+            env["self"] = func.cls
+            env["cls"] = func.cls
+        for node in scoped_walk(func.node):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            name, value = node.targets[0].id, node.value
+            if name in env:
+                continue
+            if _is_sync_lock_ctor(value, mod.imports):
+                env[name] = "threading-lock"
+            elif isinstance(value, ast.Attribute) and \
+                    isinstance(value.value, ast.Name) and \
+                    value.value.id == "self" and func.cls is not None:
+                typ = func.cls.attr_types.get(value.attr)
+                if typ is not None:
+                    env[name] = typ
+            elif isinstance(value, ast.Call):
+                vname = dotted_name(value.func)
+                if vname:
+                    resolved = self.resolve_name(mod, vname)
+                    if isinstance(resolved, ClassNode):
+                        env[name] = resolved
+        return env
+
+    def _resolve_calls(self, func: FuncNode) -> None:
+        env = self._local_env(func)
+        awaited = {id(node.value) for node in ast.walk(func.node)
+                   if isinstance(node, ast.Await)}
+        edges: List[Tuple[ast.Call, FuncNode]] = []
+        unresolved: List[Tuple[ast.Call, str, bool]] = []
+        for node in scoped_walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._resolve_call_target(func, env, node)
+            if isinstance(target, FuncNode):
+                edges.append((node, target))
+            elif isinstance(target, ClassNode):
+                init = target.resolve_method("__init__")
+                if init is not None:
+                    edges.append((node, init))
+            elif isinstance(node.func, ast.Attribute):
+                unresolved.append((node, node.func.attr,
+                                   id(node) in awaited))
+        if edges:
+            self.edges[func.qname] = edges
+        if unresolved:
+            self.unresolved[func.qname] = unresolved
+
+    def _resolve_call_target(self, func: FuncNode, env, call: ast.Call):
+        fn = call.func
+        if isinstance(fn, ast.Name):
+            # Nested defs in the enclosing function chain win first.
+            scope = func
+            while scope is not None:
+                nested = f"{scope.qname}.{fn.id}"
+                if nested in self.functions:
+                    return self.functions[nested]
+                scope = scope.parent
+            if fn.id in env and isinstance(env[fn.id], ClassNode):
+                return env[fn.id]
+            return self.resolve_name(func.module, fn.id)
+        if not isinstance(fn, ast.Attribute):
+            return None
+        name = dotted_name(fn)
+        if name:
+            parts = name.split(".")
+            head = env.get(parts[0])
+            if isinstance(head, ClassNode):
+                if len(parts) == 2:
+                    return head.resolve_method(parts[1])
+                if len(parts) == 3:
+                    attr_type = head.attr_types.get(parts[1])
+                    if isinstance(attr_type, ClassNode):
+                        return attr_type.resolve_method(parts[2])
+                return None
+            return self.resolve_name(func.module, name)
+        # Receiver is an expression (call result, subscript, …): only a
+        # method-name record survives, for the unresolved blacklists.
+        return None
+
+    # -- queries -----------------------------------------------------------------
+
+    def local_types(self, func: FuncNode) -> Dict[str, object]:
+        """The resolver's local type view of one function (parameters,
+        ``self``/``cls``, simple locals) — public for the rules."""
+        return self._local_env(func)
+
+    def functions_in(self, src) -> List[FuncNode]:
+        """FuncNodes defined in one SourceFile, in definition order."""
+        return sorted((f for f in self.functions.values()
+                       if f.src is src),
+                      key=lambda f: f.node.lineno)
+
+    def calls_in(self, func: FuncNode):
+        """Resolved (call, callee) edges of one function."""
+        return self.edges.get(func.qname, ())
+
+    def unresolved_in(self, func: FuncNode):
+        """Unresolved attribute calls of one function."""
+        return self.unresolved.get(func.qname, ())
+
+    def module_reachable_from(self, root: str) -> set:
+        """Transitive closure of project imports starting at ``root``
+        (prefix matching: importing ``a.b`` marks ``a.b`` and ``a``)."""
+        seen: set = set()
+        todo = [root]
+        while todo:
+            name = todo.pop()
+            if name in seen or name not in self.modules:
+                continue
+            seen.add(name)
+            for imported in self.modules[name].imported_modules:
+                todo.append(imported)
+                # ``from a.b import c`` may name a module a.b.c.
+                for other in self.modules:
+                    if other.startswith(imported + "."):
+                        todo.append(other)
+        return seen

@@ -60,3 +60,7 @@ from simcheck.rules import sc003_exec_handlers  # noqa: E402,F401
 from simcheck.rules import sc004_cache_key  # noqa: E402,F401
 from simcheck.rules import sc005_roundtrip  # noqa: E402,F401
 from simcheck.rules import sc006_slots  # noqa: E402,F401
+from simcheck.rules import sc007_async_safety  # noqa: E402,F401
+from simcheck.rules import sc008_snapshot  # noqa: E402,F401
+from simcheck.rules import sc009_registry  # noqa: E402,F401
+from simcheck.rules import sc010_hotpath_transitive  # noqa: E402,F401

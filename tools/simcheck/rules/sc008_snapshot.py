@@ -1,0 +1,235 @@
+"""SC008 — snapshot completeness: ``state_dict`` must cover every
+mutable field, and ``SimSnapshot.capture`` every Simulator component.
+
+Checkpointed sampling (DESIGN.md §13) restores a simulator from a
+``SimSnapshot`` and asserts digest parity with an uninterrupted run; a
+field that ``state_dict`` forgets — or a whole component ``capture``
+never touches — silently breaks that parity on exactly the inputs where
+the field's reset value differs from its live value.  Two arms:
+
+* **Field coverage** (per class): a class providing both ``state_dict``
+  and ``load_state``/``load_state_dict`` must *reference* every
+  ``__init__``-assigned mutable field (list/dict/set/comprehension/
+  container-constructor initializers) in both methods, or name it in a
+  class-level ``SNAPSHOT_EXCLUDE`` tuple.  Immutable initializers
+  (ints, strings, parameters) are out of scope — rebinding them is the
+  constructor's job.  Serializers that walk ``self.__slots__`` /
+  ``self.__dict__`` / ``vars(self)`` generically cover everything.
+* **Component coverage** (whole program): the class pairing
+  ``capture``/``restore`` must mention every component the ``Simulator``
+  declares as ``self.<name>: Optional[...]`` in its ``__init__``, or
+  list it in its own ``SNAPSHOT_EXCLUDE`` (the committed exclude names
+  ``core`` — timing state is rebuilt, not captured, per DESIGN.md §13).
+
+Stale ``SNAPSHOT_EXCLUDE`` entries (naming no known field or component)
+are themselves findings, so the exclude list cannot rot into a blanket
+waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from simcheck.rules import in_scope, register
+from simcheck.rules._util import class_methods, const_str_elts, \
+    dotted_name, self_attr_loads, self_attr_stores
+
+#: Constructor calls whose result is mutable state worth snapshotting.
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "deque",
+                  "defaultdict", "OrderedDict", "Counter", "array"}
+
+_LOADER_NAMES = ("load_state", "load_state_dict")
+
+
+def _is_mutable_init(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = (dotted_name(value.func) or "").split(".")[-1]
+        return name in _MUTABLE_CTORS
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Mult):
+        return isinstance(value.left, ast.List) or \
+            isinstance(value.right, ast.List)
+    return False
+
+
+def _snapshot_exclude(node: ast.ClassDef):
+    """(names, line) of a literal class-level SNAPSHOT_EXCLUDE, or None."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "SNAPSHOT_EXCLUDE":
+                    return const_str_elts(stmt.value) or (), stmt.lineno
+    return None
+
+
+def _generic_serializer(func: ast.AST) -> bool:
+    """Does the method cover fields generically (slots/vars/asdict)?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and \
+                node.attr in ("__slots__", "__dict__"):
+            return True
+        if isinstance(node, ast.Call):
+            name = (dotted_name(node.func) or "").split(".")[-1]
+            if name in ("vars", "asdict"):
+                return True
+    return False
+
+
+def _referenced_names(func: ast.AST) -> Set[str]:
+    """Every identifier a method could cover a component through:
+    parameters, names, attributes, and string literals (dict keys)."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and \
+                isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+def _optional_components(init: ast.AST) -> dict:
+    """``self.<name>: Optional[...]`` declarations -> line number."""
+    out = {}
+    for node in ast.walk(init):
+        if not isinstance(node, ast.AnnAssign):
+            continue
+        target = node.target
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            continue
+        anno = node.annotation
+        if isinstance(anno, ast.Subscript) and \
+                (dotted_name(anno.value) or "").split(".")[-1] == \
+                "Optional":
+            out.setdefault(target.attr, node.lineno)
+    return out
+
+
+@register
+class SnapshotCompletenessRule:
+    id = "SC008"
+    title = ("snapshot completeness: state_dict/load_state cover every "
+             "mutable field; capture covers every Simulator component")
+    severity = "error"
+
+    def check(self, src, project):
+        if not in_scope(src, self.id):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = class_methods(node)
+            serializer = methods.get("state_dict")
+            loader = next((methods[n] for n in _LOADER_NAMES
+                           if n in methods), None)
+            if serializer is not None and loader is not None:
+                yield from self._check_fields(src, node, serializer,
+                                              loader, project)
+            if "capture" in methods and "restore" in methods:
+                yield from self._check_components(src, node,
+                                                  methods["capture"],
+                                                  project)
+
+    # -- arm 1: per-class field coverage ----------------------------------------
+
+    def _check_fields(self, src, node, serializer, loader, project):
+        init = class_methods(node).get("__init__")
+        if init is None:
+            return
+        exclude = _snapshot_exclude(node)
+        excluded = set(exclude[0]) if exclude else set()
+        all_fields = self_attr_stores(init)
+        mutable = {name: line for name, line in all_fields.items()
+                   if self._field_is_mutable(init, name)}
+
+        ser_generic = _generic_serializer(serializer)
+        load_generic = _generic_serializer(loader)
+        ser_refs = self_attr_loads(serializer)
+        load_refs = set(self_attr_stores(loader)) | \
+            self_attr_loads(loader)
+
+        for name in sorted(mutable):
+            if name in excluded:
+                continue
+            missing = []
+            if not ser_generic and name not in ser_refs:
+                missing.append("state_dict")
+            if not load_generic and name not in load_refs:
+                missing.append(loader.name)
+            if missing:
+                yield src.finding(
+                    "SC008", mutable[name],
+                    f"`{node.name}.{name}` is mutable state but "
+                    f"{' and '.join(missing)} never reference(s) it; "
+                    f"serialize it or add it to SNAPSHOT_EXCLUDE with "
+                    f"a reason")
+
+        if exclude:
+            valid = set(all_fields) | \
+                self._component_names(node, project)
+            for name in exclude[0]:
+                if name not in valid:
+                    yield src.finding(
+                        "SC008", exclude[1],
+                        f"`{node.name}.SNAPSHOT_EXCLUDE` names "
+                        f"`{name}`, which is not a field of the class; "
+                        f"remove the stale entry")
+
+    def _field_is_mutable(self, init, name) -> bool:
+        for node in ast.walk(init):
+            target = value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self" and target.attr == name \
+                    and value is not None and _is_mutable_init(value):
+                return True
+        return False
+
+    # -- arm 2: whole-program component coverage --------------------------------
+
+    def _component_names(self, node, project) -> Set[str]:
+        """Simulator component names count as valid SNAPSHOT_EXCLUDE
+        entries on the snapshot (capture/restore) class."""
+        methods = class_methods(node)
+        if "capture" not in methods or "restore" not in methods:
+            return set()
+        sim = project.graph.find_class("Simulator")
+        if sim is None or "__init__" not in sim.methods:
+            return set()
+        return set(_optional_components(sim.methods["__init__"].node))
+
+    def _check_components(self, src, node, capture, project):
+        graph = project.graph
+        sim = graph.find_class("Simulator")
+        if sim is None or "__init__" not in sim.methods:
+            return
+        components = _optional_components(sim.methods["__init__"].node)
+        if not components:
+            return
+        exclude = _snapshot_exclude(node)
+        excluded = set(exclude[0]) if exclude else set()
+        referenced = _referenced_names(capture)
+        for name in sorted(components):
+            if name in excluded or name in referenced:
+                continue
+            yield src.finding(
+                "SC008", capture,
+                f"`{node.name}.capture` never references Simulator "
+                f"component `{name}` (declared at "
+                f"{sim.src.display_path}:{components[name]}); capture "
+                f"it or add it to SNAPSHOT_EXCLUDE with a reason")

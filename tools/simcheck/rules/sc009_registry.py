@@ -1,0 +1,265 @@
+"""SC009 — registry closure over the ``JOB_KINDS`` transport registry.
+
+The engine dispatches work by *kind string* (``register_job_kind`` in
+``repro.engine.job``): the daemon serializes a job with
+``job_to_transport``, a worker resolves the class back with
+``job_class(kind)`` and drives ``from_dict``/``run``/``result_from_dict``.
+Nothing ties those pieces together at import time — a kind registered
+without a ``from_dict``, or a dispatch on a kind string nobody
+registered, only fails when that exact job first crosses the wire.
+This rule closes the loop statically, whole-program:
+
+* every ``register_job_kind("<kind>", "<module>", "<Class>")`` call with
+  literal arguments must point at a resolvable class that provides the
+  full transport/engine surface — ``to_dict``, ``from_dict``, ``run``,
+  ``result_from_dict``, ``key``, ``label`` — and a class-level
+  ``kind = "<kind>"`` attribute matching the registered literal;
+* the registering module must be transitively importable from the CLI
+  entry point (``repro.cli``): a registration the CLI never imports is
+  dead code that still looks wired up;
+* conversely, every kind literal the code *dispatches* on —
+  ``job_class("k")``, comparisons/membership tests against a ``.kind``
+  attribute or ``getattr(j, "kind", ...)`` — must be a registered kind;
+* a class that walks like a job (class-level ``kind = "..."`` string
+  plus ``to_dict`` and ``run``) must actually be registered.
+
+This is a project-scope rule: it runs once over the whole scanned set
+(``check_project``), not per file, and anchors each finding in the file
+that owns the offending literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from simcheck.rules import in_scope, register
+from simcheck.rules._util import dotted_name
+
+#: The surface job_to_transport / job_from_transport / the engine expect.
+REQUIRED_METHODS = ("to_dict", "from_dict", "run", "result_from_dict",
+                    "key", "label")
+
+#: CLI entry-point modules, tried in order, for the reachability arm.
+_CLI_ROOTS = ("repro.cli", "repro.__main__", "repro")
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    return node.value if isinstance(node, ast.Constant) and \
+        isinstance(node.value, str) else None
+
+
+def _class_kind_attr(cls_node: ast.ClassDef) -> Optional[str]:
+    """The literal class-level ``kind = "..."`` value, if present."""
+    for stmt in cls_node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "kind":
+                    return _literal_str(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name) and \
+                stmt.target.id == "kind" and stmt.value is not None:
+            return _literal_str(stmt.value)
+    return None
+
+
+def _is_kind_expr(node: ast.AST) -> bool:
+    """Does this expression read a job-kind value?  ``x.kind`` or
+    ``getattr(x, "kind", ...)``."""
+    if isinstance(node, ast.Attribute) and node.attr == "kind":
+        return True
+    if isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Name) and \
+            node.func.id == "getattr" and len(node.args) >= 2 and \
+            _literal_str(node.args[1]) == "kind":
+        return True
+    return False
+
+
+def _kind_literals_in(node: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """String literals compared against a kind expression."""
+    out: List[Tuple[str, ast.AST]] = []
+    if not isinstance(node, ast.Compare):
+        return out
+    sides = [node.left] + list(node.comparators)
+    if not any(_is_kind_expr(side) for side in sides):
+        return out
+    for side in sides:
+        lit = _literal_str(side)
+        if lit is not None:
+            out.append((lit, side))
+        elif isinstance(side, (ast.Tuple, ast.List, ast.Set)):
+            for elt in side.elts:
+                lit = _literal_str(elt)
+                if lit is not None:
+                    out.append((lit, elt))
+    return out
+
+
+@register
+class RegistryClosureRule:
+    id = "SC009"
+    title = ("registry closure: every registered job kind has the full "
+             "transport surface + CLI path; no unregistered dispatch")
+    severity = "error"
+    scope = "project"
+
+    def check(self, src, project):
+        # Per-file pass intentionally empty: see check_project.
+        return iter(())
+
+    def check_project(self, project):
+        graph = project.graph
+        registrations = self._registrations(graph)
+        registered = {kind for kind, *_ in registrations}
+
+        for kind, module, attr, src, call in registrations:
+            yield from self._check_entry(graph, kind, module, attr,
+                                         src, call)
+
+        yield from self._check_dispatches(graph, registered)
+        yield from self._check_unregistered_jobs(graph, registered)
+
+    # -- collection --------------------------------------------------------------
+
+    def _eligible(self, src) -> bool:
+        return in_scope(src, self.id)
+
+    def _registrations(self, graph):
+        out = []
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            if not self._eligible(mod.src):
+                continue
+            for node in ast.walk(mod.src.tree):
+                if not (isinstance(node, ast.Call) and
+                        (dotted_name(node.func) or "").split(".")[-1]
+                        == "register_job_kind"):
+                    continue
+                lits = [_literal_str(a) for a in node.args[:3]]
+                kw = {k.arg: _literal_str(k.value)
+                      for k in node.keywords}
+                kind = lits[0] if lits else kw.get("kind")
+                module = lits[1] if len(lits) > 1 else kw.get("module")
+                attr = lits[2] if len(lits) > 2 else kw.get("attr")
+                if kind is None:
+                    continue  # dynamic registration: out of scope
+                out.append((kind, module, attr, mod.src, node))
+        return out
+
+    # -- arm 1: registered entries are complete ----------------------------------
+
+    def _resolve_class(self, graph, module, attr):
+        if module in graph.modules and attr:
+            cls = graph.modules[module].classes.get(attr)
+            if cls is not None:
+                return cls
+        return graph.find_class(attr) if attr else None
+
+    def _check_entry(self, graph, kind, module, attr, src, call):
+        cls = self._resolve_class(graph, module, attr)
+        if cls is None:
+            yield src.finding(
+                "SC009", call,
+                f"job kind '{kind}' registers `{module}.{attr}`, which "
+                f"does not resolve to a class in the scanned tree")
+            return
+        missing = [m for m in REQUIRED_METHODS
+                   if cls.resolve_method(m) is None]
+        if missing:
+            yield src.finding(
+                "SC009", call,
+                f"job kind '{kind}' class `{cls.name}` lacks "
+                f"{', '.join(missing)}; the transport/engine surface "
+                f"(to_dict/from_dict/run/result_from_dict/key/label) "
+                f"must be complete")
+        declared = _class_kind_attr(cls.node)
+        if declared != kind:
+            yield src.finding(
+                "SC009", call,
+                f"job kind '{kind}' class `{cls.name}` declares "
+                f"kind = {declared!r}; the class attribute must match "
+                f"the registered literal or dispatch splits")
+        if not src.is_fixture:
+            yield from self._check_cli_reachable(graph, kind, src, call)
+
+    def _check_cli_reachable(self, graph, kind, src, call):
+        roots = [r for r in _CLI_ROOTS if r in graph.modules]
+        if not roots:
+            return  # partial scan without the CLI: nothing to witness
+        reachable = graph.module_reachable_from(roots[0])
+        registering = None
+        for name, mod in graph.modules.items():
+            if mod.src is src:
+                registering = name
+                break
+        if registering is not None and registering not in reachable:
+            yield src.finding(
+                "SC009", call,
+                f"job kind '{kind}' is registered in `{registering}`, "
+                f"which is never imported from `{roots[0]}`: the "
+                f"registration does not run in a CLI process")
+
+    # -- arm 2: dispatches name registered kinds ---------------------------------
+
+    def _registry_aware(self, mod) -> bool:
+        """The kind namespace belongs to the job registry: ``.kind``
+        comparisons are only checked in modules that touch it (import
+        ``repro.engine.job`` or call the registry functions) — minicc's
+        token ``.kind`` and other unrelated namespaces stay out."""
+        if any(name == "repro.engine.job" or
+               name.startswith("repro.engine.job.")
+               for name in mod.imported_modules):
+            return True
+        for node in ast.walk(mod.src.tree):
+            if isinstance(node, ast.Call) and \
+                    (dotted_name(node.func) or "").split(".")[-1] in \
+                    ("register_job_kind", "job_class"):
+                return True
+        return False
+
+    def _check_dispatches(self, graph, registered):
+        for name in sorted(graph.modules):
+            mod = graph.modules[name]
+            if not self._eligible(mod.src) or \
+                    not self._registry_aware(mod):
+                continue
+            for node in ast.walk(mod.src.tree):
+                if isinstance(node, ast.Call) and \
+                        (dotted_name(node.func) or "").split(".")[-1] \
+                        == "job_class":
+                    lit = _literal_str(node.args[0]) if node.args \
+                        else None
+                    if lit is not None and lit not in registered:
+                        yield mod.src.finding(
+                            "SC009", node,
+                            f"job_class('{lit}') dispatches a kind "
+                            f"that is never registered")
+                else:
+                    for lit, at in _kind_literals_in(node):
+                        if lit not in registered:
+                            yield mod.src.finding(
+                                "SC009", at,
+                                f"kind comparison against '{lit}', "
+                                f"which is never registered; dead "
+                                f"branch or missing register_job_kind")
+
+    # -- arm 3: job-shaped classes are registered --------------------------------
+
+    def _check_unregistered_jobs(self, graph, registered):
+        for qname in sorted(graph.classes):
+            cls = graph.classes[qname]
+            if not self._eligible(cls.src):
+                continue
+            kind = _class_kind_attr(cls.node)
+            if kind is None or kind in registered:
+                continue
+            method_names = {m for m in ("to_dict", "run")
+                            if cls.resolve_method(m) is not None}
+            if method_names == {"to_dict", "run"}:
+                yield cls.src.finding(
+                    "SC009", cls.node,
+                    f"`{cls.name}` declares kind = '{kind}' with a "
+                    f"job surface but is never registered via "
+                    f"register_job_kind; the transport cannot "
+                    f"round-trip it")

@@ -1,0 +1,82 @@
+"""SC010 — transitive hot-path discipline through the call graph.
+
+SC002 polices what a ``# simcheck: hotpath`` function does *in its own
+loops*; it cannot see a ``self._helper()`` call whose helper — or the
+helper's helper — logs, formats, reads the wall clock, or touches the
+filesystem.  This rule extends the contract through
+:mod:`simcheck.graph` + :mod:`simcheck.effects`: every call inside a
+marked function's loops that resolves to a project function is checked
+against the callee's *closed* effect set, and any of
+
+``blocking-io``, ``logging``, ``formatting``, ``wall-clock``,
+``global-rng``, ``exec``, ``filesystem``
+
+produces a finding at the call site, with the witness chain in the
+message (``prepare -> _refill -> _trace_miss: f-string build``) so the
+fix target is obvious.  Pure allocation in callees is deliberately *not*
+flagged — called helpers building their return values is normal; SC002
+already bans allocation written directly in the loop body.
+
+Effects detected under a ``raise`` in the callee do not propagate here
+(error paths are cold by definition, same carve-out as SC002), because
+the effect pass never records them.  Justified transitive effects take
+``# simcheck: allow=SC010 <why>`` at the call site.
+"""
+
+from __future__ import annotations
+
+from simcheck.effects import Effect
+from simcheck.rules import in_scope, register
+from simcheck.rules._util import enclosing_raise_spans, in_spans, \
+    loops_in, nodes_under
+
+#: Effect categories banned anywhere under a hot loop.
+BANNED = (Effect.BLOCKING, Effect.LOGGING, Effect.FORMAT, Effect.TIME,
+          Effect.RNG, Effect.EXEC, Effect.FS)
+
+
+@register
+class TransitiveHotPathRule:
+    id = "SC010"
+    title = ("transitive hot-path discipline: functions called from "
+             "hotpath loops must be effect-clean through the call graph")
+    severity = "error"
+
+    def check(self, src, project):
+        if not in_scope(src, self.id, repro_only=False):
+            return
+        graph = project.graph
+        effects = project.effects
+        for func in graph.functions_in(src):
+            if not src.has_marker("hotpath", func.node):
+                continue
+            yield from self._check_function(src, func, graph, effects)
+
+    def _check_function(self, src, func, graph, effects):
+        loop_nodes = {id(n) for n in nodes_under(loops_in(func.node))}
+        raise_spans = enclosing_raise_spans(func.node)
+        reported = set()
+        for call, callee in graph.calls_in(func):
+            if id(call) not in loop_nodes:
+                continue
+            # Calls under a raise are cold by definition (the SC002
+            # carve-out): `raise EmulationFault(f"...")` may format.
+            if in_spans(call.lineno, raise_spans):
+                continue
+            witnesses = effects.witnesses(callee, BANNED)
+            if not witnesses:
+                continue
+            # One finding per call site; the first witness (stable
+            # order: direct effects first, then discovery order of the
+            # fixpoint) names the chain.
+            key = (call.lineno, call.col_offset)
+            if key in reported:
+                continue
+            reported.add(key)
+            w = witnesses[0]
+            yield src.finding(
+                "SC010", call,
+                f"`{func.name}` calls `{callee.name}()` inside a hot "
+                f"loop, and it carries {w.effect}: "
+                f"{w.via(func.qname).describe()}; hoist the effect out "
+                f"of the per-instruction path or allow it explicitly")

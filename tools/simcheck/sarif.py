@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 emitter for simcheck findings.
+
+GitHub's code-scanning upload (``github/codeql-action/upload-sarif``)
+turns this report into inline PR annotations, so a new SC violation
+shows up on the offending line of the diff instead of only in the lint
+job's log.  The emitter is deliberately minimal-but-valid:
+
+* one run, one ``tool.driver`` listing every registered rule (id,
+  title, default severity level), so rule metadata renders in the UI;
+* one ``result`` per finding, carrying the rule index, the message, a
+  single physical location (posix-relative URI + start line), and the
+  finding's baseline fingerprint under ``partialFingerprints`` — the
+  same line-text hash the committed baseline uses, which keeps GitHub's
+  alert dedup stable across unrelated edits, for the same reason the
+  baseline is.
+
+Severity mapping: simcheck ``error`` -> SARIF ``error``, ``warning`` ->
+``warning`` (SARIF's other levels are unused).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemas/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+
+def _rules_metadata(rules) -> List[dict]:
+    return [
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": rule.severity},
+        }
+        for rule in rules
+    ]
+
+
+def to_sarif(findings: Sequence, rules) -> dict:
+    """The SARIF log dict for one run over ``findings``."""
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": f.severity,
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": f.line},
+                },
+            }],
+            "partialFingerprints": {
+                "simcheckFingerprint/v1": f.fingerprint,
+            },
+        })
+    from simcheck import __version__
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simcheck",
+                    "version": __version__,
+                    "rules": _rules_metadata(rules),
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root"}},
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(findings: Sequence, rules) -> str:
+    """The SARIF log as a JSON string (sorted keys, trailing newline)."""
+    return json.dumps(to_sarif(findings, rules), indent=2,
+                      sort_keys=True) + "\n"
