@@ -1,0 +1,52 @@
+"""repro.analysis.surrogate — a learned IPC surrogate with guardrails.
+
+The experiment engine answers a (workload × technique × config) grid
+point exactly, in seconds-to-minutes of simulation; this package
+answers the same point *approximately, in microseconds*, with a model
+trained on results the engine already produced.  The intended loop:
+
+1. **Harvest** (dataset.py): walk the content-addressed result store
+   (via :meth:`~repro.engine.store.StoreIndex.entries`) and turn every
+   cached ``kind="sim"`` result into a labeled point — features from
+   the job's resolved config + workload, label = measured IPC.
+2. **Featurize** (features.py): fold ``(CoreConfig, technique,
+   workload static features, episode-trace statistics)`` into a
+   fixed-width, always-finite vector (:func:`feature_vector`).
+3. **Train** (model.py): fit a deterministic-seeded bagged ensemble of
+   gradient-boosted depth-2 regression trees (or ridge, for tiny
+   datasets) — pure numpy, no new dependencies.  The artifact
+   round-trips via ``to_dict``/``from_dict`` and has a content
+   :meth:`~SurrogateModel.digest` that prediction cache keys fold in.
+4. **Predict** (predict.py + job.py): score grid points with
+   per-point confidence; batches ship through the engine as
+   ``kind="predict"`` jobs, so predictions are content-addressed and
+   cached like any other result.
+5. **Refine** (active.py): route the lowest-confidence points to the
+   real engine as ``kind="sim"`` oracle jobs — at most ``budget`` of
+   them — fold the answers into the training set, and refit.
+
+The model is *bounded, not trusted*: differential, metamorphic and
+determinism guardrails in ``tests/test_surrogate.py`` and the CI
+``surrogate-smoke`` job hold it against the real engine (DESIGN.md
+§13).  ``python -m repro surrogate train`` and ``python -m repro
+predict`` are the CLI fronts.
+"""
+
+from repro.analysis.surrogate.active import RefineReport, refine
+from repro.analysis.surrogate.dataset import (LabeledPoint, harvest,
+                                              split)
+from repro.analysis.surrogate.features import (FeaturePipeline,
+                                               feature_names,
+                                               feature_vector)
+from repro.analysis.surrogate.job import PredictBatch, PredictJob
+from repro.analysis.surrogate.model import (GUARDRAIL_MAX_MEAN_ERROR,
+                                            SurrogateModel)
+from repro.analysis.surrogate.predict import (Prediction, evaluate,
+                                              predict_jobs, sample_grid)
+
+__all__ = [
+    "FeaturePipeline", "GUARDRAIL_MAX_MEAN_ERROR", "LabeledPoint",
+    "Prediction", "PredictBatch", "PredictJob", "RefineReport",
+    "SurrogateModel", "evaluate", "feature_names", "feature_vector",
+    "harvest", "predict_jobs", "refine", "sample_grid", "split",
+]

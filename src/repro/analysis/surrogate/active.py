@@ -1,0 +1,120 @@
+"""Active learning: spend a budget of real simulations where the
+model is least sure.
+
+:func:`refine` closes the loop the package docstring promises: score a
+candidate grid, pick the ``budget`` lowest-confidence points (ties
+break on key, so the pick is deterministic), run **those points and
+only those points** through a real engine as ordinary ``kind="sim"``
+jobs, fold the measured IPCs into the training set, and refit with the
+same seed.  The engine is duck-typed (anything with
+``run(jobs) -> outcomes`` carrying ``.job``/``.result``), which is how
+the tests script an oracle that counts its calls — the contract that
+every chosen point costs exactly one oracle call and the budget is a
+hard cap is tested, not assumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.surrogate.dataset import LabeledPoint
+from repro.analysis.surrogate.model import SurrogateModel
+from repro.analysis.surrogate.predict import predict_jobs
+from repro.engine.job import SimJob
+
+
+@dataclasses.dataclass
+class RefineReport:
+    """What one refinement round did, as plain data."""
+
+    budget: int                 # hard cap on oracle (engine) calls
+    candidates: int             # grid points scored
+    queried: int                # oracle sims actually run (<= budget)
+    failed: int                 # oracle sims that returned no result
+    mean_error_before: float    # |pred - truth| on queried, old model
+    mean_error_after: float     # same points, refit model
+    n_train: int                # refit training-set size
+    digest_before: str
+    digest_after: str
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RefineReport":
+        return cls(**data)
+
+
+def _label_outcomes(outcomes: Sequence) -> Dict[str, LabeledPoint]:
+    """Oracle outcomes → labeled points, keyed by job key; outcomes
+    without a usable result are dropped (counted by the caller)."""
+    labeled: Dict[str, LabeledPoint] = {}
+    for outcome in outcomes:
+        result = getattr(outcome, "result", None)
+        if result is None:
+            continue
+        if not getattr(result, "instructions", 0) or \
+                not getattr(result, "cycles", 0):
+            continue
+        job = outcome.job
+        labeled[job.key] = LabeledPoint(
+            key=job.key, job_dict=job.to_dict(),
+            ipc=float(result.ipc))
+    return labeled
+
+
+def refine(model: SurrogateModel, candidates: Sequence[SimJob],
+           engine, points: Sequence[LabeledPoint], budget: int,
+           seed: Optional[int] = None, members: Optional[int] = None
+           ) -> Tuple[SurrogateModel, RefineReport]:
+    """One active-learning round; returns ``(refit_model, report)``.
+
+    ``points`` is the current training set (the refit trains on
+    ``points + newly measured``); candidates already present in it are
+    never re-queried — their answer is known.  At most ``budget``
+    engine jobs run, each queried point exactly once, in one
+    ``engine.run`` batch so a parallel engine parallelizes them.
+    ``budget <= 0`` refits nothing and returns the model unchanged.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    candidates = list(candidates)
+    predictions = predict_jobs(model, candidates)
+    known = {p.key for p in points}
+    ranked = sorted(
+        (i for i, job in enumerate(candidates)
+         if job.key not in known),
+        key=lambda i: (predictions[i].confidence, predictions[i].key))
+    chosen = ranked[:budget]
+    digest_before = model.digest()
+    if not chosen:
+        return model, RefineReport(
+            budget=budget, candidates=len(candidates), queried=0,
+            failed=0, mean_error_before=0.0, mean_error_after=0.0,
+            n_train=model.n_train, digest_before=digest_before,
+            digest_after=digest_before)
+
+    oracle_jobs = [candidates[i] for i in chosen]
+    labeled = _label_outcomes(engine.run(oracle_jobs))
+    failed = len(oracle_jobs) - len(labeled)
+
+    def mean_error(scored) -> float:
+        errors = [abs(scored[i].ipc - labeled[candidates[i].key].ipc)
+                  for i in chosen if candidates[i].key in labeled]
+        return sum(errors) / len(errors) if errors else 0.0
+
+    before = mean_error(predictions)
+    training: List[LabeledPoint] = list(points) + list(labeled.values())
+    refit = SurrogateModel.train(
+        training, seed=model.seed if seed is None else seed,
+        kind=model.kind,
+        members=len(model.members) if members is None else members,
+        trace_profiles=model.trace_profiles, target=model.target)
+    after = mean_error(predict_jobs(refit, candidates))
+    return refit, RefineReport(
+        budget=budget, candidates=len(candidates),
+        queried=len(oracle_jobs), failed=failed,
+        mean_error_before=before, mean_error_after=after,
+        n_train=len(training), digest_before=digest_before,
+        digest_after=refit.digest())

@@ -1,0 +1,354 @@
+"""The surrogate regressor: a seeded, serializable numpy ensemble.
+
+Two base learners, both closed-form-deterministic and pure numpy:
+
+* **GBM-lite** — gradient-boosted depth-limited regression trees with
+  exact greedy splits.  Ties in split gain resolve to the lowest
+  feature index and earliest threshold (strict ``>`` update + stable
+  argsort), so a fit is a pure function of ``(X, y)``.
+* **Ridge** — standardized closed-form ridge, the fallback for
+  training sets too small for trees to partition sensibly.
+
+:class:`SurrogateModel` bags ``members`` bootstrap replicas of the base
+learner (seeded ``np.random.default_rng``) and reports, per query:
+
+* ``ipc`` — the ensemble-mean prediction, clamped positive, and
+* ``confidence`` in (0, 1] — ``1 / (1 + std / label_std)`` where
+  ``std`` is the ensemble disagreement and ``label_std`` the training
+  labels' spread.  Replicas agree where training data is dense and
+  diverge where the query extrapolates, so low confidence is exactly
+  the "ask the real engine" signal the active-learning loop keys on.
+
+Artifacts are plain data: ``to_dict``/``from_dict`` round-trip every
+field (simcheck SC005), and :meth:`digest` — SHA-256 over the canonical
+JSON — is folded into ``kind="predict"`` cache keys so a retrained
+model can never be served stale predictions.  Determinism is a tested
+guardrail: same seed + same training set ⇒ bit-identical ``to_dict()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.surrogate.features import FEATURE_NAMES, FeaturePipeline
+
+#: Committed differential guardrail: mean |IPC error| of a trained
+#: surrogate vs. real engine results on a held-out split must stay at
+#: or under this bound (tests/test_surrogate.py, tools/surrogate_smoke.py,
+#: and the acceptance validation in EXPERIMENTS.md all assert it).
+GUARDRAIL_MAX_MEAN_ERROR = 0.10
+
+_EPS = 1e-9
+
+
+# -- depth-limited regression trees (exact greedy, deterministic) ------------------
+
+
+def _best_split(X: np.ndarray, y: np.ndarray,
+                min_leaf: int) -> Optional[Tuple[int, float, float]]:
+    """``(feature, threshold, gain)`` of the best SSE split, or None.
+
+    Fully vectorized: one stable column argsort of the whole node,
+    then the gain of every (feature, split-position) candidate at
+    once.  Ties resolve deterministically to the lowest feature index,
+    then the earliest threshold (``argmax`` over a feature-major
+    layout returns the first maximum).
+    """
+    n = len(y)
+    if n < 2 * min_leaf:
+        return None
+    order = np.argsort(X, axis=0, kind="stable")
+    xs = np.take_along_axis(X, order, axis=0)
+    csum = np.cumsum(y[order], axis=0)
+    total = float(y.sum())
+    base = total * total / n
+    n_left = np.arange(1, n, dtype=np.float64)[:, None]
+    left = csum[:-1]
+    right = total - left
+    gain = left * left / n_left + right * right / (n - n_left) - base
+    valid = (xs[:-1] < xs[1:]) & (n_left >= min_leaf) & \
+        (n - n_left >= min_leaf)
+    gain[~valid] = -np.inf
+    flat = int(np.argmax(gain.T))    # feature-major: canonical ties
+    feature, i = divmod(flat, n - 1)
+    best = float(gain[i, feature])
+    if not best > _EPS:
+        return None
+    return (feature, float((xs[i, feature] + xs[i + 1, feature]) / 2.0),
+            best)
+
+
+def _fit_tree(X: np.ndarray, y: np.ndarray, depth: int,
+              min_leaf: int) -> dict:
+    """One regression tree as a nested plain dict."""
+    if depth <= 0:
+        return {"value": float(y.mean())}
+    found = _best_split(X, y, min_leaf)
+    if found is None:
+        return {"value": float(y.mean())}
+    feature, threshold, _ = found
+    mask = X[:, feature] <= threshold
+    return {
+        "feature": feature,
+        "threshold": threshold,
+        "left": _fit_tree(X[mask], y[mask], depth - 1, min_leaf),
+        "right": _fit_tree(X[~mask], y[~mask], depth - 1, min_leaf),
+    }
+
+
+def _tree_predict(node: dict, X: np.ndarray, out: np.ndarray,
+                  idx: np.ndarray) -> None:
+    if not idx.size:
+        return
+    if "value" in node:
+        out[idx] = node["value"]
+        return
+    mask = X[idx, node["feature"]] <= node["threshold"]
+    _tree_predict(node["left"], X, out, idx[mask])
+    _tree_predict(node["right"], X, out, idx[~mask])
+
+
+def _fit_gbm(X: np.ndarray, y: np.ndarray, estimators: int,
+             learning_rate: float, depth: int, min_leaf: int) -> dict:
+    bias = float(y.mean())
+    pred = np.full(len(y), bias)
+    trees: List[dict] = []
+    for _ in range(estimators):
+        tree = _fit_tree(X, y - pred, depth, min_leaf)
+        delta = np.empty(len(y))
+        _tree_predict(tree, X, delta, np.arange(len(y)))
+        pred += learning_rate * delta
+        trees.append(tree)
+    return {"base": "gbm", "bias": bias,
+            "learning_rate": learning_rate, "trees": trees}
+
+
+def _gbm_predict(member: dict, X: np.ndarray) -> np.ndarray:
+    out = np.full(len(X), member["bias"])
+    delta = np.empty(len(X))
+    every = np.arange(len(X))
+    for tree in member["trees"]:
+        _tree_predict(tree, X, delta, every)
+        out += member["learning_rate"] * delta
+    return out
+
+
+# -- ridge -------------------------------------------------------------------------
+
+
+def _fit_ridge(X: np.ndarray, y: np.ndarray, lam: float) -> dict:
+    mu = X.mean(axis=0)
+    sigma = X.std(axis=0)
+    sigma[sigma < _EPS] = 1.0
+    Xs = (X - mu) / sigma
+    Xb = np.hstack([Xs, np.ones((len(Xs), 1))])
+    penalty = lam * np.eye(Xb.shape[1])
+    penalty[-1, -1] = 0.0   # never shrink the intercept
+    w = np.linalg.solve(Xb.T @ Xb + penalty, Xb.T @ y)
+    return {"base": "ridge", "mu": [float(v) for v in mu],
+            "sigma": [float(v) for v in sigma],
+            "weights": [float(v) for v in w]}
+
+
+def _ridge_predict(member: dict, X: np.ndarray) -> np.ndarray:
+    mu = np.asarray(member["mu"])
+    sigma = np.asarray(member["sigma"])
+    w = np.asarray(member["weights"])
+    Xs = (X - mu) / sigma
+    return Xs @ w[:-1] + w[-1]
+
+
+def _member_predict(member: dict, X: np.ndarray) -> np.ndarray:
+    if member["base"] == "gbm":
+        return _gbm_predict(member, X)
+    return _ridge_predict(member, X)
+
+
+# -- the bagged ensemble -----------------------------------------------------------
+
+
+class SurrogateModel:
+    """A bagged ensemble of seeded base learners, as plain data."""
+
+    #: Bump when the artifact shape changes; ``from_dict`` rejects
+    #: other versions so stale artifacts fail loudly.
+    SCHEMA = 1
+
+    #: Training sets below this size fall back from trees to ridge
+    #: under ``kind="auto"``.
+    AUTO_RIDGE_BELOW = 24
+
+    def __init__(self, kind: str, seed: int,
+                 feature_names: Sequence[str],
+                 members: Sequence[dict],
+                 label_mean: float, label_std: float, n_train: int,
+                 trace_profiles: Optional[
+                     Dict[str, Dict[str, float]]] = None,
+                 train_meta: Optional[dict] = None,
+                 target: str = "log"):
+        self.kind = kind
+        self.seed = seed
+        #: Label-space transform: ``"log"`` fits ``ln(IPC)`` (so squared
+        #: error aligns with *relative* IPC error, the guardrail metric,
+        #: and predictions are positive by construction); ``"raw"``
+        #: fits IPC directly.
+        self.target = target
+        self.feature_names = tuple(feature_names)
+        self.members = [dict(m) for m in members]
+        self.label_mean = label_mean
+        self.label_std = label_std
+        self.n_train = n_train
+        self.trace_profiles = {
+            name: dict(stats)
+            for name, stats in sorted((trace_profiles or {}).items())}
+        self.train_meta = dict(train_meta or {})
+
+    # -- training ----------------------------------------------------------------
+
+    @classmethod
+    def train(cls, points: Sequence, seed: int = 0, kind: str = "auto",
+              members: int = 5, estimators: int = 250,
+              learning_rate: float = 0.1, depth: int = 3,
+              min_leaf: int = 2, ridge_lambda: float = 1.0,
+              pipeline: Optional[FeaturePipeline] = None,
+              trace_profiles: Optional[
+                  Dict[str, Dict[str, float]]] = None,
+              target: str = "log") -> "SurrogateModel":
+        """Fit on labeled points (see :mod:`.dataset`).
+
+        A pure function of ``(points-as-a-set, seed, hyperparameters)``:
+        points are canonically ordered by job key before anything else,
+        so harvest order cannot leak into the artifact.
+        """
+        points = sorted(points, key=lambda p: p.key)
+        if len(points) < 2:
+            raise ValueError(
+                f"need at least 2 labeled points to train, "
+                f"got {len(points)}")
+        if pipeline is None:
+            pipeline = FeaturePipeline(trace_profiles)
+        X = pipeline.matrix([p.job() for p in points])
+        y = np.asarray([p.ipc for p in points], dtype=np.float64)
+        if target == "log":
+            y = np.log(np.maximum(y, _EPS))
+        elif target != "raw":
+            raise ValueError(f"unknown target {target!r}; "
+                             f"choose from ('log', 'raw')")
+        if kind == "auto":
+            kind = "gbm" if len(points) >= cls.AUTO_RIDGE_BELOW \
+                else "ridge"
+        fitted: List[dict] = []
+        for i in range(max(1, members)):
+            rng = np.random.default_rng([seed, i])
+            idx = np.sort(rng.integers(0, len(y), len(y))) if members > 1 \
+                else np.arange(len(y))
+            Xi, yi = X[idx], y[idx]
+            if kind == "gbm":
+                fitted.append(_fit_gbm(Xi, yi, estimators,
+                                       learning_rate, depth, min_leaf))
+            elif kind == "ridge":
+                fitted.append(_fit_ridge(Xi, yi, ridge_lambda))
+            else:
+                raise ValueError(f"unknown model kind {kind!r}; "
+                                 f"choose from ('auto', 'gbm', 'ridge')")
+        workloads = sorted({p.workload for p in points})
+        techniques = sorted({p.technique for p in points})
+        return cls(kind=kind, seed=seed, feature_names=FEATURE_NAMES,
+                   members=fitted, label_mean=float(y.mean()),
+                   label_std=float(y.std()), n_train=len(points),
+                   trace_profiles=pipeline.trace_profiles,
+                   train_meta={"workloads": workloads,
+                               "techniques": techniques},
+                   target=target)
+
+    # -- inference ---------------------------------------------------------------
+
+    def pipeline(self) -> FeaturePipeline:
+        """A featurizer carrying this model's trace profiles."""
+        return FeaturePipeline(self.trace_profiles)
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ipc, confidence)`` arrays for a feature matrix.
+
+        Predictions are clamped positive (IPC is); confidence is
+        ``1 / (1 + ensemble_std / label_std)`` in (0, 1].
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"feature width {X.shape[1]} != model width "
+                f"{len(self.feature_names)}")
+        votes = np.stack([_member_predict(m, X) for m in self.members])
+        mean = votes.mean(axis=0)
+        std = votes.std(axis=0)
+        if self.target == "log":
+            # Clamp before exp: a wildly extrapolating member must not
+            # overflow float64 (exp(710) is inf).
+            ipc = np.exp(np.clip(mean, -30.0, 30.0))
+        else:
+            ipc = np.maximum(mean, _EPS)
+        scale = max(self.label_std, _EPS)
+        confidence = 1.0 / (1.0 + std / scale)
+        return ipc, confidence
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "kind": self.kind,
+            "seed": self.seed,
+            "target": self.target,
+            "feature_names": list(self.feature_names),
+            "members": [dict(m) for m in self.members],
+            "label_mean": self.label_mean,
+            "label_std": self.label_std,
+            "n_train": self.n_train,
+            "trace_profiles": {
+                name: dict(stats)
+                for name, stats in sorted(self.trace_profiles.items())},
+            "train_meta": dict(self.train_meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SurrogateModel":
+        if data.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"surrogate artifact schema {data.get('schema')!r} "
+                f"!= {cls.SCHEMA}")
+        return cls(kind=data["kind"], seed=data["seed"],
+                   feature_names=data["feature_names"],
+                   members=data["members"],
+                   label_mean=data["label_mean"],
+                   label_std=data["label_std"],
+                   n_train=data["n_train"],
+                   trace_profiles=data.get("trace_profiles"),
+                   train_meta=data.get("train_meta"),
+                   target=data.get("target", "raw"))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical artifact JSON — the content
+        identity prediction cache keys fold in."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "SurrogateModel":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __repr__(self) -> str:
+        return (f"<SurrogateModel {self.kind} seed={self.seed} "
+                f"members={len(self.members)} n_train={self.n_train} "
+                f"[{self.digest()[:12]}]>")

@@ -1,0 +1,154 @@
+"""Grid-shaped surrogate queries with per-point confidence.
+
+:func:`sample_grid` stamps out a seeded (workload × technique ×
+random-config) grid over the same 31 override axes the config fuzzer
+explores — so surrogate queries and fuzz cases sample the identical
+space — and :func:`predict_jobs` scores any list of
+:class:`~repro.engine.job.SimJob` shapes against a trained model.
+
+One structural guardrail lives here rather than in the learner: a
+model is free-form regression and nothing stops it from learning, on a
+noisy training set, that a *perfect* branch predictor is slower than
+*gshare* — which is semantically impossible (wrong-path work only ever
+costs).  :func:`predict_jobs` therefore applies a monotone repair: for
+a ``predictor_kind="perfect"`` query it also scores the gshare twin of
+the same point and reports the elementwise max.  The metamorphic test
+in ``tests/test_surrogate.py`` holds this for arbitrary models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.surrogate.model import SurrogateModel
+from repro.engine.job import SimJob
+from repro.fuzz.confgen import generate_config_overrides
+
+
+@dataclasses.dataclass
+class Prediction:
+    """One surrogate answer: predicted IPC plus model self-doubt."""
+
+    key: str            # content hash of the queried job
+    label: str          # human-readable job label
+    workload: str
+    technique: str
+    ipc: float          # surrogate-predicted instructions per cycle
+    confidence: float   # in (0, 1]; low => the model is extrapolating
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "label": self.label,
+                "workload": self.workload, "technique": self.technique,
+                "ipc": self.ipc, "confidence": self.confidence}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Prediction":
+        return cls(key=data["key"], label=data["label"],
+                   workload=data["workload"],
+                   technique=data["technique"], ipc=data["ipc"],
+                   confidence=data["confidence"])
+
+    def __repr__(self) -> str:
+        return (f"<Prediction {self.label} ipc={self.ipc:.4f} "
+                f"conf={self.confidence:.3f}>")
+
+
+def _gshare_twin(job: SimJob) -> SimJob:
+    overrides = dict(job.config_overrides)
+    overrides["predictor_kind"] = "gshare"
+    return dataclasses.replace(job, config_overrides=overrides)
+
+
+def predict_jobs(model: SurrogateModel,
+                 jobs: Sequence[SimJob]) -> List[Prediction]:
+    """Score every job; order matches the input.
+
+    Applies the perfect≥gshare monotone repair (module docstring):
+    a perfect-predictor query reports
+    ``max(surrogate(perfect), surrogate(gshare twin))``, making the
+    metamorphic ordering structural rather than hoping the training
+    set taught it.
+    """
+    if not jobs:
+        return []
+    pipeline = model.pipeline()
+    ipc, confidence = model.predict(pipeline.matrix(jobs))
+    twins: Dict[int, SimJob] = {
+        i: _gshare_twin(job) for i, job in enumerate(jobs)
+        if job.config().predictor_kind == "perfect"}
+    if twins:
+        order = sorted(twins)
+        twin_ipc, _ = model.predict(
+            pipeline.matrix([twins[i] for i in order]))
+        for pos, i in enumerate(order):
+            ipc[i] = max(ipc[i], twin_ipc[pos])
+    return [Prediction(key=job.key, label=job.label,
+                       workload=job.workload, technique=job.technique,
+                       ipc=float(ipc[i]),
+                       confidence=float(confidence[i]))
+            for i, job in enumerate(jobs)]
+
+
+def evaluate(model: SurrogateModel, points) -> dict:
+    """Differential error of ``model`` against labeled ground truth.
+
+    ``mean_rel_error`` is the guardrail metric: mean of
+    ``|predicted - measured| / measured`` over the points (harvest
+    guarantees measured IPC > 0).
+    """
+    points = list(points)
+    if not points:
+        return {"n": 0, "mean_abs_error": 0.0, "mean_rel_error": 0.0,
+                "max_rel_error": 0.0}
+    predictions = predict_jobs(model, [p.job() for p in points])
+    abs_errors = [abs(pred.ipc - p.ipc)
+                  for pred, p in zip(predictions, points)]
+    rel_errors = [err / p.ipc
+                  for err, p in zip(abs_errors, points)]
+    return {"n": len(points),
+            "mean_abs_error": sum(abs_errors) / len(points),
+            "mean_rel_error": sum(rel_errors) / len(points),
+            "max_rel_error": max(rel_errors)}
+
+
+def sample_grid(workloads: Sequence[str], techniques: Sequence[str],
+                points: int, grid_seed: int = 0, scale: str = "tiny",
+                seed: Optional[int] = None,
+                max_instructions: Optional[int] = None,
+                base_config: str = "scaled") -> List[SimJob]:
+    """A seeded grid of ``points`` distinct sim-job shapes.
+
+    Configs come from the fuzzer's 31-axis override generator
+    (:func:`~repro.fuzz.confgen.generate_config_overrides`); workloads
+    and techniques round-robin so every pair is covered.  Duplicate
+    (workload, technique, overrides) draws are discarded, so the grid
+    is exactly ``points`` unique jobs for any ``grid_seed``.
+    """
+    if points < 0:
+        raise ValueError(f"points must be >= 0, got {points}")
+    if not workloads or not techniques:
+        raise ValueError("need at least one workload and one technique")
+    import random
+    rng = random.Random(grid_seed)
+    jobs: List[SimJob] = []
+    seen = set()
+    draw = 0
+    while len(jobs) < points:
+        overrides = generate_config_overrides(rng)
+        workload = workloads[draw % len(workloads)]
+        technique = techniques[(draw // len(workloads))
+                               % len(techniques)]
+        draw += 1
+        spec = (workload, technique,
+                json.dumps(overrides, sort_keys=True))
+        if spec in seen:
+            continue
+        seen.add(spec)
+        jobs.append(SimJob(workload=workload, technique=technique,
+                           scale=scale, seed=seed,
+                           max_instructions=max_instructions,
+                           base_config=base_config,
+                           config_overrides=overrides))
+    return jobs

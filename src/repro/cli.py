@@ -19,6 +19,9 @@
     python -m repro sweep --workloads bfs --daemon /tmp/repro.sock
     python -m repro cache stats
     python -m repro cache gc --max-bytes 100000000
+    python -m repro surrogate train --out surrogate.json
+    python -m repro predict --model surrogate.json --points 500 \
+        --budget 32 --validate 50               # learned IPC surrogate
 
 ``sweep`` and ``compare --jobs`` run through the experiment engine
 (:mod:`repro.engine`): jobs fan out over worker processes and finished
@@ -572,6 +575,163 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_surrogate(args) -> int:
+    from repro.analysis.surrogate import (SurrogateModel, evaluate,
+                                          harvest, split)
+    from repro.engine import ResultStore
+    from repro.engine.grid import resolve_techniques, resolve_workloads
+
+    store = ResultStore(args.cache_dir)
+    workloads = resolve_workloads(args.workloads.split(",")) \
+        if args.workloads else None
+    techniques = resolve_techniques(args.techniques.split(",")) \
+        if args.techniques else None
+    points = harvest(store, workloads, techniques)
+    if len(points) < 2:
+        print(f"error: found {len(points)} usable sim results in "
+              f"{store.root}; the surrogate trains on cached results — "
+              f"run a sweep first (e.g. 'repro sweep --scale tiny')",
+              file=sys.stderr)
+        return 1
+
+    profiles = None
+    if args.trace:
+        from repro.obs import trace_statistics
+        profiles = {}
+        for workload in sorted({p.workload for p in points}):
+            stats = trace_statistics(args.trace, workload)
+            if stats.get("episodes"):
+                profiles[workload] = stats
+
+    train_points, held = split(points, holdout=args.holdout,
+                               seed=args.seed)
+    model = SurrogateModel.train(
+        train_points, seed=args.seed, kind=args.kind,
+        members=args.members, estimators=args.estimators,
+        trace_profiles=profiles)
+    held_eval = evaluate(model, held)
+
+    rows = [
+        ("cache", store.root),
+        ("harvested points", len(points)),
+        ("train / held out", f"{len(train_points)} / {len(held)}"),
+        ("model kind", model.kind),
+        ("ensemble members", len(model.members)),
+        ("trace profiles", len(model.trace_profiles)),
+        ("model digest", model.digest()[:16]),
+    ]
+    if held:
+        rows.append(("held-out mean |IPC err|",
+                     percent(held_eval["mean_rel_error"], 2)))
+        rows.append(("held-out max |IPC err|",
+                     percent(held_eval["max_rel_error"], 2)))
+    print(render_table("surrogate train", ["metric", "value"], rows))
+    model.save(args.out)
+    print(f"model written to {os.path.abspath(args.out)}")
+    if held and args.max_error is not None and \
+            held_eval["mean_rel_error"] > args.max_error:
+        print(f"error: held-out mean |IPC error| "
+              f"{held_eval['mean_rel_error']:.4f} exceeds the bound "
+              f"{args.max_error:.4f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_predict(args) -> int:
+    import random as _random
+
+    from repro.analysis.surrogate import (PredictJob, SurrogateModel,
+                                          harvest, predict_jobs, refine,
+                                          sample_grid)
+    from repro.engine import ResultStore
+
+    model = SurrogateModel.load(args.model)
+    meta = model.train_meta
+    if args.workloads:
+        from repro.engine.grid import resolve_workloads
+        workloads = resolve_workloads(args.workloads.split(","))
+    else:
+        workloads = list(meta.get("workloads") or [])
+    if args.techniques:
+        from repro.engine.grid import resolve_techniques
+        techniques = resolve_techniques(args.techniques.split(","))
+    else:
+        techniques = list(meta.get("techniques")
+                          or sorted(ALL_TECHNIQUES))
+    jobs = sample_grid(
+        workloads, techniques, args.points, grid_seed=args.grid_seed,
+        scale=args.scale, seed=args.seed,
+        max_instructions=args.max_instructions,
+        base_config="full" if args.full_config else "scaled")
+    engine = _make_engine(args)
+
+    if args.budget:
+        store = engine.store if getattr(engine, "store", None) \
+            is not None else ResultStore(args.cache_dir)
+        training = harvest(store)
+        model, report = refine(model, jobs, engine, training,
+                               args.budget)
+        print(f"refine: {report.queried}/{report.budget} oracle sims "
+              f"({report.failed} failed), train set {report.n_train}, "
+              f"|err| on queried {report.mean_error_before:.4f} -> "
+              f"{report.mean_error_after:.4f}, model "
+              f"{report.digest_before[:12]} -> "
+              f"{report.digest_after[:12]}")
+        if args.out:
+            model.save(args.out)
+            print(f"refined model written to "
+                  f"{os.path.abspath(args.out)}")
+
+    outcome = engine.run([PredictJob.for_jobs(model, jobs)])[0]
+    if outcome.result is not None:
+        predictions = outcome.result.predictions
+        served = "hit" if outcome.cached else "run"
+    else:   # storeless failure path: predict inline, never bail
+        predictions = predict_jobs(model, jobs)
+        served = "inline"
+
+    shown = sorted(predictions, key=lambda p: p.confidence)
+    rows = [(p.workload, p.technique, f"{p.ipc:.4f}",
+             f"{p.confidence:.3f}") for p in shown[:args.show]]
+    print(render_table(
+        f"predict: {len(predictions)} points "
+        f"(model {model.digest()[:12]}, cache {served}; "
+        f"{args.show} lowest-confidence shown)",
+        ["workload", "technique", "IPC~", "confidence"], rows))
+    mean_conf = sum(p.confidence for p in predictions) / len(predictions)
+    print(f"mean confidence {mean_conf:.3f}; "
+          f"lowest {shown[0].confidence:.3f} ({shown[0].label})")
+
+    if args.validate:
+        rng = _random.Random(args.grid_seed + 1)
+        picked = sorted(rng.sample(range(len(jobs)),
+                                   min(args.validate, len(jobs))))
+        truth_outcomes = engine.run([jobs[i] for i in picked])
+        by_key = {p.key: p for p in predictions}
+        errors = []
+        for truth in truth_outcomes:
+            if truth.result is None or not truth.result.instructions:
+                continue
+            measured = truth.result.ipc
+            predicted = by_key[truth.job.key].ipc
+            errors.append(abs(predicted - measured) / measured)
+        if not errors:
+            print("error: no validation job produced a result",
+                  file=sys.stderr)
+            return 1
+        mean_err = sum(errors) / len(errors)
+        print(f"validation: {len(errors)} ground-truth sims, "
+              f"mean |IPC error| {mean_err:.4f} "
+              f"(max {max(errors):.4f}, bound {args.max_error:.4f})")
+        if mean_err > args.max_error:
+            print(f"error: mean |IPC error| {mean_err:.4f} exceeds "
+                  f"the bound {args.max_error:.4f}", file=sys.stderr)
+            return 1
+    if _warn_abandoned(engine):
+        return 1
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -791,6 +951,127 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-cache", action="store_true",
                        help="run storeless (results are never cached)")
 
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="train the learned IPC surrogate on cached sweep results "
+             "(surrogate train)",
+        description="Harvest every cached kind='sim' result in the "
+                    "store into (job spec, measured IPC) training "
+                    "pairs, fit the seeded surrogate regressor "
+                    "(repro.analysis.surrogate), evaluate it "
+                    "differentially on a held-out split, and write the "
+                    "model artifact as JSON.  The artifact round-trips "
+                    "byte-stably and its content digest is folded into "
+                    "'repro predict' cache keys.")
+    surrogate.add_argument("action", choices=("train",))
+    surrogate.add_argument("--out", default="surrogate.json",
+                           metavar="FILE",
+                           help="model artifact path (default: "
+                                "surrogate.json)")
+    surrogate.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="result cache to harvest (default: "
+                                "$REPRO_CACHE_DIR or .repro-cache)")
+    surrogate.add_argument("--workloads", default=None,
+                           help="restrict the harvest to these "
+                                "workloads/groups (default: all cached)")
+    surrogate.add_argument("--techniques", default=None,
+                           help="restrict the harvest to these "
+                                "techniques (default: all cached)")
+    surrogate.add_argument("--seed", type=int, default=0,
+                           help="training seed: same seed + same "
+                                "harvest = bit-identical artifact "
+                                "(default: 0)")
+    surrogate.add_argument("--kind", default="auto",
+                           choices=("auto", "gbm", "ridge"),
+                           help="regressor family (default: auto — "
+                                "gbm, or ridge for tiny harvests)")
+    surrogate.add_argument("--members", type=int, default=5, metavar="K",
+                           help="bootstrap ensemble size; disagreement "
+                                "drives confidence (default: 5)")
+    surrogate.add_argument("--estimators", type=int, default=250,
+                           metavar="N",
+                           help="boosted trees per gbm member "
+                                "(default: 250)")
+    surrogate.add_argument("--holdout", type=float, default=0.25,
+                           metavar="F",
+                           help="held-out fraction for the differential "
+                                "error report (default: 0.25)")
+    surrogate.add_argument("--trace", default=None, metavar="DIR",
+                           help="fold per-workload episode-trace "
+                                "statistics from DIR into the features")
+    surrogate.add_argument("--max-error", type=float, default=None,
+                           metavar="F",
+                           help="exit nonzero when held-out mean "
+                                "relative |IPC error| exceeds F")
+
+    predict = sub.add_parser(
+        "predict",
+        help="score a config grid with the trained surrogate instead "
+             "of simulating it (--budget N buys real sims where the "
+             "model is least confident)",
+        description="Stamp out a seeded (workloads x techniques x "
+                    "random-config) grid over the fuzzer's 31 override "
+                    "axes and predict each point's IPC with a trained "
+                    "surrogate model, with a per-point confidence "
+                    "score.  The batch runs as a content-addressed "
+                    "kind='predict' engine job whose key includes the "
+                    "model digest, so repeats are cache hits and "
+                    "retrained models never serve stale predictions.  "
+                    "--budget N first routes the N lowest-confidence "
+                    "points through the real engine as ordinary sim "
+                    "jobs, refits on the answers, and predicts with "
+                    "the refined model; --validate K ground-truths K "
+                    "seed-pinned points and enforces --max-error.")
+    predict.add_argument("--model", default="surrogate.json",
+                         metavar="FILE",
+                         help="trained model artifact from 'repro "
+                              "surrogate train' (default: "
+                              "surrogate.json)")
+    predict.add_argument("--workloads", default=None,
+                         help="comma list of workloads/groups "
+                              "(default: the model's training "
+                              "workloads)")
+    predict.add_argument("--techniques", default=None,
+                         help="comma list of techniques (default: the "
+                              "model's training techniques)")
+    predict.add_argument("--points", type=int, default=100, metavar="N",
+                         help="grid points to predict (default: 100)")
+    predict.add_argument("--grid-seed", type=int, default=0,
+                         help="seed for the config grid (default: 0)")
+    predict.add_argument("--scale", default="tiny",
+                         choices=("tiny", "small", "medium"),
+                         help="workload input scale (default: tiny)")
+    predict.add_argument("--seed", type=int, default=None,
+                         help="workload data seed")
+    predict.add_argument("--max-instructions", type=int, default=20000,
+                         help="instruction cap baked into each grid "
+                              "point (default: 20000; 0 = uncapped)")
+    predict.add_argument("--full-config", action="store_true",
+                         help="overrides apply to the full-scale "
+                              "Table I configuration")
+    predict.add_argument("--budget", type=int, default=0, metavar="N",
+                         help="active learning: run the N lowest-"
+                              "confidence points through the real "
+                              "engine and refit before predicting "
+                              "(default: 0 = off)")
+    predict.add_argument("--out", default=None, metavar="FILE",
+                         help="with --budget: write the refined model "
+                              "artifact here")
+    predict.add_argument("--show", type=int, default=20, metavar="N",
+                         help="lowest-confidence rows to print "
+                              "(default: 20)")
+    predict.add_argument("--validate", type=int, default=0, metavar="K",
+                         help="ground-truth K seed-pinned grid points "
+                              "with the real engine and report the "
+                              "mean relative |IPC error| (default: 0)")
+    predict.add_argument("--max-error", type=float, default=0.10,
+                         metavar="F",
+                         help="with --validate: exit nonzero when the "
+                              "mean relative |IPC error| exceeds F "
+                              "(default: 0.10, the committed "
+                              "guardrail)")
+    _add_engine(predict)
+
     cache = sub.add_parser(
         "cache",
         help="inspect or garbage-collect a result store "
@@ -820,7 +1101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare,
                 "sweep": cmd_sweep, "sample": cmd_sample,
                 "report": cmd_report, "compile": cmd_compile,
-                "fuzz": cmd_fuzz, "serve": cmd_serve, "cache": cmd_cache}
+                "fuzz": cmd_fuzz, "serve": cmd_serve, "cache": cmd_cache,
+                "surrogate": cmd_surrogate, "predict": cmd_predict}
     handler = handlers[args.command]
     try:
         return handler(args)

@@ -57,6 +57,8 @@ register_job_kind("sim", "repro.engine.job", "SimJob")
 register_job_kind("fuzz", "repro.fuzz.oracle", "FuzzCaseJob")
 register_job_kind("sample", "repro.simulator.sampling",
                   "SampleIntervalJob")
+register_job_kind("predict", "repro.analysis.surrogate.job",
+                  "PredictJob")
 
 
 def job_class(kind: str):

@@ -113,6 +113,19 @@ class StoreIndex:
                 entries.pop(key, None)
         return entries
 
+    def entries(self) -> Iterator[Tuple[str, int]]:
+        """Iterate ``(key, bytes)`` pairs in LRU order (oldest first).
+
+        The public iteration API for consumers that walk the store —
+        label harvesting (:mod:`repro.analysis.surrogate`), auditing,
+        external tooling — so each of them stops re-reading and
+        re-folding the raw log file by hand.  Safe under concurrent
+        appenders: :meth:`load` folds whatever prefix of the log exists
+        at read time, and single-``write()`` ``O_APPEND`` records mean
+        that prefix is always whole lines.
+        """
+        yield from self.load().items()
+
     def rewrite(self, entries: Dict[str, int]) -> None:
         """Atomically replace the log with one put record per entry,
         preserving the given (LRU) order."""

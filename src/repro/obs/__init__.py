@@ -37,6 +37,8 @@ or from the shell: ``python -m repro run gap.bfs --trace traces`` then
 ``python -m repro report traces``.
 """
 
+from repro.obs.features import (TRACE_STAT_FIELDS, episode_statistics,
+                                trace_statistics)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.observe import Observability, sanitize_label
 from repro.obs.report import (RunTrace, build_report, load_runs,
@@ -51,5 +53,6 @@ __all__ = [
     "Histogram", "RunTrace", "EPISODE_FIELDS", "TRACE_SCHEMA",
     "build_report", "load_runs", "render_report", "summarize_journal",
     "table2", "table3", "read_episodes", "read_manifest",
-    "sanitize_label",
+    "sanitize_label", "TRACE_STAT_FIELDS", "episode_statistics",
+    "trace_statistics",
 ]

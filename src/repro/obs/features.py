@@ -1,0 +1,154 @@
+"""Trace-feature extraction: episode records → workload statistics.
+
+The learned IPC surrogate (:mod:`repro.analysis.surrogate`) describes a
+*workload* to its regressor partly through the wrong-path behaviour the
+tracer observed: how often branches mispredict, how deep the wrong-path
+windows run, how often convergence is found and at what distance, and
+how the wrong path behaves in the cache hierarchy.  Those numbers live
+in PR-3's per-episode JSONL traces; this module folds a stream of
+episode records into a small dict of **order-invariant** statistics
+(every statistic is a function of sums and counts only, so shuffling
+the episode stream cannot change any value — a tested property, see
+``tests/test_surrogate.py``).
+
+Two entry points:
+
+* :func:`episode_statistics` — fold an in-memory episode iterable; the
+  unit the property tests target.
+* :func:`trace_statistics` — read every traced run of one workload
+  under a trace directory (any technique) and fold their episodes
+  together, adding the per-kilo-instruction episode rate the manifests
+  make computable.
+
+Both return plain ``{name: float}`` dicts over :data:`TRACE_STAT_FIELDS`
+with every value finite, so downstream feature vectors have a fixed
+width and never inherit a NaN.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import Dict, Iterable, Optional
+
+from repro.obs.trace import read_episodes, read_manifest
+
+#: Every statistic key, in canonical (vector) order.
+TRACE_STAT_FIELDS = (
+    "episodes",
+    "episodes_per_kilo_instr",
+    "indirect_fraction",
+    "mean_window_limit",
+    "mean_wp_fetched",
+    "mean_wp_executed",
+    "wp_execute_fraction",
+    "mean_resolution_latency",
+    "conv_attempt_fraction",
+    "conv_found_fraction",
+    "mean_conv_distance",
+    "addr_recover_fraction",
+    "wp_l1d_hit_fraction",
+    "wp_l2_hit_fraction",
+    "wp_llc_hit_fraction",
+)
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den else 0.0
+
+
+def episode_statistics(episodes: Iterable[dict]) -> Dict[str, float]:
+    """Fold episode records into the :data:`TRACE_STAT_FIELDS` dict.
+
+    Unknown keys are ignored and missing keys read as zero, so traces
+    from older schemas degrade to partial statistics instead of
+    raising.  Every returned value is a finite float.
+    """
+    count = 0
+    indirect = 0
+    window_limit = 0.0
+    wp_fetched = 0.0
+    wp_executed = 0.0
+    resolution = 0.0
+    conv_attempted = 0.0
+    conv_found = 0.0
+    conv_distance = 0.0
+    addr_recovered = 0.0
+    mem_ops = 0.0
+    cache: Dict[str, Dict[str, float]] = {
+        level: {"wp_hits": 0.0, "wp_misses": 0.0}
+        for level in ("l1d", "l2", "llc")}
+    for record in episodes:
+        count += 1
+        if record.get("branch_kind") == "indirect":
+            indirect += 1
+        window_limit += record.get("window_limit") or 0
+        wp_fetched += record.get("wp_fetched") or 0
+        wp_executed += record.get("wp_executed") or 0
+        start = record.get("window_start")
+        end = record.get("resolution")
+        if isinstance(start, (int, float)) and \
+                isinstance(end, (int, float)) and end >= start:
+            resolution += end - start
+        conv_attempted += record.get("conv_attempted") or 0
+        conv_found += record.get("conv_found") or 0
+        distance = record.get("conv_distance")
+        if isinstance(distance, (int, float)):
+            conv_distance += distance
+        addr_recovered += record.get("wp_addr_recovered") or 0
+        mem_ops += record.get("wp_mem_ops") or 0
+        for level, agg in cache.items():
+            split = (record.get("cache") or {}).get(level) or {}
+            agg["wp_hits"] += split.get("wp_hits") or 0
+            agg["wp_misses"] += split.get("wp_misses") or 0
+
+    def hit_fraction(level: str) -> float:
+        agg = cache[level]
+        return _ratio(agg["wp_hits"], agg["wp_hits"] + agg["wp_misses"])
+
+    return {
+        "episodes": float(count),
+        "episodes_per_kilo_instr": 0.0,   # needs a manifest; see below
+        "indirect_fraction": _ratio(indirect, count),
+        "mean_window_limit": _ratio(window_limit, count),
+        "mean_wp_fetched": _ratio(wp_fetched, count),
+        "mean_wp_executed": _ratio(wp_executed, count),
+        "wp_execute_fraction": _ratio(wp_executed, wp_fetched),
+        "mean_resolution_latency": _ratio(resolution, count),
+        "conv_attempt_fraction": _ratio(conv_attempted, count),
+        "conv_found_fraction": _ratio(conv_found, conv_attempted),
+        "mean_conv_distance": _ratio(conv_distance, conv_found),
+        "addr_recover_fraction": _ratio(addr_recovered, mem_ops),
+        "wp_l1d_hit_fraction": hit_fraction("l1d"),
+        "wp_l2_hit_fraction": hit_fraction("l2"),
+        "wp_llc_hit_fraction": hit_fraction("llc"),
+    }
+
+
+def trace_statistics(trace_dir: str,
+                     workload: Optional[str] = None) -> Dict[str, float]:
+    """Fold every traced run under ``trace_dir`` (optionally one
+    workload's) into one statistics dict.
+
+    Episodes from all matching runs are pooled — the surrogate wants a
+    workload descriptor, not a per-technique one — and the manifests'
+    instruction counts turn the episode count into a per-kilo-
+    instruction mispredict-window rate.  An empty or missing directory
+    returns all-zero statistics (the surrogate's "no trace" shape).
+    """
+    episodes = []
+    instructions = 0
+    for path in sorted(glob.glob(os.path.join(trace_dir, "*.run.json"))):
+        manifest = read_manifest(path)
+        if manifest is None:
+            continue
+        if workload is not None and manifest.get("name") != workload:
+            continue
+        instructions += manifest.get("instructions") or 0
+        episodes_path = path[:-len(".run.json")] + ".episodes.jsonl"
+        if os.path.exists(episodes_path):
+            episodes.extend(read_episodes(episodes_path))
+    stats = episode_statistics(episodes)
+    stats["episodes_per_kilo_instr"] = _ratio(
+        1000.0 * stats["episodes"], float(instructions))
+    return stats

@@ -1,7 +1,7 @@
 """SC008 — snapshot completeness: ``state_dict`` must cover every
 mutable field, and ``SimSnapshot.capture`` every Simulator component.
 
-Checkpointed sampling (DESIGN.md §13) restores a simulator from a
+Checkpointed sampling (DESIGN.md §11) restores a simulator from a
 ``SimSnapshot`` and asserts digest parity with an uninterrupted run; a
 field that ``state_dict`` forgets — or a whole component ``capture``
 never touches — silently breaks that parity on exactly the inputs where
@@ -19,7 +19,7 @@ the field's reset value differs from its live value.  Two arms:
   ``capture``/``restore`` must mention every component the ``Simulator``
   declares as ``self.<name>: Optional[...]`` in its ``__init__``, or
   list it in its own ``SNAPSHOT_EXCLUDE`` (the committed exclude names
-  ``core`` — timing state is rebuilt, not captured, per DESIGN.md §13).
+  ``core`` — timing state is rebuilt, not captured, per DESIGN.md §11).
 
 Stale ``SNAPSHOT_EXCLUDE`` entries (naming no known field or component)
 are themselves findings, so the exclude list cannot rot into a blanket

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke test for the learned IPC surrogate (`repro.analysis.surrogate`).
+
+Proves the surrogate's committed contracts end-to-end from a cold
+cache, in CI seconds:
+
+1. simulate a seed-pinned mini sweep (one workload, all four
+   techniques, a predictor x ROB grid) through a real embedded engine,
+2. harvest + split + train, and enforce the committed differential
+   bound: held-out mean |IPC error| <= ``GUARDRAIL_MAX_MEAN_ERROR``,
+3. retrain on the *shuffled* training set — the artifact must be
+   bit-identical (training is a pure function of the point set), and
+   the digest must survive a save/load JSON round-trip,
+4. run a ``kind="predict"`` batch through the engine twice — the
+   second run must be a cache hit with identical predictions, and the
+   perfect >= gshare metamorphic repair must hold across the grid.
+
+The model artifact and its evaluation are left in ``.surrogate-smoke/``
+so CI can upload them when the bound fails.
+
+Run from the repo root: ``PYTHONPATH=src python tools/surrogate_smoke.py``.
+Exits nonzero with a diagnostic on any violation.
+"""
+
+import itertools
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.surrogate import (GUARDRAIL_MAX_MEAN_ERROR,  # noqa: E402
+                                      PredictJob, SurrogateModel,
+                                      evaluate, harvest, predict_jobs,
+                                      split)
+from repro.engine import ExperimentEngine, ResultStore, SimJob  # noqa: E402
+from repro.simulator.simulation import ALL_TECHNIQUES  # noqa: E402
+
+ARTIFACT_DIR = ".surrogate-smoke"
+
+#: Mirror of the seed-pinned sweep tests/test_surrogate.py trains on:
+#: small enough to simulate in seconds, varied enough (predictor
+#: strength x ROB size x technique) that the model learns real
+#: structure rather than a constant.
+SWEEP_AXES = {
+    "predictor_kind": ("bimodal", "gshare", "tournament", "tage",
+                       "perfect"),
+    "rob_size": (32, 128),
+}
+WORKLOAD = "gap.bfs"
+MAX_INSTRUCTIONS = 3000
+
+
+def fail(message):
+    print(f"surrogate-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def sweep_jobs():
+    jobs = []
+    for kind, rob in itertools.product(*SWEEP_AXES.values()):
+        for technique in ALL_TECHNIQUES:
+            jobs.append(SimJob(
+                workload=WORKLOAD, technique=technique, scale="tiny",
+                max_instructions=MAX_INSTRUCTIONS,
+                config_overrides={"predictor_kind": kind,
+                                  "rob_size": rob}))
+    return jobs
+
+
+def main():
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="repro-surrogate-smoke-") as tmp:
+        # 1. Cold cache -> real simulations.
+        engine = ExperimentEngine(
+            store=ResultStore(os.path.join(tmp, "cache")), jobs=2)
+        jobs = sweep_jobs()
+        outcomes = engine.run(jobs)
+        failed = [o for o in outcomes if o.result is None]
+        if failed:
+            fail(f"{len(failed)}/{len(jobs)} sweep sims failed "
+                 f"(first: {failed[0].error})")
+
+        # 2. Harvest + differential bound.
+        points = harvest(engine.store)
+        if len(points) != len(jobs):
+            fail(f"harvested {len(points)} points from a "
+                 f"{len(jobs)}-sim sweep")
+        train_points, held = split(points, holdout=0.25, seed=0)
+        model = SurrogateModel.train(train_points, seed=0, kind="gbm",
+                                     members=3, estimators=60)
+        scores = evaluate(model, held)
+        report_path = os.path.join(ARTIFACT_DIR, "evaluation.json")
+        with open(report_path, "w") as fh:
+            json.dump({"bound": GUARDRAIL_MAX_MEAN_ERROR, **scores},
+                      fh, indent=2)
+        print(f"surrogate-smoke: held-out mean |IPC error| "
+              f"{scores['mean_rel_error'] * 100:.2f}% over {scores['n']} "
+              f"points (bound {GUARDRAIL_MAX_MEAN_ERROR * 100:.0f}%)")
+        if scores["mean_rel_error"] > GUARDRAIL_MAX_MEAN_ERROR:
+            fail(f"held-out mean |IPC error| "
+                 f"{scores['mean_rel_error'] * 100:.2f}% exceeds the "
+                 f"committed {GUARDRAIL_MAX_MEAN_ERROR * 100:.0f}% bound "
+                 f"(see {report_path})")
+
+        # 3. Digest stability: order-free training + JSON round-trip.
+        shuffled = SurrogateModel.train(list(reversed(train_points)),
+                                        seed=0, kind="gbm", members=3,
+                                        estimators=60)
+        if model.to_dict() != shuffled.to_dict():
+            fail("shuffled training set changed the artifact "
+                 "(training is not a pure function of the point set)")
+        model_path = os.path.join(ARTIFACT_DIR, "model.json")
+        model.save(model_path)
+        if SurrogateModel.load(model_path).digest() != model.digest():
+            fail("model digest did not survive a save/load round-trip")
+
+        # 4. Cached predict batches + the metamorphic repair.
+        inline = predict_jobs(model, jobs)
+        for run in ("cold", "warm"):
+            outcome = engine.run([PredictJob.for_jobs(model, jobs)])[0]
+            if outcome.result is None:
+                fail(f"predict batch failed on {run} run: {outcome.error}")
+            batch = [p.to_dict() for p in outcome.result.predictions]
+            if batch != [p.to_dict() for p in inline]:
+                fail(f"{run} engine predict batch != inline predictions")
+            if run == "warm" and not outcome.cached:
+                fail("second predict batch was re-executed, not cached")
+        by_config = {}
+        for job, pred in zip(jobs, inline):
+            cfg = dict(job.config_overrides)
+            kind = cfg.pop("predictor_kind")
+            by_config.setdefault(
+                (job.technique, json.dumps(cfg, sort_keys=True)),
+                {})[kind] = pred.ipc
+        for (technique, _), ipcs in sorted(by_config.items()):
+            if ipcs["perfect"] < ipcs["gshare"] - 1e-12:
+                fail(f"metamorphic violation under {technique}: "
+                     f"perfect {ipcs['perfect']:.4f} < "
+                     f"gshare {ipcs['gshare']:.4f}")
+
+    print(f"surrogate-smoke: OK — bound held, artifact digest "
+          f"{model.digest()[:12]} stable across training order and "
+          f"round-trip, predict batches cached")
+
+
+if __name__ == "__main__":
+    main()
